@@ -1,0 +1,51 @@
+"""Ablation: layered summarization vs monolithic symbolic execution.
+
+DESIGN.md calls out summarization as the key design choice; this ablation
+quantifies it by verifying the same engine on the same zone twice — once
+with the layered pipeline (TreeSearch and Find replaced by their summary
+specifications when Resolve is verified) and once fully inlined. Both must
+reach the same verdict; the comparison shows what the summaries buy in
+solver work and wall-clock as zones grow.
+"""
+
+import pytest
+
+from repro.core.pipeline import VerificationSession
+from repro.zonegen import GeneratorConfig, ZoneGenerator, evaluation_zone, minimal_zone
+
+_STATS = {}
+
+
+def run(zone, use_summaries):
+    session = VerificationSession(zone, "verified")
+    result = session.verify(use_summaries=use_summaries)
+    assert result.verified, result.describe()
+    return result
+
+
+@pytest.mark.parametrize("mode", ["layered", "monolithic"])
+@pytest.mark.parametrize("zone_name", ["minimal", "evaluation"])
+def test_ablation(benchmark, mode, zone_name):
+    zone = minimal_zone() if zone_name == "minimal" else evaluation_zone()
+    result = benchmark.pedantic(
+        run, args=(zone, mode == "layered"), rounds=1, iterations=1
+    )
+    _STATS[(zone_name, mode)] = (result.elapsed_seconds, result.solver_checks)
+
+
+def test_ablation_report(benchmark):
+    if len(_STATS) < 4:
+        for zone_name, zone in (("minimal", minimal_zone()), ("evaluation", evaluation_zone())):
+            for mode in ("layered", "monolithic"):
+                if (zone_name, mode) not in _STATS:
+                    result = run(zone, mode == "layered")
+                    _STATS[(zone_name, mode)] = (
+                        result.elapsed_seconds,
+                        result.solver_checks,
+                    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Ablation: layered (with summaries) vs monolithic (inlined):")
+    print(f"{'zone':<12} {'mode':<12} {'seconds':>8} {'solver checks':>14}")
+    for (zone_name, mode), (seconds, checks) in sorted(_STATS.items()):
+        print(f"{zone_name:<12} {mode:<12} {seconds:>8.2f} {checks:>14}")

@@ -1,0 +1,60 @@
+"""Figure 12: per-layer symbolic execution / summarization time.
+
+The paper's claim: for each layer, DNS-V finishes symbolic execution and
+automatic summarization in under one minute. This benchmark measures each
+layer of the v2.0 engine on the evaluation zone separately — the Name-layer
+refinement, the TreeSearch and Find summarizations, and the top-level
+Resolve refinement — and prints the regenerated figure as a bar chart.
+"""
+
+import pytest
+
+from repro.core.layers import resolution_layers
+from repro.core.pipeline import VerificationSession
+from repro.dns.name import DnsName
+from repro.reporting import render_fig12
+from repro.spec.namespec import check_name_refinement
+from repro.zonegen import evaluation_zone
+
+
+def test_fig12_name_layer(benchmark):
+    report = benchmark.pedantic(
+        check_name_refinement,
+        args=(DnsName.from_text("ab.cd."),),
+        kwargs={"extra_labels": ["x", "yz"]},
+        rounds=3,
+        iterations=1,
+    )
+    assert report.verified
+    assert report.elapsed_seconds < 60
+
+
+@pytest.mark.parametrize("layer_index,layer_name", [(0, "TreeSearch"), (1, "Find")])
+def test_fig12_summarized_layer(benchmark, layer_index, layer_name):
+    layers = resolution_layers()
+
+    def run():
+        session = VerificationSession(evaluation_zone(), "v2.0")
+        for dependency in layers[:layer_index]:
+            session.summarize_layer(dependency)
+        return session.summarize_layer(layers[layer_index])
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert summary.elapsed_seconds < 60
+    assert len(summary.cases) > 0
+
+
+def test_fig12_resolve_layer(benchmark):
+    def run():
+        session = VerificationSession(evaluation_zone(), "v2.0")
+        return session.verify()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    resolve_layer = [l for l in result.layers if l.name == "Resolve"][0]
+    assert resolve_layer.elapsed_seconds < 60
+
+
+def test_fig12_render(benchmark):
+    text = benchmark.pedantic(render_fig12, rounds=1, iterations=1)
+    print()
+    print(text)

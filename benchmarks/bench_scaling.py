@@ -1,0 +1,57 @@
+"""Scaling: verification cost vs zone size.
+
+Not a paper artifact (the paper fixes the engine and sweeps zones at
+production scale); this pins how the reproduction's end-to-end time and
+solver load grow with the number of records, so future optimisations have a
+baseline. Expected shape: engine paths grow roughly linearly with tree
+nodes, and each path re-runs the specification's filters over the flat
+list, giving the top-level check a soft-quadratic trend.
+"""
+
+import pytest
+
+from repro.core.pipeline import VerificationSession
+from repro.zonegen import GeneratorConfig, ZoneGenerator
+
+SIZES = {
+    "small": GeneratorConfig(seed=61, num_hosts=2, num_wildcards=0,
+                             num_delegations=0, num_cnames=0, num_mx=0),
+    "medium": GeneratorConfig(seed=61, num_hosts=5, num_wildcards=1,
+                              num_delegations=1, num_cnames=1, num_mx=1),
+    "large": GeneratorConfig(seed=61, num_hosts=9, num_wildcards=2,
+                             num_delegations=2, num_cnames=2, num_mx=2),
+}
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_scaling(benchmark, size):
+    zone = ZoneGenerator(SIZES[size]).generate(0)
+
+    def run():
+        session = VerificationSession(zone, "verified")
+        result = session.verify()
+        assert result.verified, result.describe()
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    paths = [l.paths for l in result.layers if l.name == "Resolve"][0]
+    _ROWS[size] = (len(zone), paths, result.elapsed_seconds, result.solver_checks)
+
+
+def test_scaling_report(benchmark):
+    for size in SIZES:
+        if size not in _ROWS:
+            zone = ZoneGenerator(SIZES[size]).generate(0)
+            result = VerificationSession(zone, "verified").verify()
+            paths = [l.paths for l in result.layers if l.name == "Resolve"][0]
+            _ROWS[size] = (
+                len(zone), paths, result.elapsed_seconds, result.solver_checks
+            )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Verification cost vs zone size (verified engine):")
+    print(f"{'size':<8} {'records':>8} {'paths':>7} {'seconds':>9} {'solver checks':>14}")
+    for size, (records, paths, seconds, checks) in _ROWS.items():
+        print(f"{size:<8} {records:>8} {paths:>7} {seconds:>9.2f} {checks:>14}")

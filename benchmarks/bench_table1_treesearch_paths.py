@@ -1,0 +1,26 @@
+"""Table 1 / Figure 11: TreeSearch path enumeration on the example tree.
+
+Regenerates the paper's Table 1 — every execution path of TreeSearch
+walking the section 6.4 example domain tree, each with an example qname
+satisfying its path condition — and benchmarks the summarization that
+produces it.
+"""
+
+from repro.core.layers import resolution_layers
+from repro.core.pipeline import VerificationSession
+from repro.reporting import render_table1
+from repro.zonegen import paper_example_zone
+
+
+def summarize_tree_search():
+    session = VerificationSession(paper_example_zone())
+    return session.summarize_layer(resolution_layers()[0])
+
+
+def test_table1_treesearch_summarization(benchmark):
+    summary = benchmark.pedantic(summarize_tree_search, rounds=3, iterations=1)
+    assert 10 <= len(summary.cases) <= 25
+    print()
+    print(render_table1())
+    print(f"\n[summary: {len(summary.cases)} input-effect pairs, "
+          f"{summary.elapsed_seconds:.3f}s symbolic execution]")

@@ -1,0 +1,45 @@
+"""Table 2: bug classes found and prevented per engine version.
+
+Runs the full DNS-V pipeline (summarize layers, verify Resolve against the
+top-level specification, decode and validate counterexamples) once per
+engine version on the evaluation zone, and prints the regenerated Table 2
+with caught/not-caught status per paper row. The benchmark measures one
+whole-version verification (v2.0, the Table-3 base version).
+"""
+
+import pytest
+
+from repro.core import VerificationSession, verify_engine
+from repro.reporting import EXPECTED_TABLE2, render_table2
+from repro.reporting.tables import VERSIONS
+from repro.zonegen import evaluation_zone
+
+_RESULTS = {}
+
+
+def _verify(version):
+    result = verify_engine(evaluation_zone(), version)
+    _RESULTS[version] = result
+    return result
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_table2_verify_version(benchmark, version):
+    result = benchmark.pedantic(_verify, args=(version,), rounds=1, iterations=1)
+    if version == "verified":
+        assert result.verified, result.describe()
+    else:
+        assert result.bugs, f"{version} should have been caught"
+        assert all(bug.validated for bug in result.bugs)
+
+
+def test_table2_render_and_check(benchmark):
+    for version in VERSIONS:
+        _RESULTS.setdefault(version, verify_engine(evaluation_zone(), version))
+    text = benchmark.pedantic(render_table2, args=(_RESULTS,), rounds=1, iterations=1)
+    print()
+    print(text)
+    # Every paper row must be caught at its version.
+    for index, version, categories, _ in EXPECTED_TABLE2:
+        found = _RESULTS[version].bug_categories()
+        assert any(c in found for c in categories), f"Table 2 row {index} missed"

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""SCALE-style differential testing across random zone configurations.
+
+Generates random zones (wildcards, delegations, CNAME chains — the
+section 9 bias), then cross-checks each engine version against the
+executable top-level specification and the independent reference resolver
+over a structured query corpus. Shows how concrete testing flags the buggy
+versions on *some* zones, while the verified engine stays clean on all —
+and why verification (which proves the absence per zone) subsumes it.
+
+Run:  python examples/differential_testing.py [num_zones]
+"""
+
+import sys
+
+from repro.testing import differential_test
+from repro.zonegen import GeneratorConfig, ZoneGenerator
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    generator = ZoneGenerator(
+        GeneratorConfig(
+            seed=20230701, num_hosts=5, num_wildcards=2, num_delegations=1,
+            num_cnames=2, num_mx=1,
+        )
+    )
+    versions = ("verified", "v1.0", "v2.0", "v3.0", "dev")
+    caught = {version: 0 for version in versions}
+    total_queries = 0
+
+    for index, zone in enumerate(generator.stream(count)):
+        line = [f"zone {index:2d} ({len(zone):2d} rrs):"]
+        for version in versions:
+            result = differential_test(zone, version)
+            total_queries += result.queries_run
+            if result.clean:
+                line.append(f"{version}=clean")
+            else:
+                caught[version] += 1
+                line.append(f"{version}={len(result.divergences)}x")
+        print("  ".join(line))
+
+    print(f"\n{total_queries} total queries cross-checked against 2 oracles")
+    print("zones on which each version was flagged:")
+    for version in versions:
+        print(f"  {version:>9}: {caught[version]}/{count}")
+    assert caught["verified"] == 0, "the corrected engine must stay clean"
+
+
+if __name__ == "__main__":
+    main()

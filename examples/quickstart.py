@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: verify a DNS authoritative engine against the RFC spec.
+
+Loads a zone, runs the full DNS-V pipeline on the fully corrected engine
+(it proves out), then on the v1.0 production engine — where verification
+fails and DNS-V hands back concrete, validated counterexample queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import verify_engine
+from repro.dns.zonefile import parse_zone_text
+
+ZONE_TEXT = """\
+$ORIGIN shop.example.
+@ IN SOA ns1.shop.example. hostmaster.shop.example. 7 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.80
+www IN TXT "storefront"
+*.tenants IN A 192.0.2.90
+"""
+
+
+def main() -> None:
+    zone = parse_zone_text(ZONE_TEXT)
+    print(f"zone {zone.origin.to_text()} with {len(zone)} records\n")
+
+    print("=== verifying the corrected engine ===")
+    result = verify_engine(zone, "verified")
+    print(result.describe())
+    assert result.verified
+
+    print("\n=== verifying engine v1.0 (the base production version) ===")
+    result = verify_engine(zone, "v1.0")
+    print(result.describe())
+    assert not result.verified
+
+    print("\nEvery bug above comes with a concrete query; for example:")
+    bug = result.bugs[0]
+    print(f"  dig {bug.query.to_text()}" if bug.query else f"  codes {bug.qname_codes}")
+    print(f"  engine:   {bug.engine_summary}")
+    print(f"  expected: {bug.expected_summary}")
+
+
+if __name__ == "__main__":
+    main()

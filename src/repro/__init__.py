@@ -1,0 +1,31 @@
+"""DNS-V: automated verification of an in-production DNS authoritative engine.
+
+Reproduction of the SOSP 2023 paper "Automated Verification of an
+In-Production DNS Authoritative Engine" (Zheng, Liu, et al.).
+
+The package is organised bottom-up:
+
+- :mod:`repro.dns` — DNS domain model (names, records, zones, messages).
+- :mod:`repro.solver` — SMT-lite decision procedure for linear integer
+  arithmetic with models (the paper uses Z3 on the same fragment).
+- :mod:`repro.ir` — AbsLLVM intermediate representation (paper section 5.1).
+- :mod:`repro.frontend` — restricted-Python ("GoPy") to AbsLLVM compiler,
+  standing in for GoLLVM and inserting explicit panic blocks (section 4.1).
+- :mod:`repro.symex` — full-path symbolic executor with the flexible memory
+  model supporting partial abstraction (section 5.1/5.2).
+- :mod:`repro.summary` — automated specification summarization (section 5.3).
+- :mod:`repro.refine` — refinement checking against manual specs (5.2).
+- :mod:`repro.spec` — manual library specs and the SCALE-style top-level
+  specification of authoritative resolution (section 6.1/6.3).
+- :mod:`repro.engine` — the in-production-style DNS authoritative engine in
+  several versions, with the paper's Table-2 bugs seeded (section 6).
+- :mod:`repro.zonegen` — randomized zone-configuration generator (6.5/9).
+- :mod:`repro.core` — the DNS-V pipeline tying everything together.
+- :mod:`repro.testing` — SCALE-style differential tester used to validate
+  counterexamples.
+- :mod:`repro.reporting` — regeneration of the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

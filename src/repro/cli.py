@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library the way an operator would use it:
+
+- ``verify``        — run the DNS-V pipeline on a zone file.
+- ``campaign``      — verify a version across N generated zones.
+- ``differential``  — SCALE-style concrete cross-checking.
+- ``summarize``     — print a layer's machine-generated summary spec.
+- ``tables``        — regenerate the paper's tables/figures.
+- ``zonegen``       — emit random zone files.
+- ``serve``         — answer real DNS packets with an engine version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine import control
+
+
+def _load_zone(args):
+    from repro.dns.zonefile import parse_zone_text
+    from repro.zonegen import corpus
+
+    if args.zone == "-":
+        return parse_zone_text(sys.stdin.read(), origin=args.origin)
+    builtin = {
+        "evaluation": corpus.evaluation_zone,
+        "minimal": corpus.minimal_zone,
+        "paper": corpus.paper_example_zone,
+        "chain": corpus.chain_zone,
+    }
+    if args.zone in builtin:
+        return builtin[args.zone]()
+    with open(args.zone) as handle:
+        return parse_zone_text(handle.read(), origin=args.origin)
+
+
+def _add_zone_arguments(parser):
+    parser.add_argument(
+        "--zone",
+        default="evaluation",
+        help="zone file path, '-' for stdin, or a builtin name "
+        "(evaluation/minimal/paper/chain)",
+    )
+    parser.add_argument("--origin", default=None, help="origin for relative zone files")
+
+
+def cmd_verify(args) -> int:
+    from repro.core import verify_engine
+
+    zone = _load_zone(args)
+    result = verify_engine(zone, args.version)
+    print(result.describe())
+    return 0 if result.verified else 1
+
+
+def cmd_campaign(args) -> int:
+    from repro.core import run_campaign
+
+    report = run_campaign(args.version, num_zones=args.zones, seed=args.seed)
+    print(report.describe())
+    return 0 if report.zones_refuted == 0 else 1
+
+
+def cmd_differential(args) -> int:
+    from repro.testing import differential_test
+
+    zone = _load_zone(args)
+    result = differential_test(zone, args.version)
+    print(result.describe())
+    return 0 if result.clean else 1
+
+
+def cmd_summarize(args) -> int:
+    from repro.core.layers import resolution_layers
+    from repro.core.pipeline import VerificationSession
+
+    zone = _load_zone(args)
+    session = VerificationSession(zone, args.version)
+    for layer in resolution_layers():
+        summary = session.summarize_layer(layer)
+        if layer.function == args.layer or args.layer == "all":
+            print(summary.describe())
+            print()
+        if layer.function == args.layer:
+            break
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro import reporting
+
+    renderers = {
+        "table1": reporting.render_table1,
+        "table2": reporting.render_table2,
+        "table3": reporting.render_table3,
+        "fig10": reporting.render_fig10,
+        "fig12": reporting.render_fig12,
+    }
+    targets = renderers if args.which == "all" else {args.which: renderers[args.which]}
+    for name, renderer in targets.items():
+        print(renderer())
+        print()
+    return 0
+
+
+def cmd_zonegen(args) -> int:
+    from repro.dns.zonefile import zone_to_text
+    from repro.zonegen import GeneratorConfig, ZoneGenerator
+
+    generator = ZoneGenerator(GeneratorConfig(seed=args.seed))
+    for index, zone in enumerate(generator.stream(args.count)):
+        if args.count > 1:
+            print(f"; --- zone {index} ---")
+        print(zone_to_text(zone))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    sys.argv = [
+        "serve_zone",
+        "--version",
+        args.version,
+        "--listen",
+        str(args.port),
+    ]
+    import importlib.util
+    import pathlib
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "serve_zone.py"
+    spec = importlib.util.spec_from_file_location("serve_zone", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DNS-V: automated verification of a DNS authoritative engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    versions = sorted(control.ENGINE_VERSIONS)
+
+    p = sub.add_parser("verify", help="verify an engine version on a zone")
+    _add_zone_arguments(p)
+    p.add_argument("--version", default="verified", choices=versions)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("campaign", help="verify across N random zones")
+    p.add_argument("--version", default="verified", choices=versions)
+    p.add_argument("--zones", type=int, default=5)
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("differential", help="concrete cross-checking on a zone")
+    _add_zone_arguments(p)
+    p.add_argument("--version", default="verified", choices=versions)
+    p.set_defaults(func=cmd_differential)
+
+    p = sub.add_parser("summarize", help="print a layer's summary specification")
+    _add_zone_arguments(p)
+    p.add_argument("--version", default="verified", choices=versions)
+    p.add_argument("--layer", default="tree_search",
+                   help="tree_search, find, or all")
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
+    p.add_argument("which", nargs="?", default="all",
+                   choices=["all", "table1", "table2", "table3", "fig10", "fig12"])
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("zonegen", help="emit random zone files")
+    p.add_argument("--count", type=int, default=1)
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=cmd_zonegen)
+
+    p = sub.add_parser("serve", help="serve a zone over UDP")
+    p.add_argument("--version", default="verified", choices=versions)
+    p.add_argument("--port", type=int, default=5353)
+    p.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Verification campaigns: the paper's continuous operating mode.
+
+Section 6.5/9: each run of the overall verification proves the engine
+correct and safe *for one concrete zone snapshot*; the production workflow
+runs it over tens of thousands of randomly generated zone configurations
+(plus the live ones) on every engine iteration. A :class:`Campaign` is that
+loop: a stream of zones, one pipeline run per (zone, version), aggregated
+into a coverage/verdict report.
+
+For speed, each zone is first smoke-tested differentially (milliseconds);
+zones the differential already refutes can optionally skip the heavier
+proof — matching how the production pipeline triages, while keeping the
+proof available per zone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import VerificationResult, VerificationSession
+from repro.dns.zone import Zone
+from repro.testing import differential_test
+from repro.zonegen import GeneratorConfig, ZoneGenerator
+
+
+@dataclass
+class ZoneVerdict:
+    """Outcome for one (zone, version) pair."""
+
+    zone_index: int
+    zone_origin: str
+    records: int
+    verified: bool
+    bug_categories: Tuple[str, ...]
+    elapsed_seconds: float
+    solver_checks: int
+    differential_divergences: int
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate over all zones for one engine version."""
+
+    version: str
+    verdicts: List[ZoneVerdict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def zones_run(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def zones_verified(self) -> int:
+        return sum(1 for v in self.verdicts if v.verified)
+
+    @property
+    def zones_refuted(self) -> int:
+        return self.zones_run - self.zones_verified
+
+    def category_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            for category in verdict.bug_categories:
+                histogram[category] = histogram.get(category, 0) + 1
+        return histogram
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign {self.version}: {self.zones_verified}/{self.zones_run} zones "
+            f"verified ({self.elapsed_seconds:.1f}s total)"
+        ]
+        histogram = self.category_histogram()
+        for category in sorted(histogram):
+            lines.append(f"  {category}: on {histogram[category]} zone(s)")
+        slowest = max(self.verdicts, key=lambda v: v.elapsed_seconds, default=None)
+        if slowest is not None:
+            lines.append(
+                f"  slowest zone: #{slowest.zone_index} ({slowest.records} rrs, "
+                f"{slowest.elapsed_seconds:.1f}s, {slowest.solver_checks} checks)"
+            )
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Run the pipeline over a stream of zones."""
+
+    def __init__(
+        self,
+        zones: Optional[Iterable[Zone]] = None,
+        generator_config: Optional[GeneratorConfig] = None,
+        num_zones: int = 10,
+    ):
+        if zones is not None:
+            self._zones = list(zones)
+        else:
+            config = generator_config or GeneratorConfig(
+                num_hosts=4, num_wildcards=1, num_delegations=1,
+                num_cnames=1, num_mx=1,
+            )
+            self._zones = list(ZoneGenerator(config).stream(num_zones))
+
+    @property
+    def zones(self) -> List[Zone]:
+        return list(self._zones)
+
+    def run(
+        self,
+        version: str,
+        smoke_first: bool = True,
+        max_zone_seconds: Optional[float] = None,
+    ) -> CampaignReport:
+        """Verify ``version`` on every zone; returns the aggregate report.
+
+        With ``smoke_first`` the differential tester runs before each
+        proof (its divergence count is recorded either way — a sanity
+        cross-check: the prover must refute every zone the tester does).
+        """
+        report = CampaignReport(version)
+        started = time.perf_counter()
+        for index, zone in enumerate(self._zones):
+            divergences = 0
+            if smoke_first:
+                smoke = differential_test(zone, version, check_reference=False)
+                divergences = len(smoke.divergences)
+            result = VerificationSession(zone, version).verify()
+            if divergences and result.verified:
+                raise RuntimeError(
+                    f"unsound: differential refuted zone {index} but the "
+                    f"proof passed ({version})"
+                )
+            report.verdicts.append(
+                ZoneVerdict(
+                    zone_index=index,
+                    zone_origin=zone.origin.to_text(),
+                    records=len(zone),
+                    verified=result.verified,
+                    bug_categories=tuple(result.bug_categories()),
+                    elapsed_seconds=result.elapsed_seconds,
+                    solver_checks=result.solver_checks,
+                    differential_divergences=divergences,
+                )
+            )
+            if (
+                max_zone_seconds is not None
+                and time.perf_counter() - started > max_zone_seconds * len(self._zones)
+            ):
+                break
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+
+def run_campaign(
+    version: str,
+    num_zones: int = 10,
+    seed: int = 2023,
+    **config_overrides,
+) -> CampaignReport:
+    """Convenience API: generate ``num_zones`` zones and verify ``version``
+    on each."""
+    config = GeneratorConfig(seed=seed, **config_overrides)
+    campaign = Campaign(generator_config=config, num_zones=num_zones)
+    return campaign.run(version)

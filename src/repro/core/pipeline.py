@@ -1,0 +1,388 @@
+"""The DNS-V verification pipeline (paper Figure 6).
+
+``VerificationSession`` wires one (zone, engine version) pair into the
+verifier: the control plane builds the concrete in-heap domain tree and the
+flat specification zone, the symbolic query is installed, and the GoPy
+modules are compiled to AbsLLVM. ``verify()`` then follows the layered
+workflow:
+
+1. summarize the evolving resolution layers bottom-up (each layer's summary
+   is bound before the next layer is summarized, so Find is explored on top
+   of TreeSearch's summary specification);
+2. check ``resolve`` against the top-level specification ``rrlookup`` with
+   the nested path-product refinement, which also discharges safety (a
+   reachable panic is reported as a runtime-error bug);
+3. decode every mismatch model into a concrete query, re-execute the
+   engine and the specification *natively* (GoPy is Python), and keep only
+   validated divergences as :class:`BugReport`\\ s, classified into the
+   paper's Table-2 categories.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import QueryEncoding
+from repro.core.layers import LayerConfig, resolution_layers
+from repro.dns.message import Query
+from repro.dns.zone import Zone
+from repro.engine import control
+from repro.engine.encoding import ZoneEncoder
+from repro.engine.gopy import nameops, nodestack
+from repro.frontend import compile_module
+from repro.ir import Module
+from repro.refine import RefinementReport, check_refinement_nested
+from repro.spec import toplevel
+from repro.solver import Solver
+from repro.summary import Summary, summarize
+from repro.symex import Executor, HeapLoader, PathState
+
+# ---------------------------------------------------------------------------
+# Compilation cache: GoPy modules compile once per process.
+# ---------------------------------------------------------------------------
+
+_IR_CACHE: Dict[str, Module] = {}
+
+
+def _compiled(py_module, externs: Sequence[Module] = ()) -> Module:
+    key = py_module.__name__
+    cached = _IR_CACHE.get(key)
+    if cached is None:
+        cached = compile_module(py_module, extern_modules=list(externs))
+        _IR_CACHE[key] = cached
+    return cached
+
+
+def compile_engine_modules(version: str) -> List[Module]:
+    """IR modules for one engine version plus the shared layers and the
+    top-level specification."""
+    base = [_compiled(nameops), _compiled(nodestack)]
+    version_module = control.ENGINE_VERSIONS[version]
+    return base + [
+        _compiled(version_module, externs=base),
+        _compiled(toplevel, externs=base),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Bug reports
+# ---------------------------------------------------------------------------
+
+#: Table-2 classification labels.
+WRONG_FLAG = "Wrong Flag"
+WRONG_ANSWER = "Wrong Answer"
+WRONG_RCODE = "Wrong rcode"
+WRONG_AUTHORITY = "Wrong Authority"
+WRONG_ADDITIONAL = "Wrong Additional"
+RUNTIME_ERROR = "Runtime Error"
+
+
+@dataclass
+class BugReport:
+    """One validated divergence between an engine version and the spec."""
+
+    version: str
+    categories: Tuple[str, ...]
+    query: Optional[Query]
+    qname_codes: Tuple[int, ...]
+    qtype_code: int
+    description: str
+    validated: bool
+    engine_summary: str = ""
+    expected_summary: str = ""
+
+    def describe(self) -> str:
+        where = self.query.to_text() if self.query is not None else (
+            f"codes={list(self.qname_codes)} qtype={self.qtype_code}"
+        )
+        cats = ", ".join(self.categories)
+        flag = "validated" if self.validated else "UNVALIDATED"
+        return f"[{self.version}] {cats} on query {where} ({flag}): {self.description}"
+
+
+@dataclass
+class LayerResult:
+    """Per-layer verification record (feeds Figure 12)."""
+
+    name: str
+    route: str
+    elapsed_seconds: float
+    paths: int
+    cases: int = 0
+    verified: bool = True
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one engine version on one zone."""
+
+    version: str
+    zone_origin: str
+    verified: bool
+    bugs: List[BugReport] = field(default_factory=list)
+    layers: List[LayerResult] = field(default_factory=list)
+    refinement: Optional[RefinementReport] = None
+    elapsed_seconds: float = 0.0
+    solver_checks: int = 0
+    spurious_mismatches: int = 0
+
+    def bug_categories(self) -> List[str]:
+        seen = []
+        for bug in self.bugs:
+            for category in bug.categories:
+                if category not in seen:
+                    seen.append(category)
+        return seen
+
+    def describe(self) -> str:
+        status = "VERIFIED" if self.verified else f"{len(self.bugs)} bug(s) found"
+        lines = [
+            f"DNS-V {self.version} on {self.zone_origin}: {status} "
+            f"({self.elapsed_seconds:.1f}s, {self.solver_checks} solver checks)"
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  layer {layer.name:<12} [{layer.route}] "
+                f"{layer.elapsed_seconds:6.2f}s  {layer.paths} paths"
+                + (f", {layer.cases} summary cases" if layer.cases else "")
+            )
+        for bug in self.bugs:
+            lines.append("  " + bug.describe())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+class VerificationSession:
+    """One (zone, engine version) verification setup."""
+
+    def __init__(
+        self,
+        zone: Zone,
+        version: str = "verified",
+        depth: Optional[int] = None,
+        solver: Optional[Solver] = None,
+        max_paths: int = 200000,
+        max_steps: int = 20_000_000,
+    ):
+        self.zone = zone
+        self.version = version
+        self.encoder = ZoneEncoder(zone)
+        self.tree_go = control.build_domain_tree(self.encoder)
+        self.flat_go = control.build_flat_zone(self.encoder)
+        self.executor = Executor(
+            compile_engine_modules(version),
+            solver=solver,
+            max_paths=max_paths,
+            max_steps=max_steps,
+        )
+        self.state = PathState()
+        loader = HeapLoader(self.state.memory)
+        self.tree_ptr = loader.load(self.tree_go)
+        self.flat_ptr = loader.load(self.flat_go)
+        self.query_encoding = QueryEncoding(self.encoder, depth)
+        self.q_ptr = self.query_encoding.install(self.state)
+        self.pre = self.query_encoding.preconditions()
+        self.engine_resp_ptr = self.executor.new_object(self.state, "Response")
+        self.spec_resp_ptr = self.executor.new_object(self.state, "Response")
+
+    # -- layered verification --------------------------------------------------
+
+    def summarize_layer(self, layer: LayerConfig) -> Summary:
+        summary = summarize(
+            self.executor,
+            layer.function,
+            layer.params(self),
+            state=self.state,
+            pre=self.pre,
+        )
+        self.executor.bindings.bind_summary(layer.function, summary)
+        return summary
+
+    def verify(self, use_summaries: bool = True) -> VerificationResult:
+        """Run the full pipeline; ``use_summaries=False`` is the ablation
+        that inlines every layer (monolithic symbolic execution)."""
+        started = time.perf_counter()
+        checks_before = self.executor.solver.num_checks
+        result = VerificationResult(self.version, self.zone.origin.to_text(), True)
+
+        if use_summaries:
+            for layer in resolution_layers():
+                summary = self.summarize_layer(layer)
+                result.layers.append(
+                    LayerResult(
+                        layer.name,
+                        "summarize",
+                        summary.elapsed_seconds,
+                        summary.paths_explored,
+                        cases=len(summary.cases),
+                    )
+                )
+
+        top_started = time.perf_counter()
+        report = check_refinement_nested(
+            self.executor,
+            "resolve",
+            "rrlookup",
+            [self.tree_ptr, self.q_ptr, self.query_encoding.qtype, self.engine_resp_ptr],
+            [self.flat_ptr, self.q_ptr, self.query_encoding.qtype, self.spec_resp_ptr],
+            state=self.state,
+            pre=self.pre,
+            observe_code=lambda outcome: self.engine_resp_ptr,
+            observe_spec=lambda outcome: self.spec_resp_ptr,
+        )
+        result.refinement = report
+        result.layers.append(
+            LayerResult(
+                "Resolve",
+                "toplevel",
+                time.perf_counter() - top_started,
+                report.code_paths,
+                verified=report.verified,
+            )
+        )
+
+        for mismatch in report.mismatches:
+            bug = self._decode_mismatch(mismatch)
+            if bug is None:
+                result.spurious_mismatches += 1
+                continue
+            result.bugs.append(bug)
+        result.verified = report.verified and not result.bugs
+        # A mismatch that failed validation still refutes the proof.
+        if report.mismatches and not result.bugs:
+            result.verified = False
+        result.elapsed_seconds = time.perf_counter() - started
+        result.solver_checks = self.executor.solver.num_checks - checks_before
+        return result
+
+    # -- counterexample decoding and validation ---------------------------------
+
+    def _decode_mismatch(self, mismatch) -> Optional[BugReport]:
+        model = mismatch.model
+        if model is None:
+            return BugReport(
+                self.version,
+                (RUNTIME_ERROR if mismatch.kind == "code-panic" else WRONG_ANSWER,),
+                None,
+                (),
+                0,
+                f"unverified mismatch ({mismatch.kind}); solver returned unknown",
+                validated=False,
+            )
+        codes = tuple(self.query_encoding.query_codes(model))
+        qtype_code = self.query_encoding.qtype_code(model)
+        query = self.query_encoding.decode_query(model)
+
+        if mismatch.kind == "code-panic":
+            validated, detail = self._validate_panic(codes, qtype_code)
+            return BugReport(
+                self.version,
+                (RUNTIME_ERROR,),
+                query,
+                codes,
+                qtype_code,
+                f"{mismatch.observation}; native re-execution: {detail}",
+                validated=validated,
+            )
+
+        engine_resp, engine_error = self._native_engine(codes, qtype_code)
+        spec_resp, _ = self._native_spec(codes, qtype_code)
+        if engine_error is not None:
+            return BugReport(
+                self.version,
+                (RUNTIME_ERROR,),
+                query,
+                codes,
+                qtype_code,
+                f"engine crashed natively: {engine_error}",
+                validated=True,
+            )
+        categories, diffs = classify_divergence(engine_resp, spec_resp)
+        if not categories:
+            return None  # spurious (e.g. record-order-only difference)
+        return BugReport(
+            self.version,
+            tuple(categories),
+            query,
+            codes,
+            qtype_code,
+            "; ".join(diffs[:4]),
+            validated=True,
+            engine_summary=_summarise_response(engine_resp),
+            expected_summary=_summarise_response(spec_resp),
+        )
+
+    def _native_engine(self, codes, qtype_code):
+        try:
+            resp = control.run_engine_concrete(
+                control.ENGINE_VERSIONS[self.version], self.tree_go, list(codes), qtype_code
+            )
+            return resp, None
+        except (IndexError, AttributeError, TypeError) as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+
+    def _native_spec(self, codes, qtype_code):
+        from repro.engine.gopy.structs import Response as GoResponse
+
+        resp = GoResponse()
+        toplevel.rrlookup(self.flat_go, list(codes), qtype_code, resp)
+        return resp, None
+
+    def _validate_panic(self, codes, qtype_code):
+        _, error = self._native_engine(codes, qtype_code)
+        if error is not None:
+            return True, error
+        return False, "no native crash reproduced"
+
+
+# ---------------------------------------------------------------------------
+# Divergence classification (Table 2 vocabulary)
+# ---------------------------------------------------------------------------
+
+
+def _section_multiset(records):
+    return sorted((tuple(r.rname), r.rtype, r.rdata_id) for r in records)
+
+
+def classify_divergence(engine_resp, spec_resp) -> Tuple[List[str], List[str]]:
+    """Compare two native responses semantically; return Table-2 category
+    labels and human-readable differences."""
+    categories: List[str] = []
+    diffs: List[str] = []
+    if engine_resp.rcode != spec_resp.rcode:
+        categories.append(WRONG_RCODE)
+        diffs.append(f"rcode {engine_resp.rcode} != expected {spec_resp.rcode}")
+    if engine_resp.aa != spec_resp.aa:
+        categories.append(WRONG_FLAG)
+        diffs.append(f"aa {engine_resp.aa} != expected {spec_resp.aa}")
+    for section, label in (
+        ("answer", WRONG_ANSWER),
+        ("authority", WRONG_AUTHORITY),
+        ("additional", WRONG_ADDITIONAL),
+    ):
+        got = _section_multiset(getattr(engine_resp, section))
+        want = _section_multiset(getattr(spec_resp, section))
+        if got != want:
+            categories.append(label)
+            missing = len([r for r in want if r not in got])
+            extra = len([r for r in got if r not in want])
+            diffs.append(f"{section}: {missing} missing, {extra} extraneous")
+    return categories, diffs
+
+
+def _summarise_response(resp) -> str:
+    return (
+        f"rcode={resp.rcode} aa={int(resp.aa)} "
+        f"ans={len(resp.answer)} auth={len(resp.authority)} add={len(resp.additional)}"
+    )
+
+
+def verify_engine(zone: Zone, version: str, **kwargs) -> VerificationResult:
+    """One-call convenience API: verify ``version`` on ``zone``."""
+    return VerificationSession(zone, version, **kwargs).verify()

@@ -1,0 +1,72 @@
+"""DNS domain model substrate.
+
+This subpackage implements the DNS concepts that the paper's section 2
+introduces and that every other layer builds on: domain names with their
+canonical ordering, resource records and RRsets, zones with a textual
+zone-file format, query/response messages, and an order-preserving label
+interner that realises the paper's integer encoding of labels (sections 5.4
+and 6.3).
+
+Nothing in here is symbolic; this is the concrete ground truth shared by the
+production-style engine (:mod:`repro.engine`), the top-level specification
+(:mod:`repro.spec`) and the verification pipeline (:mod:`repro.core`).
+"""
+
+from repro.dns.name import DnsName, NameError_, MAX_LABEL_LENGTH, MAX_NAME_DEPTH
+from repro.dns.rtypes import RRType, RCode, DNSClass
+from repro.dns.rdata import (
+    Rdata,
+    ALIASRdata,
+    ARdata,
+    AAAARdata,
+    NSRdata,
+    CNAMERdata,
+    SOARdata,
+    MXRdata,
+    TXTRdata,
+    SRVRdata,
+    PTRRdata,
+    CAARdata,
+    rdata_from_text,
+)
+from repro.dns.records import ResourceRecord, RRset, group_rrsets
+from repro.dns.zone import Zone, ZoneValidationError
+from repro.dns.zonefile import parse_zone_text, zone_to_text, ZoneParseError
+from repro.dns.message import Query, Response, response_diff
+from repro.dns.interner import LabelInterner, LABEL_SPACING
+
+__all__ = [
+    "DnsName",
+    "NameError_",
+    "MAX_LABEL_LENGTH",
+    "MAX_NAME_DEPTH",
+    "RRType",
+    "RCode",
+    "DNSClass",
+    "Rdata",
+    "ALIASRdata",
+    "ARdata",
+    "AAAARdata",
+    "NSRdata",
+    "CNAMERdata",
+    "SOARdata",
+    "MXRdata",
+    "TXTRdata",
+    "SRVRdata",
+    "PTRRdata",
+    "CAARdata",
+    "rdata_from_text",
+    "ResourceRecord",
+    "RRset",
+    "group_rrsets",
+    "Zone",
+    "ZoneValidationError",
+    "parse_zone_text",
+    "zone_to_text",
+    "ZoneParseError",
+    "Query",
+    "Response",
+    "response_diff",
+    "LabelInterner",
+    "LABEL_SPACING",
+]

@@ -1,0 +1,104 @@
+"""DNS query and response messages.
+
+Mirrors section 2 of the paper: a query is (qname, qtype); a response
+carries an rcode, the authoritative-answer flag, and the answer / authority /
+additional sections. Responses compare section-wise with record order
+ignored, which is the equality the top-level specification is checked
+against (record ordering within a section is not semantically meaningful
+for the properties DNS-V verifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RCode, RRType
+
+
+@dataclass(frozen=True)
+class Query:
+    """A one-shot DNS question."""
+
+    qname: DnsName
+    qtype: RRType
+
+    def to_text(self) -> str:
+        return f"{self.qname.to_text()} {self.qtype.name}"
+
+
+def _canonical(records: Tuple[ResourceRecord, ...]) -> Tuple[Tuple, ...]:
+    return tuple(sorted(rec.sort_key() for rec in records))
+
+
+@dataclass(frozen=True)
+class Response:
+    """A DNS response as the engine and specification both produce it.
+
+    TTLs are carried but excluded from equality: the paper's functional
+    correctness property concerns which records appear where, the rcode and
+    the AA flag.
+    """
+
+    query: Query
+    rcode: RCode
+    aa: bool
+    answer: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
+    authority: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
+    additional: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
+
+    def semantic_key(self) -> Tuple:
+        return (
+            self.query.qname,
+            self.query.qtype,
+            self.rcode,
+            self.aa,
+            _canonical(self.answer),
+            _canonical(self.authority),
+            _canonical(self.additional),
+        )
+
+    def semantically_equal(self, other: "Response") -> bool:
+        return self.semantic_key() == other.semantic_key()
+
+    def to_text(self) -> str:
+        lines = [
+            f";; query: {self.query.to_text()}",
+            f";; rcode: {self.rcode.name}  aa: {int(self.aa)}",
+        ]
+        for title, section in (
+            ("ANSWER", self.answer),
+            ("AUTHORITY", self.authority),
+            ("ADDITIONAL", self.additional),
+        ):
+            lines.append(f";; {title} ({len(section)}):")
+            for rec in sorted(section, key=lambda r: r.sort_key()):
+                lines.append(f"  {rec.to_text()}")
+        return "\n".join(lines)
+
+
+def response_diff(got: Response, want: Response) -> List[str]:
+    """Human-readable differences between two responses (empty if
+    semantically equal). Used by the differential tester and by bug reports
+    to explain counterexamples."""
+    diffs: List[str] = []
+    if got.query != want.query:
+        diffs.append(f"query differs: {got.query.to_text()} vs {want.query.to_text()}")
+    if got.rcode is not want.rcode:
+        diffs.append(f"rcode: got {got.rcode.name}, want {want.rcode.name}")
+    if got.aa != want.aa:
+        diffs.append(f"aa flag: got {int(got.aa)}, want {int(want.aa)}")
+    for title, got_sec, want_sec in (
+        ("answer", got.answer, want.answer),
+        ("authority", got.authority, want.authority),
+        ("additional", got.additional, want.additional),
+    ):
+        got_set = {rec.sort_key(): rec for rec in got_sec}
+        want_set = {rec.sort_key(): rec for rec in want_sec}
+        for key in sorted(set(want_set) - set(got_set)):
+            diffs.append(f"{title}: missing {want_set[key].to_text()}")
+        for key in sorted(set(got_set) - set(want_set)):
+            diffs.append(f"{title}: extraneous {got_set[key].to_text()}")
+    return diffs

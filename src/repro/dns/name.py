@@ -1,0 +1,246 @@
+"""Domain names.
+
+A domain name is a sequence of labels (section 2 of the paper). The
+production engine represents names as raw bytes for performance (Figure 4);
+the specification layer represents them as reversed lists of interned label
+integers (Figure 10). This module provides the shared concrete
+representation both views are derived from.
+
+Names here are always *absolute* (relative names are resolved against the
+zone origin at parse time) and stored lowercase, since DNS name comparison is
+case-insensitive (RFC 1035 section 2.3.3).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, Iterator, Optional, Tuple
+
+#: Maximum number of characters in one label (RFC 1035 section 2.3.4; the
+#: paper's section 6.3 relies on this bound to map labels to integers).
+MAX_LABEL_LENGTH = 63
+
+#: Maximum number of labels we allow in a name. Real DNS bounds the wire
+#: form to 255 octets; the verification encoding (section 5.4) only needs
+#: *some* finite bound, and the pipeline further tightens it per zone.
+MAX_NAME_DEPTH = 32
+
+_LABEL_RE = re.compile(r"^(\*|[a-z0-9_]([a-z0-9_-]*[a-z0-9_])?)$")
+
+
+class NameError_(ValueError):
+    """Raised for malformed domain names.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`NameError`.
+    """
+
+
+def _check_label(label: str) -> str:
+    lowered = label.lower()
+    if not lowered:
+        raise NameError_("empty label")
+    if len(lowered) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label too long ({len(lowered)} > {MAX_LABEL_LENGTH}): {lowered!r}")
+    if not _LABEL_RE.match(lowered):
+        raise NameError_(f"invalid label: {label!r}")
+    return lowered
+
+
+@total_ordering
+class DnsName:
+    """An absolute domain name as an immutable tuple of labels.
+
+    ``DnsName(("www", "example", "com"))`` is ``www.example.com.``; the root
+    name is the empty tuple. Ordering is the canonical DNS ordering of
+    RFC 4034 section 6.1: names compare by label starting from the rightmost
+    (most significant) label, each label byte-wise, with a missing label
+    sorting first. This is exactly the order the engine's domain tree and the
+    label interner rely on.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[str] = ()):
+        self._labels: Tuple[str, ...] = tuple(_check_label(lab) for lab in labels)
+        if len(self._labels) > MAX_NAME_DEPTH:
+            raise NameError_(f"name too deep ({len(self._labels)} labels)")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, origin: Optional["DnsName"] = None) -> "DnsName":
+        """Parse dotted text. ``"@"`` denotes the origin; a name without a
+        trailing dot is relative to ``origin`` (if given)."""
+        text = text.strip()
+        if text in (".", ""):
+            return cls(())
+        if text == "@":
+            if origin is None:
+                raise NameError_("'@' used without an origin")
+            return origin
+        absolute = text.endswith(".")
+        labels = [lab for lab in text.rstrip(".").split(".")]
+        name = cls(labels)
+        if not absolute:
+            if origin is None:
+                raise NameError_(f"relative name {text!r} without an origin")
+            name = name.concat(origin)
+        return name
+
+    @classmethod
+    def root(cls) -> "DnsName":
+        return cls(())
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Labels in presentation order (leftmost first)."""
+        return self._labels
+
+    @property
+    def reversed_labels(self) -> Tuple[str, ...]:
+        """Labels in significance order, e.g. ``("com", "example", "www")``.
+
+        This is the order the specification encoding (Figure 10) and the
+        domain tree use.
+        """
+        return tuple(reversed(self._labels))
+
+    def to_text(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(self._labels) + "."
+
+    def to_wire(self) -> bytes:
+        """Uncompressed RFC 1035 wire form: length-prefixed labels plus the
+        terminating zero octet."""
+        out = bytearray()
+        for lab in self._labels:
+            raw = lab.encode("ascii")
+            out.append(len(raw))
+            out.extend(raw)
+        out.append(0)
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int = 0) -> Tuple["DnsName", int]:
+        """Parse an uncompressed wire-form name, returning the name and the
+        offset just past it."""
+        labels = []
+        pos = offset
+        while True:
+            if pos >= len(wire):
+                raise NameError_("truncated wire name")
+            length = wire[pos]
+            pos += 1
+            if length == 0:
+                break
+            if length > MAX_LABEL_LENGTH:
+                raise NameError_(f"bad label length {length}")
+            if pos + length > len(wire):
+                raise NameError_("truncated wire label")
+            labels.append(wire[pos : pos + length].decode("ascii"))
+            pos += length
+        return cls(labels), pos
+
+    # -- structure -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __bool__(self) -> bool:
+        # The root name is still a real name; never treat names as falsy.
+        return True
+
+    def parent(self) -> "DnsName":
+        """The name with the leftmost label removed. Parent of the root is
+        the root itself."""
+        if not self._labels:
+            return self
+        return DnsName(self._labels[1:])
+
+    def concat(self, suffix: "DnsName") -> "DnsName":
+        return DnsName(self._labels + suffix._labels)
+
+    def prepend(self, label: str) -> "DnsName":
+        return DnsName((label,) + self._labels)
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """True if ``self`` is ``other`` or lies under it."""
+        n = len(other._labels)
+        if n == 0:
+            return True
+        return len(self._labels) >= n and self._labels[-n:] == other._labels
+
+    def is_proper_subdomain_of(self, other: "DnsName") -> bool:
+        return self != other and self.is_subdomain_of(other)
+
+    def relativize(self, origin: "DnsName") -> Tuple[str, ...]:
+        """Labels of ``self`` below ``origin`` (leftmost first)."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self.to_text()} is not under {origin.to_text()}")
+        cut = len(self._labels) - len(origin._labels)
+        return self._labels[:cut]
+
+    # -- wildcards (RFC 4592) ---------------------------------------------
+
+    @property
+    def is_wildcard(self) -> bool:
+        return bool(self._labels) and self._labels[0] == "*"
+
+    def wildcard_parent(self) -> "DnsName":
+        """For ``*.example.com.`` return ``example.com.``."""
+        if not self.is_wildcard:
+            raise NameError_(f"{self.to_text()} is not a wildcard name")
+        return self.parent()
+
+    def with_wildcard(self) -> "DnsName":
+        """``example.com.`` -> ``*.example.com.``"""
+        return self.prepend("*")
+
+    # -- comparison --------------------------------------------------------
+
+    def canonical_key(self) -> Tuple[str, ...]:
+        """Sort key realising RFC 4034 section 6.1 canonical ordering."""
+        return self.reversed_labels
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DnsName):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __lt__(self, other: "DnsName") -> bool:
+        if not isinstance(other, DnsName):
+            return NotImplemented
+        return self.canonical_key() < other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        return f"DnsName({self.to_text()!r})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def common_suffix_depth(a: DnsName, b: DnsName) -> int:
+    """Number of trailing labels ``a`` and ``b`` share.
+
+    ``common_suffix_depth(www.example.com., cs.example.com.) == 2``. This is
+    the word-level analogue of the byte-level scanning in the production
+    engine's ``compareRaw`` (Figure 4).
+    """
+    ra, rb = a.reversed_labels, b.reversed_labels
+    depth = 0
+    for la, lb in zip(ra, rb):
+        if la != lb:
+            break
+        depth += 1
+    return depth

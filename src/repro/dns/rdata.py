@@ -1,0 +1,313 @@
+"""Resource record data (rdata) for each supported RR type.
+
+Each rdata class is an immutable value object with a textual form matching
+conventional master-file syntax. The engine's data plane never interprets
+rdata except for the embedded domain names used by CNAME chasing and
+additional-section (glue) processing, which ``names()`` exposes uniformly.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+
+
+class Rdata:
+    """Base class for rdata values. Subclasses are frozen dataclasses."""
+
+    #: Overridden per subclass.
+    rtype: RRType
+
+    def names(self) -> Tuple[DnsName, ...]:
+        """Domain names embedded in this rdata (for glue / chasing)."""
+        return ()
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ARdata(Rdata):
+    """IPv4 address."""
+
+    address: str
+    rtype = RRType.A
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv4Address(self.address)
+
+    def to_text(self) -> str:
+        return self.address
+
+
+@dataclass(frozen=True)
+class AAAARdata(Rdata):
+    """IPv6 address, stored in compressed canonical text form."""
+
+    address: str
+    rtype = RRType.AAAA
+
+    def __post_init__(self) -> None:
+        canonical = str(ipaddress.IPv6Address(self.address))
+        object.__setattr__(self, "address", canonical)
+
+    def to_text(self) -> str:
+        return self.address
+
+
+@dataclass(frozen=True)
+class NSRdata(Rdata):
+    """Authoritative nameserver for a delegation."""
+
+    nsdname: DnsName
+    rtype = RRType.NS
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.nsdname,)
+
+    def to_text(self) -> str:
+        return self.nsdname.to_text()
+
+
+@dataclass(frozen=True)
+class CNAMERdata(Rdata):
+    """Canonical-name alias target."""
+
+    target: DnsName
+    rtype = RRType.CNAME
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.target,)
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+
+@dataclass(frozen=True)
+class DNAMERdata(Rdata):
+    """Subtree redirection target (RFC 6672)."""
+
+    target: DnsName
+    rtype = RRType.DNAME
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.target,)
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+
+@dataclass(frozen=True)
+class SOARdata(Rdata):
+    """Start of authority."""
+
+    mname: DnsName
+    rname: DnsName
+    serial: int
+    refresh: int = 3600
+    retry: int = 600
+    expire: int = 86400
+    minimum: int = 300
+    rtype = RRType.SOA
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.mname, self.rname)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname.to_text()} {self.rname.to_text()} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+
+@dataclass(frozen=True)
+class MXRdata(Rdata):
+    """Mail exchange with preference."""
+
+    preference: int
+    exchange: DnsName
+    rtype = RRType.MX
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.exchange,)
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange.to_text()}"
+
+
+@dataclass(frozen=True)
+class TXTRdata(Rdata):
+    """Free-form text."""
+
+    text: str
+    rtype = RRType.TXT
+
+    def to_text(self) -> str:
+        return f'"{self.text}"'
+
+
+@dataclass(frozen=True)
+class SRVRdata(Rdata):
+    """Service locator (RFC 2782)."""
+
+    priority: int
+    weight: int
+    port: int
+    target: DnsName
+    rtype = RRType.SRV
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.target,)
+
+    def to_text(self) -> str:
+        return f"{self.priority} {self.weight} {self.port} {self.target.to_text()}"
+
+
+@dataclass(frozen=True)
+class PTRRdata(Rdata):
+    """Pointer to a canonical name."""
+
+    target: DnsName
+    rtype = RRType.PTR
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.target,)
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+
+@dataclass(frozen=True)
+class ALIASRdata(Rdata):
+    """In-house apex alias (flattened at query time by engine v4.0+)."""
+
+    target: DnsName
+    rtype = RRType.ALIAS
+
+    def names(self) -> Tuple[DnsName, ...]:
+        return (self.target,)
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+
+@dataclass(frozen=True)
+class CAARdata(Rdata):
+    """Certification authority authorization (RFC 8659)."""
+
+    flags: int
+    tag: str
+    value: str
+    rtype = RRType.CAA
+
+    def to_text(self) -> str:
+        return f'{self.flags} {self.tag} "{self.value}"'
+
+
+_TEXT_PARSERS = {}
+
+
+def _parser(rtype: RRType):
+    def register(func):
+        _TEXT_PARSERS[rtype] = func
+        return func
+
+    return register
+
+
+@_parser(RRType.A)
+def _parse_a(fields, origin):
+    (addr,) = fields
+    return ARdata(addr)
+
+
+@_parser(RRType.AAAA)
+def _parse_aaaa(fields, origin):
+    (addr,) = fields
+    return AAAARdata(addr)
+
+
+@_parser(RRType.NS)
+def _parse_ns(fields, origin):
+    (target,) = fields
+    return NSRdata(DnsName.from_text(target, origin))
+
+
+@_parser(RRType.CNAME)
+def _parse_cname(fields, origin):
+    (target,) = fields
+    return CNAMERdata(DnsName.from_text(target, origin))
+
+
+@_parser(RRType.DNAME)
+def _parse_dname(fields, origin):
+    (target,) = fields
+    return DNAMERdata(DnsName.from_text(target, origin))
+
+
+@_parser(RRType.SOA)
+def _parse_soa(fields, origin):
+    mname, rname, *numbers = fields
+    nums = [int(n) for n in numbers]
+    while len(nums) < 5:
+        nums.append([0, 3600, 600, 86400, 300][len(nums)])
+    return SOARdata(
+        DnsName.from_text(mname, origin),
+        DnsName.from_text(rname, origin),
+        *nums[:5],
+    )
+
+
+@_parser(RRType.MX)
+def _parse_mx(fields, origin):
+    pref, exchange = fields
+    return MXRdata(int(pref), DnsName.from_text(exchange, origin))
+
+
+@_parser(RRType.TXT)
+def _parse_txt(fields, origin):
+    text = " ".join(fields)
+    return TXTRdata(text.strip('"'))
+
+
+@_parser(RRType.SRV)
+def _parse_srv(fields, origin):
+    prio, weight, port, target = fields
+    return SRVRdata(int(prio), int(weight), int(port), DnsName.from_text(target, origin))
+
+
+@_parser(RRType.PTR)
+def _parse_ptr(fields, origin):
+    (target,) = fields
+    return PTRRdata(DnsName.from_text(target, origin))
+
+
+@_parser(RRType.ALIAS)
+def _parse_alias(fields, origin):
+    (target,) = fields
+    return ALIASRdata(DnsName.from_text(target, origin))
+
+
+@_parser(RRType.CAA)
+def _parse_caa(fields, origin):
+    flags, tag, value = fields
+    return CAARdata(int(flags), tag, value.strip('"'))
+
+
+def rdata_from_text(rtype: RRType, text: str, origin: DnsName = None) -> Rdata:
+    """Parse master-file rdata text for ``rtype``.
+
+    Raises :class:`ValueError` for unsupported types or malformed fields.
+    """
+    parser = _TEXT_PARSERS.get(rtype)
+    if parser is None:
+        raise ValueError(f"no rdata parser for type {rtype!r}")
+    fields = text.split()
+    try:
+        return parser(fields, origin)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad {rtype.name} rdata {text!r}: {exc}") from exc

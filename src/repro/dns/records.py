@@ -1,0 +1,95 @@
+"""Resource records and RRsets.
+
+A :class:`ResourceRecord` is the (rname, type, rdata) triple of the paper's
+section 2 (plus TTL for realism). An :class:`RRset` groups all records
+sharing an owner name and type, which is the unit the engine's domain tree
+stores and the unit DNS responses are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.rdata import Rdata
+from repro.dns.rtypes import RRType
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS resource record."""
+
+    rname: DnsName
+    rtype: RRType
+    rdata: Rdata
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        if self.rdata.rtype is not self.rtype:
+            raise ValueError(
+                f"rdata type {self.rdata.rtype!r} does not match record type {self.rtype!r}"
+            )
+        if self.ttl < 0:
+            raise ValueError(f"negative TTL {self.ttl}")
+
+    def to_text(self) -> str:
+        return f"{self.rname.to_text()} {self.ttl} IN {self.rtype.name} {self.rdata.to_text()}"
+
+    def with_rname(self, rname: DnsName) -> "ResourceRecord":
+        """Copy with a different owner name.
+
+        This is the wildcard-synthesis operation (RFC 4592): the engine
+        copies the wildcard RR and replaces its rname with the query name —
+        the exact allocation pattern the summarizer's ``newobject`` effect
+        models (section 5.3).
+        """
+        return ResourceRecord(rname, self.rtype, self.rdata, self.ttl)
+
+    def sort_key(self) -> Tuple:
+        return (self.rname.canonical_key(), int(self.rtype), self.rdata.to_text())
+
+
+@dataclass(frozen=True)
+class RRset:
+    """All records at one (rname, rtype), rdata order preserved."""
+
+    rname: DnsName
+    rtype: RRType
+    records: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for rec in self.records:
+            if rec.rname != self.rname or rec.rtype is not self.rtype:
+                raise ValueError(f"record {rec.to_text()} does not belong to this RRset")
+        if not self.records:
+            raise ValueError("empty RRset")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def ttl(self) -> int:
+        return min(rec.ttl for rec in self.records)
+
+    def with_rname(self, rname: DnsName) -> "RRset":
+        return RRset(rname, self.rtype, tuple(rec.with_rname(rname) for rec in self.records))
+
+    def to_text(self) -> str:
+        return "\n".join(rec.to_text() for rec in self.records)
+
+
+def group_rrsets(records: Iterable[ResourceRecord]) -> List[RRset]:
+    """Group records into RRsets, preserving first-seen order of sets."""
+    buckets: Dict[Tuple[DnsName, RRType], List[ResourceRecord]] = {}
+    order: List[Tuple[DnsName, RRType]] = []
+    for rec in records:
+        key = (rec.rname, rec.rtype)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(rec)
+    return [RRset(name, rtype, tuple(buckets[(name, rtype)])) for name, rtype in order]

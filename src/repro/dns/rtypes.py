@@ -1,0 +1,101 @@
+"""Resource record types, classes and response codes.
+
+Numeric values follow the IANA DNS parameter registry, so the symbolic
+qtype variable used by the verification encoding (section 5.4) ranges over
+the same integers a real packet would carry.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """DNS resource record types supported by the engine and specification."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    DNAME = 39
+    CAA = 257
+    #: In-house apex-alias type (private-use number): ALIAS flattening is
+    #: the "custom feature" of our v4.0 engine iteration (paper section 1:
+    #: "We also adapt the top-level specification to accommodate new
+    #: features").
+    ALIAS = 65280
+    #: The ANY / '*' query pseudo-type (RFC 8482 limits it in practice; our
+    #: engine and spec both answer it with every RRset at the node).
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR type {text!r}") from None
+
+    @property
+    def is_query_only(self) -> bool:
+        """Types that may appear in queries but never in zone data."""
+        return self is RRType.ANY
+
+    @property
+    def has_name_rdata(self) -> bool:
+        """Types whose rdata carries a domain name that additional-section
+        processing may chase (NS targets, MX exchanges, SRV targets...)."""
+        return self in (RRType.NS, RRType.CNAME, RRType.MX, RRType.SRV,
+                        RRType.PTR, RRType.DNAME)
+
+
+class DNSClass(enum.IntEnum):
+    """DNS classes; only IN is used, kept for wire compatibility."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class RCode(enum.IntEnum):
+    """Response codes (RFC 1035 section 4.1.1, plus REFUSED usage)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    @classmethod
+    def from_text(cls, text: str) -> "RCode":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown rcode {text!r}") from None
+
+
+#: RR types that are valid in zone files for this engine.
+ZONE_DATA_TYPES = (
+    RRType.A,
+    RRType.NS,
+    RRType.CNAME,
+    RRType.SOA,
+    RRType.PTR,
+    RRType.MX,
+    RRType.TXT,
+    RRType.AAAA,
+    RRType.SRV,
+    RRType.DNAME,
+    RRType.CAA,
+    RRType.ALIAS,
+)
+
+#: Query types the verification pipeline makes symbolic. ANY is included
+#: because several Table-2 bug classes (wrong answer on MX, extraneous
+#: additional) only trigger on less common qtypes.
+QUERYABLE_TYPES = ZONE_DATA_TYPES + (RRType.ANY,)

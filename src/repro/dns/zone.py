@@ -1,0 +1,204 @@
+"""Zones: a named collection of resource records with validation.
+
+A zone is the unit the control plane loads into the engine's in-heap domain
+tree (section 6.5), and also the flat record list the top-level specification
+iterates over (Figure 9). Validation enforces the structural rules both the
+engine and the specification assume, so that "garbage zone" behaviours are a
+control-plane concern, exactly as the paper scopes them out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.records import ResourceRecord, RRset, group_rrsets
+from repro.dns.rtypes import RRType
+
+
+class ZoneValidationError(ValueError):
+    """Raised when a record set violates zone structural rules."""
+
+
+@dataclass(frozen=True)
+class Zone:
+    """An authoritative zone: an origin name plus its resource records.
+
+    Construction validates the zone; a :class:`Zone` instance is therefore
+    always structurally sound (single SOA at the apex, apex NS present,
+    CNAME exclusivity, wildcard labels only leftmost, records in-bailiwick,
+    and nothing but glue below delegation points).
+    """
+
+    origin: DnsName
+    records: Tuple[ResourceRecord, ...]
+
+    def __post_init__(self) -> None:
+        _validate(self.origin, self.records)
+
+    # -- basic views ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def names(self) -> List[DnsName]:
+        """Distinct owner names, canonically ordered."""
+        seen: Set[DnsName] = set(rec.rname for rec in self.records)
+        return sorted(seen)
+
+    def records_at(self, name: DnsName) -> List[ResourceRecord]:
+        return [rec for rec in self.records if rec.rname == name]
+
+    def rrsets(self) -> List[RRset]:
+        return group_rrsets(self.records)
+
+    def rrsets_at(self, name: DnsName) -> List[RRset]:
+        return group_rrsets(self.records_at(name))
+
+    def rrset(self, name: DnsName, rtype: RRType) -> Optional[RRset]:
+        recs = [rec for rec in self.records_at(name) if rec.rtype is rtype]
+        if not recs:
+            return None
+        return RRset(name, rtype, tuple(recs))
+
+    @property
+    def soa(self) -> RRset:
+        rrset = self.rrset(self.origin, RRType.SOA)
+        assert rrset is not None  # guaranteed by validation
+        return rrset
+
+    # -- structural queries used by the spec and tests ---------------------
+
+    def delegation_points(self) -> List[DnsName]:
+        """Owner names (below the apex) holding NS records — zone cuts."""
+        cuts = {
+            rec.rname
+            for rec in self.records
+            if rec.rtype is RRType.NS and rec.rname != self.origin
+        }
+        return sorted(cuts)
+
+    def is_below_cut(self, name: DnsName) -> bool:
+        """True if ``name`` lies strictly below some delegation point."""
+        return any(name.is_proper_subdomain_of(cut) for cut in self.delegation_points())
+
+    def enclosing_cut(self, name: DnsName) -> Optional[DnsName]:
+        """The highest delegation point at-or-above ``name``, if any."""
+        best: Optional[DnsName] = None
+        for cut in self.delegation_points():
+            if name.is_subdomain_of(cut):
+                if best is None or len(cut) < len(best):
+                    best = cut
+        return best
+
+    def glue_candidates(self, target: DnsName) -> List[RRset]:
+        """A/AAAA RRsets at ``target``, the additional-section inputs."""
+        out = []
+        for rtype in (RRType.A, RRType.AAAA):
+            rrset = self.rrset(target, rtype)
+            if rrset is not None:
+                out.append(rrset)
+        return out
+
+    def label_universe(self) -> List[str]:
+        """Every label appearing in owner names or embedded rdata names.
+
+        This is the universe the :class:`~repro.dns.interner.LabelInterner`
+        is built from when verifying the engine on this zone.
+        """
+        labels: Set[str] = set()
+        for rec in self.records:
+            labels.update(rec.rname.labels)
+            for name in rec.rdata.names():
+                labels.update(name.labels)
+        labels.discard("*")
+        return sorted(labels)
+
+    def max_name_depth(self) -> int:
+        depth = len(self.origin)
+        for rec in self.records:
+            depth = max(depth, len(rec.rname))
+            for name in rec.rdata.names():
+                depth = max(depth, len(name))
+        return depth
+
+
+def _validate(origin: DnsName, records: Tuple[ResourceRecord, ...]) -> None:
+    if not records:
+        raise ZoneValidationError("zone has no records")
+
+    soas = [rec for rec in records if rec.rtype is RRType.SOA]
+    if len(soas) != 1:
+        raise ZoneValidationError(f"zone must have exactly one SOA, found {len(soas)}")
+    if soas[0].rname != origin:
+        raise ZoneValidationError(
+            f"SOA owner {soas[0].rname.to_text()} is not the origin {origin.to_text()}"
+        )
+
+    apex_ns = [rec for rec in records if rec.rtype is RRType.NS and rec.rname == origin]
+    if not apex_ns:
+        raise ZoneValidationError("zone must have NS records at the apex")
+
+    by_name: Dict[DnsName, List[ResourceRecord]] = {}
+    for rec in records:
+        if not rec.rname.is_subdomain_of(origin):
+            raise ZoneValidationError(
+                f"record {rec.rname.to_text()} is out of bailiwick of {origin.to_text()}"
+            )
+        # RFC 4592 section 2.1.1: an asterisk label is only *special* when
+        # leftmost; interior asterisks are ordinary labels and legal
+        # ("sub.*.example." in the RFC's own example zone).
+        by_name.setdefault(rec.rname, []).append(rec)
+
+    for name, recs in by_name.items():
+        types = {rec.rtype for rec in recs}
+        if RRType.ALIAS in types:
+            forbidden = types & {RRType.A, RRType.AAAA, RRType.CNAME}
+            if forbidden:
+                raise ZoneValidationError(
+                    f"ALIAS at {name.to_text()} coexists with "
+                    f"{sorted(t.name for t in forbidden)}"
+                )
+            if len([r for r in recs if r.rtype is RRType.ALIAS]) > 1:
+                raise ZoneValidationError(f"multiple ALIAS records at {name.to_text()}")
+            if name.is_wildcard:
+                raise ZoneValidationError(
+                    f"ALIAS at wildcard name {name.to_text()} is not supported"
+                )
+        if RRType.CNAME in types and types != {RRType.CNAME}:
+            raise ZoneValidationError(
+                f"CNAME at {name.to_text()} coexists with other types {sorted(t.name for t in types)}"
+            )
+        if RRType.CNAME in types and len([r for r in recs if r.rtype is RRType.CNAME]) > 1:
+            raise ZoneValidationError(f"multiple CNAMEs at {name.to_text()}")
+        if RRType.DNAME in types and len([r for r in recs if r.rtype is RRType.DNAME]) > 1:
+            raise ZoneValidationError(f"multiple DNAMEs at {name.to_text()}")
+
+    cuts = {
+        rec.rname for rec in records if rec.rtype is RRType.NS and rec.rname != origin
+    }
+    for name, recs in by_name.items():
+        for cut in cuts:
+            if name.is_proper_subdomain_of(cut):
+                bad = [r for r in recs if r.rtype not in (RRType.A, RRType.AAAA)]
+                if bad:
+                    raise ZoneValidationError(
+                        f"non-glue data {bad[0].rtype.name} at {name.to_text()} "
+                        f"below delegation {cut.to_text()}"
+                    )
+        if name in cuts:
+            extra = {rec.rtype for rec in recs} - {RRType.NS}
+            if extra:
+                raise ZoneValidationError(
+                    f"delegation point {name.to_text()} holds non-NS data "
+                    f"{sorted(t.name for t in extra)}"
+                )
+
+
+def make_zone(origin: str, records: Iterable[ResourceRecord]) -> Zone:
+    """Convenience constructor from an origin string."""
+    return Zone(DnsName.from_text(origin), tuple(records))

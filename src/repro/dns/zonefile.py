@@ -1,0 +1,114 @@
+"""A small master-file style zone text format.
+
+Supports the subset of RFC 1035 master-file syntax the project needs:
+``$ORIGIN`` / ``$TTL`` directives, ``@`` for the origin, optional TTL and
+class fields, ``;`` comments, and blank-name continuation (a line starting
+with whitespace reuses the previous owner name). Parenthesised multi-line
+records are not supported; SOA fields go on one line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dns.name import DnsName
+from repro.dns.rdata import rdata_from_text
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RRType
+from repro.dns.zone import Zone
+
+
+class ZoneParseError(ValueError):
+    """Raised with line information for malformed zone text."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_zone_text(text: str, origin: Optional[str] = None) -> Zone:
+    """Parse zone text into a validated :class:`Zone`.
+
+    ``origin`` may be supplied by the caller or via a ``$ORIGIN`` directive
+    (the directive wins for records following it).
+    """
+    current_origin: Optional[DnsName] = (
+        DnsName.from_text(origin if origin.endswith(".") else origin + ".")
+        if origin
+        else None
+    )
+    default_ttl = 300
+    last_name: Optional[DnsName] = None
+    records: List[ResourceRecord] = []
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+
+        if line.startswith("$"):
+            fields = line.split()
+            directive = fields[0].upper()
+            if directive == "$ORIGIN":
+                if len(fields) != 2:
+                    raise ZoneParseError(lineno, "$ORIGIN needs one argument")
+                current_origin = DnsName.from_text(fields[1])
+            elif directive == "$TTL":
+                if len(fields) != 2 or not fields[1].isdigit():
+                    raise ZoneParseError(lineno, "$TTL needs one numeric argument")
+                default_ttl = int(fields[1])
+            else:
+                raise ZoneParseError(lineno, f"unknown directive {fields[0]}")
+            continue
+
+        starts_blank = line[0] in " \t"
+        fields = line.split()
+        if starts_blank:
+            if last_name is None:
+                raise ZoneParseError(lineno, "continuation line before any owner name")
+            name = last_name
+        else:
+            try:
+                name = DnsName.from_text(fields[0], current_origin)
+            except ValueError as exc:
+                raise ZoneParseError(lineno, str(exc)) from exc
+            fields = fields[1:]
+
+        ttl = default_ttl
+        if fields and fields[0].isdigit():
+            ttl = int(fields[0])
+            fields = fields[1:]
+        if fields and fields[0].upper() in ("IN", "CH"):
+            fields = fields[1:]
+        if not fields:
+            raise ZoneParseError(lineno, "missing RR type")
+
+        try:
+            rtype = RRType.from_text(fields[0])
+        except ValueError as exc:
+            raise ZoneParseError(lineno, str(exc)) from exc
+        rdata_text = " ".join(fields[1:])
+        try:
+            rdata = rdata_from_text(rtype, rdata_text, current_origin)
+        except ValueError as exc:
+            raise ZoneParseError(lineno, str(exc)) from exc
+
+        records.append(ResourceRecord(name, rtype, rdata, ttl))
+        last_name = name
+
+    if current_origin is None:
+        raise ZoneParseError(0, "no origin given (argument or $ORIGIN)")
+    if not records:
+        raise ZoneParseError(0, "zone text contains no records")
+    return Zone(current_origin, tuple(records))
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Serialise a zone back to parseable text (round-trips with
+    :func:`parse_zone_text`)."""
+    lines = [f"$ORIGIN {zone.origin.to_text()}"]
+    for rec in sorted(zone.records, key=lambda r: r.sort_key()):
+        lines.append(
+            f"{rec.rname.to_text()} {rec.ttl} IN {rec.rtype.name} {rec.rdata.to_text()}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,29 @@
+"""The in-production-style DNS authoritative engine (the verification target).
+
+This subpackage plays the role of Alibaba Cloud's proprietary 2,000-LoC Go
+engine (paper section 6). It is written in **GoPy** — the restricted subset
+:mod:`repro.frontend` compiles to AbsLLVM — so every module leads a double
+life: compiled IR for the verifier, ordinary Python for concrete execution
+(counterexample validation, the differential tester, the demo server).
+
+Layout mirrors Figure 5:
+
+- :mod:`repro.engine.gopy.consts` / :mod:`repro.engine.gopy.structs` —
+  shared constants and struct definitions;
+- :mod:`repro.engine.gopy.nameops` — the Name library layer (abstract
+  label-code form); :mod:`repro.engine.gopy.rawname` — the raw byte-level
+  ``compareRaw`` of Figure 4, target of the section 6.3 refinement
+  experiment;
+- :mod:`repro.engine.gopy.nodestack` — the custom stack with the leaky
+  ``level`` field of Figure 3;
+- :mod:`repro.engine.versions.*` — one module per engine version
+  (``v1_0``, ``v2_0``, ``v3_0``, ``dev``, ``verified``), each holding that
+  version's ``tree_search`` / ``find`` / ``resolve`` resolution logic with
+  the paper's Table-2 bugs seeded at the matching version;
+- :mod:`repro.engine.control` — the control plane: build the in-heap
+  domain tree from a :class:`repro.dns.Zone` (section 6.5).
+"""
+
+from repro.engine.control import build_domain_tree, build_flat_zone, ENGINE_VERSIONS
+
+__all__ = ["build_domain_tree", "build_flat_zone", "ENGINE_VERSIONS"]

@@ -1,0 +1,112 @@
+"""The control plane: zone configurations to in-heap domain trees.
+
+Section 6.5: the engine's data plane assumes a concrete in-heap domain tree
+supplied by the control plane. This module builds that tree (and the flat
+zone the top-level specification consumes) from a validated
+:class:`repro.dns.Zone`, via a :class:`~repro.engine.encoding.ZoneEncoder`.
+
+Tree shape (Figure 11): one node per owner name *and* per empty
+non-terminal; each node's children form a balanced BST over the child's own
+label code reached through ``down``/``left``/``right``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.dns.zone import Zone
+from repro.engine.encoding import ZoneEncoder
+from repro.engine.gopy.structs import DomainTree, FlatZone, Response, RR, RRSet, TreeNode
+from repro.engine.versions import dev, v1_0, v2_0, v3_0, v4_0, verified
+
+#: Version name -> GoPy module, in release order.
+ENGINE_VERSIONS = {
+    "v1.0": v1_0,
+    "v2.0": v2_0,
+    "v3.0": v3_0,
+    "dev": dev,
+    "verified": verified,
+    "v4.0": v4_0,
+}
+
+
+def build_flat_zone(encoder: ZoneEncoder) -> FlatZone:
+    """The specification's zone view: origin + canonically ordered RRs."""
+    return FlatZone(
+        origin=encoder.encode_name(encoder.zone.origin),
+        rrs=encoder.encoded_rrs(),
+    )
+
+
+def build_domain_tree(encoder: ZoneEncoder) -> DomainTree:
+    """Build the engine's domain tree, sharing RR objects with the flat
+    zone view."""
+    zone = encoder.zone
+    origin = zone.origin
+
+    # Every owner name plus all empty non-terminals between it and the apex.
+    names = {origin}
+    for record in zone.records:
+        name = record.rname
+        while name != origin:
+            names.add(name)
+            name = name.parent()
+
+    by_name: Dict[DnsName, List[RR]] = {name: [] for name in names}
+    for record, rr in encoder.records:
+        by_name[record.rname].append(rr)
+
+    nodes: Dict[DnsName, TreeNode] = {}
+    for name in names:
+        rrs = by_name.get(name, [])
+        rrsets: List[RRSet] = []
+        current_type: Optional[int] = None
+        for rr in rrs:  # canonical order: grouped by ascending rtype
+            if current_type != rr.rtype:
+                rrsets.append(RRSet(rtype=rr.rtype, rrs=[]))
+                current_type = rr.rtype
+            rrsets[-1].rrs.append(rr)
+        has_ns = any(rr.rtype == int(RRType.NS) for rr in rrs)
+        nodes[name] = TreeNode(
+            name=encoder.encode_name(name),
+            rrsets=rrsets,
+            is_delegation=has_ns and name != origin,
+            is_apex=name == origin,
+        )
+
+    children: Dict[DnsName, List[DnsName]] = {name: [] for name in names}
+    for name in names:
+        if name != origin:
+            children[name.parent()].append(name)
+
+    def bst(sorted_children: List[DnsName]) -> Optional[TreeNode]:
+        if not sorted_children:
+            return None
+        mid = len(sorted_children) // 2
+        node = nodes[sorted_children[mid]]
+        node.left = bst(sorted_children[:mid])
+        node.right = bst(sorted_children[mid + 1:])
+        return node
+
+    for name in names:
+        kids = sorted(
+            children[name],
+            key=lambda child: encoder.interner.code(child.labels[0]),
+        )
+        nodes[name].down = bst(kids)
+
+    return DomainTree(root=nodes[origin])
+
+
+def run_engine_concrete(version_module, tree: DomainTree, qcodes: List[int], qtype: int) -> Response:
+    """Execute a version natively (GoPy modules are plain Python) — used to
+    validate counterexamples and by the differential tester.
+
+    Engine panics surface as Python IndexError/AttributeError/TypeError;
+    callers treat those as runtime-error evidence.
+    """
+    resp = Response()
+    version_module.resolve(tree, list(qcodes), qtype, resp)
+    return resp

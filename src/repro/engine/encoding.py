@@ -1,0 +1,147 @@
+"""Zone encoding: :mod:`repro.dns` objects <-> engine GoPy values.
+
+The encoder owns the two interning tables of the verification methodology
+(section 5.4/6.3): the order-preserving label interner (names become
+reversed lists of label codes) and an rdata interner (each distinct rdata
+becomes an opaque id — the data plane never interprets rdata beyond the
+embedded domain name, which is carried separately for glue and chasing).
+
+Encoded :class:`~repro.engine.gopy.structs.RR` objects are shared: the flat
+zone (specification view) and the domain tree (engine view) reference the
+*same* RR instances, so both views load into the same heap blocks and
+record-for-record comparisons reduce to pointer equality wherever no
+synthesis happened.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.interner import LabelInterner
+from repro.dns.message import Query, Response as DnsResponse
+from repro.dns.name import DnsName
+from repro.dns.rdata import Rdata
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.zone import Zone
+from repro.engine.gopy.structs import RR
+
+
+class ZoneEncoder:
+    """Bidirectional encoder for one zone."""
+
+    def __init__(self, zone: Zone, extra_labels=()):
+        """``extra_labels`` extends the interner universe beyond the zone's
+        own labels (useful for encoding off-zone query names in tests and
+        the differential tester; counterexample decoding instead uses the
+        interner's gap decoding)."""
+        self.zone = zone
+        self.interner = LabelInterner(list(zone.label_universe()) + list(extra_labels))
+        self._rdata_ids: Dict[Tuple[int, str], int] = {}
+        self._rdata_objects: Dict[int, Rdata] = {}
+        self._name_lists: Dict[DnsName, List[int]] = {}
+        self._records: List[Tuple[ResourceRecord, RR]] = []
+        for record in sorted(zone.records, key=self._record_key):
+            self._records.append((record, self._make_rr(record)))
+
+    def _record_key(self, record: ResourceRecord):
+        return (
+            record.rname.canonical_key(),
+            int(record.rtype),
+            record.rdata.to_text(),
+        )
+
+    # -- names ---------------------------------------------------------------
+
+    def encode_name(self, name: DnsName) -> List[int]:
+        """Reversed label codes; list objects are shared per name so both
+        zone views alias the same heap block."""
+        cached = self._name_lists.get(name)
+        if cached is None:
+            cached = list(self.interner.encode_name(name))
+            self._name_lists[name] = cached
+        return cached
+
+    def decode_name(self, codes) -> Optional[DnsName]:
+        return self.interner.decode_name(codes)
+
+    # -- rdata ------------------------------------------------------------------
+
+    def rdata_id(self, rdata: Rdata) -> int:
+        key = (int(rdata.rtype), rdata.to_text())
+        existing = self._rdata_ids.get(key)
+        if existing is None:
+            existing = len(self._rdata_ids) + 1
+            self._rdata_ids[key] = existing
+            self._rdata_objects[existing] = rdata
+        return existing
+
+    def rdata_for_id(self, rdata_id: int) -> Rdata:
+        try:
+            return self._rdata_objects[rdata_id]
+        except KeyError:
+            raise KeyError(f"unknown rdata id {rdata_id}") from None
+
+    # -- records ------------------------------------------------------------------
+
+    def _make_rr(self, record: ResourceRecord) -> RR:
+        names = record.rdata.names()
+        # SOA's mname/rname are never chased or glued; every other
+        # name-bearing type carries exactly the name the data plane needs.
+        embedded: List[int] = []
+        if names and record.rtype is not RRType.SOA:
+            embedded = self.encode_name(names[0])
+        return RR(
+            rname=self.encode_name(record.rname),
+            rtype=int(record.rtype),
+            rdata_id=self.rdata_id(record.rdata),
+            rdata_name=embedded,
+        )
+
+    @property
+    def records(self) -> List[Tuple[ResourceRecord, RR]]:
+        """(source record, encoded RR) pairs in canonical order."""
+        return list(self._records)
+
+    def encoded_rrs(self) -> List[RR]:
+        return [rr for _, rr in self._records]
+
+    # -- decoding responses --------------------------------------------------------
+
+    def decode_rr(self, rr_view) -> Optional[ResourceRecord]:
+        """Decode an RR (GoStruct, or a concretized dict from symex memory)
+        back into a :class:`ResourceRecord`. Returns None when a name label
+        cannot be decoded (caller re-solves)."""
+        get = _accessor(rr_view)
+        name = self.decode_name(get("rname"))
+        if name is None:
+            return None
+        rdata = self.rdata_for_id(get("rdata_id"))
+        return ResourceRecord(name, RRType(get("rtype")), rdata)
+
+    def decode_response(self, query: Query, resp_view) -> Optional[DnsResponse]:
+        """Decode an engine/spec Response value into the dns domain model."""
+        get = _accessor(resp_view)
+        sections = []
+        for field in ("answer", "authority", "additional"):
+            out = []
+            for rr_view in get(field):
+                decoded = self.decode_rr(rr_view)
+                if decoded is None:
+                    return None
+                out.append(decoded)
+            sections.append(tuple(out))
+        return DnsResponse(
+            query=query,
+            rcode=RCode(get("rcode")),
+            aa=bool(get("aa")),
+            answer=sections[0],
+            authority=sections[1],
+            additional=sections[2],
+        )
+
+
+def _accessor(view):
+    if isinstance(view, dict):
+        return view.__getitem__
+    return lambda field: getattr(view, field)

@@ -1,0 +1,1 @@
+"""Shared GoPy library modules (the stable yellow boxes of Figure 5)."""

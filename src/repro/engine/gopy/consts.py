@@ -1,0 +1,49 @@
+"""Shared engine constants (GoPy module).
+
+All values are plain ints so the frontend can inline them as IR constants.
+RR type numbers follow the IANA registry, matching
+:class:`repro.dns.rtypes.RRType`, so the symbolic qtype ranges over real
+wire values.
+"""
+
+# Name comparison results (Figure 4 / Figure 10).
+NOMATCH = 0
+EXACTMATCH = 1
+PARTIALMATCH = 2
+
+# TreeSearch outcomes.
+SR_MISS = 0
+SR_EXACT = 1
+SR_DELEGATION = 2
+SR_WILDCARD = 3
+
+# Response codes (RFC 1035).
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+RCODE_REFUSED = 5
+
+# RR types (IANA).
+TYPE_A = 1
+TYPE_NS = 2
+TYPE_CNAME = 5
+TYPE_SOA = 6
+TYPE_PTR = 12
+TYPE_MX = 15
+TYPE_TXT = 16
+TYPE_AAAA = 28
+TYPE_SRV = 33
+TYPE_DNAME = 39
+TYPE_ANY = 255
+TYPE_CAA = 257
+# In-house apex-alias type, flattened at query time by engine v4.0+.
+TYPE_ALIAS = 65280
+
+# The interner always assigns the wildcard label '*' the smallest code.
+WILDCARD_LABEL = 1
+
+# CNAME chains longer than this are cut off (both engine and spec).
+MAX_CHASE = 8
+
+# Raw byte-level name encoding (Figure 4): label separator byte ('.').
+SEP = 46

@@ -1,0 +1,51 @@
+"""The Name library layer, abstract form (GoPy module).
+
+Operations on domain names in the reversed label-code encoding of
+Figure 10. These are the word-level functions the rest of the engine and
+the top-level specification share; their byte-level production counterpart
+(:mod:`repro.engine.gopy.rawname`) is proven to refine this form by the
+section 6.3 experiment.
+"""
+
+from repro.engine.gopy.consts import EXACTMATCH, NOMATCH, PARTIALMATCH
+
+
+def is_prefix(prefix: list[int], name: list[int]) -> bool:
+    """True iff ``name`` equals or lies under ``prefix`` (``prefix`` is an
+    ancestor-or-self in the domain tree sense)."""
+    if len(prefix) > len(name):
+        return False
+    i = 0
+    while i < len(prefix):
+        if prefix[i] != name[i]:
+            return False
+        i = i + 1
+    return True
+
+
+def name_equal(a: list[int], b: list[int]) -> bool:
+    """Label-wise equality."""
+    if len(a) != len(b):
+        return False
+    return is_prefix(a, b)
+
+
+def name_match(q: list[int], n: list[int]) -> int:
+    """The Figure 10 three-way comparison: EXACTMATCH when equal,
+    PARTIALMATCH when ``q`` lies strictly under ``n``, NOMATCH otherwise."""
+    if not is_prefix(n, q):
+        return NOMATCH
+    if len(q) == len(n):
+        return EXACTMATCH
+    return PARTIALMATCH
+
+
+def shared_prefix_len(a: list[int], b: list[int]) -> int:
+    """Number of leading (most-significant) labels the names share; the
+    closest-encloser depth computation of RFC 4592."""
+    i = 0
+    while i < len(a) and i < len(b):
+        if a[i] != b[i]:
+            return i
+        i = i + 1
+    return i

@@ -1,0 +1,29 @@
+"""The NodeStack library layer (GoPy module).
+
+Reproduces the Figure 3 anti-pattern: ``stack_push`` maintains the
+``level`` field, but resolution modules read ``stack.level`` and index
+``stack.nodes`` directly instead of going through accessor functions. The
+flexible memory model (section 5.1) is what lets the verifier abstract this
+structure only partially.
+"""
+
+from repro.engine.gopy.structs import NodeStack, TreeNode
+
+
+def stack_new() -> NodeStack:
+    return NodeStack()
+
+
+def stack_push(s: NodeStack, n: TreeNode) -> None:
+    s.nodes.append(n)
+    s.level = s.level + 1
+
+
+def stack_top(s: NodeStack) -> TreeNode:
+    """Top of the stack; callers are *supposed* to use this, but production
+    code frequently inlines the field accesses instead."""
+    return s.nodes[s.level - 1]
+
+
+def stack_is_empty(s: NodeStack) -> bool:
+    return s.level == 0

@@ -1,0 +1,71 @@
+"""The Name library layer, raw production form (GoPy module).
+
+Figure 4 of the paper: domain names as raw byte arrays (presentation order,
+``'.'``-separated labels), compared byte-to-byte from the last position —
+the low-level implementation "our developers intentionally choose ... to
+avoid extra overhead", and the reason the Name layer needs a manual
+abstract specification rather than whole-program symbolic execution.
+
+The section 6.3 refinement experiment proves ``compare_raw`` on byte arrays
+equivalent to :func:`repro.engine.gopy.nameops.name_match` on interned
+label codes, under the interface relation linking the two encodings.
+"""
+
+from repro.engine.gopy.consts import EXACTMATCH, NOMATCH, PARTIALMATCH, SEP
+
+
+def compare_raw(n1: list[int], n2: list[int]) -> int:
+    """Compare query bytes ``n1`` with node bytes ``n2``.
+
+    Returns EXACTMATCH when the byte strings are identical, PARTIALMATCH
+    when ``n2`` is a whole-label suffix of ``n1`` (``n1`` lies under
+    ``n2``), NOMATCH otherwise.
+    """
+    i = len(n1) - 1
+    j = len(n2) - 1
+    while i >= 0 and j >= 0:
+        if n1[i] != n2[j]:
+            return NOMATCH
+        i = i - 1
+        j = j - 1
+    if i < 0 and j < 0:
+        return EXACTMATCH
+    if j < 0:
+        # n2 exhausted: n1 extends it; only a label boundary makes it a
+        # subdomain ("wwwexample.com" must not match "example.com").
+        if n1[i] == SEP:
+            return PARTIALMATCH
+        return NOMATCH
+    # n1 exhausted but n2 goes on: the query is *above* the node.
+    return NOMATCH
+
+
+def compare_raw_noboundary(n1: list[int], n2: list[int]) -> int:
+    """A historical, buggy revision of :func:`compare_raw` kept for the
+    refinement experiment's negative control: it omits the label-boundary
+    check, so ``"wwwexample.com"`` wrongly partial-matches ``"example.com"``.
+    The section 6.3 refinement proof rejects this version."""
+    i = len(n1) - 1
+    j = len(n2) - 1
+    while i >= 0 and j >= 0:
+        if n1[i] != n2[j]:
+            return NOMATCH
+        i = i - 1
+        j = j - 1
+    if i < 0 and j < 0:
+        return EXACTMATCH
+    if j < 0:
+        return PARTIALMATCH
+    return NOMATCH
+
+
+def raw_equal(n1: list[int], n2: list[int]) -> bool:
+    """Byte-wise equality, forward scan (used by unit tests)."""
+    if len(n1) != len(n2):
+        return False
+    i = 0
+    while i < len(n1):
+        if n1[i] != n2[i]:
+            return False
+        i = i + 1
+    return True

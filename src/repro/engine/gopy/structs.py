@@ -1,0 +1,81 @@
+"""Shared engine data structures (GoPy module).
+
+Domain names are reversed lists of interned label codes (section 6.3:
+``www.example.com`` becomes ``[code("com"), code("example"), code("www")]``).
+Rdata is an interned id plus the embedded domain name (for NS/CNAME/MX/SRV
+targets) that CNAME chasing and glue lookups need.
+
+``TreeNode`` is the Figure 11 shape: ``down`` points into a binary search
+tree of children (``left``/``right`` ordered by the child's own label).
+``NodeStack`` reproduces the Figure 3 anti-pattern on purpose: ``push``
+maintains ``level``, yet other modules read and index through ``level``
+directly — the poor encapsulation the flexible memory model must tolerate.
+"""
+
+from repro.frontend.runtime import GoStruct
+
+
+class RR(GoStruct):
+    """One resource record in engine encoding."""
+
+    rname: list[int]
+    rtype: int
+    rdata_id: int
+    rdata_name: list[int]
+
+
+class RRSet(GoStruct):
+    """All records of one type at one node."""
+
+    rtype: int
+    rrs: list[RR]
+
+
+class TreeNode(GoStruct):
+    """Domain-tree node; ``name`` is the full reversed-code name."""
+
+    name: list[int]
+    left: "TreeNode"
+    right: "TreeNode"
+    down: "TreeNode"
+    rrsets: list[RRSet]
+    is_delegation: bool
+    is_apex: bool
+
+
+class DomainTree(GoStruct):
+    """The in-heap domain tree for one zone."""
+
+    root: TreeNode
+
+
+class NodeStack(GoStruct):
+    """Custom stack of visited nodes (Figure 3's leaky encapsulation)."""
+
+    nodes: list[TreeNode]
+    level: int
+
+
+class SearchResult(GoStruct):
+    """TreeSearch output holder (section 5.3 result-struct pattern)."""
+
+    kind: int
+    node: TreeNode
+
+
+class Response(GoStruct):
+    """DNS response under construction."""
+
+    rcode: int
+    aa: bool
+    answer: list[RR]
+    authority: list[RR]
+    additional: list[RR]
+
+
+class FlatZone(GoStruct):
+    """The specification's view of a zone: origin plus a flat RR list
+    (Figure 9: the spec filters this list instead of walking a tree)."""
+
+    origin: list[int]
+    rrs: list[RR]

@@ -1,0 +1,9 @@
+"""Engine versions.
+
+``v1_0`` is the base version; ``v2_0`` and ``v3_0`` are iterations with new
+features and performance work; ``dev`` is the iteration after ``v3_0``;
+``verified`` is the fully corrected engine every Table-2 bug class is fixed
+in. Each version is a self-contained module (production iterations carry
+their history as near-copies — exactly the legacy-code reality section 3.3
+describes), sharing only the stable library layers.
+"""

@@ -1,0 +1,337 @@
+"""Engine version 2.0.
+
+Iteration over v1.0: the v1.0 bug classes are fixed and the
+additional-section (glue) machinery was reworked for coverage and
+performance. The rework introduced four new bug classes (Table 2,
+rows 4-7), marked inline with ``seeded bug`` comments.
+"""
+
+from repro.engine.gopy.consts import (
+    MAX_CHASE,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    SR_DELEGATION,
+    SR_EXACT,
+    SR_MISS,
+    SR_WILDCARD,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_ANY,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_SRV,
+    WILDCARD_LABEL,
+)
+from repro.engine.gopy.nameops import is_prefix
+from repro.engine.gopy.nodestack import stack_new, stack_push
+from repro.engine.gopy.structs import (
+    DomainTree,
+    NodeStack,
+    Response,
+    RR,
+    RRSet,
+    SearchResult,
+    TreeNode,
+)
+
+
+def find_wildcard_child(node: TreeNode) -> TreeNode:
+    """BST walk for the '*' child (smallest label code, hence leftmost)."""
+    child = node.down
+    while child is not None:
+        clabel = child.name[len(child.name) - 1]
+        if clabel == WILDCARD_LABEL:
+            return child
+        if WILDCARD_LABEL < clabel:
+            child = child.left
+        else:
+            child = child.right
+    return None
+
+
+def tree_search(tree: DomainTree, q: list[int], stack: NodeStack, sr: SearchResult) -> None:
+    """Walk down the domain tree matching ``q`` (section 6.4).
+
+    Visited nodes are pushed onto ``stack``; the result holder gets the
+    match kind and the relevant node (exact node, delegation node, wildcard
+    source, or closest encloser on a miss).
+    """
+    node = tree.root
+    stack_push(stack, node)
+    while True:
+        if len(q) == len(node.name):
+            sr.kind = SR_EXACT
+            sr.node = node
+            return
+        if node.is_delegation:
+            sr.kind = SR_DELEGATION
+            sr.node = node
+            return
+        qlabel = q[len(node.name)]
+        child = node.down
+        while child is not None:
+            clabel = child.name[len(child.name) - 1]
+            if qlabel == clabel:
+                break
+            if qlabel < clabel:
+                child = child.left
+            else:
+                child = child.right
+        if child is None:
+            wc = find_wildcard_child(node)
+            if wc is not None and len(q) == len(node.name) + 1:
+                # seeded bug (Table 2 #6): the rewritten walk only lets a
+                # wildcard match when exactly one label remains, but
+                # RFC 4592 wildcards cover any number of leftmost labels.
+                sr.kind = SR_WILDCARD
+                sr.node = wc
+                return
+            sr.kind = SR_MISS
+            sr.node = node
+            return
+        stack_push(stack, child)
+        node = child
+
+
+def get_rrset(node: TreeNode, t: int) -> RRSet:
+    i = 0
+    while i < len(node.rrsets):
+        rs = node.rrsets[i]
+        if rs.rtype == t:
+            return rs
+        i = i + 1
+    return None
+
+
+def locate_node(tree: DomainTree, name: list[int]) -> TreeNode:
+    """Exact-name lookup that ignores delegation cuts — glue records live
+    below cuts. Returns None when the node does not exist."""
+    node = tree.root
+    if not is_prefix(node.name, name):
+        return None
+    while True:
+        if len(name) == len(node.name):
+            return node
+        nlabel = name[len(node.name)]
+        child = node.down
+        while child is not None:
+            clabel = child.name[len(child.name) - 1]
+            if nlabel == clabel:
+                break
+            if nlabel < clabel:
+                child = child.left
+            else:
+                child = child.right
+        if child is None:
+            return None
+        node = child
+
+
+def append_soa(tree: DomainTree, resp: Response) -> None:
+    soa = get_rrset(tree.root, TYPE_SOA)
+    if soa is not None:
+        i = 0
+        while i < len(soa.rrs):
+            resp.authority.append(soa.rrs[i])
+            i = i + 1
+
+
+def add_glue_for_name(tree: DomainTree, target: list[int], resp: Response) -> None:
+    """Append in-zone A/AAAA records of ``target`` to the additional
+    section (RFC 1034 additional-section processing)."""
+    if not is_prefix(tree.root.name, target):
+        return
+    node = locate_node(tree, target)
+    if node is None:
+        return
+    a = get_rrset(node, TYPE_A)
+    if a is not None:
+        i = 0
+        while i < len(a.rrs):
+            resp.additional.append(a.rrs[i])
+            i = i + 1
+    aaaa = get_rrset(node, TYPE_AAAA)
+    if aaaa is not None:
+        i = 0
+        while i < len(aaaa.rrs):
+            resp.additional.append(aaaa.rrs[i])
+            i = i + 1
+
+
+def make_referral(tree: DomainTree, node: TreeNode, resp: Response, at_top: bool) -> None:
+    """Delegation response: NS of the cut into authority, glue into
+    additional. Referrals are not authoritative."""
+    if at_top:
+        resp.aa = False
+    ns = get_rrset(node, TYPE_NS)
+    if ns is None:
+        return
+    i = 0
+    while i < len(ns.rrs):
+        resp.authority.append(ns.rrs[i])
+        i = i + 1
+    i = 0
+    while i < len(ns.rrs):
+        add_glue_for_name(tree, ns.rrs[i].rdata_name, resp)
+        # seeded bug (Table 2 #4): the batched glue lookup was meant to
+        # continue over every NS target but exits after the first one.
+        break
+
+
+def copy_with_name(rr: RR, rname: list[int]) -> RR:
+    """Wildcard synthesis (RFC 4592): copy the RR, replace its owner name
+    with the query name — the newobject pattern of section 5.3."""
+    return RR(rname=rname, rtype=rr.rtype, rdata_id=rr.rdata_id, rdata_name=rr.rdata_name)
+
+
+def append_matching(node: TreeNode, qtype: int, synth: bool, sname: list[int], resp: Response) -> int:
+    """Append RRs at ``node`` matching ``qtype`` (or all for ANY) to the
+    answer section; synthesize owner names on wildcard matches."""
+    count = 0
+    i = 0
+    while i < len(node.rrsets):
+        rs = node.rrsets[i]
+        if rs.rtype == qtype or qtype == TYPE_ANY:
+            j = 0
+            while j < len(rs.rrs):
+                rr = rs.rrs[j]
+                if synth:
+                    resp.answer.append(copy_with_name(rr, sname))
+                else:
+                    resp.answer.append(rr)
+                count = count + 1
+                j = j + 1
+        i = i + 1
+    return count
+
+
+def add_glue_for_answers(tree: DomainTree, resp: Response, base: int) -> None:
+    """Glue for NS/MX/SRV answers appended at or after index ``base``."""
+    i = base
+    while i < len(resp.answer):
+        rr = resp.answer[i]
+        if rr.rtype == TYPE_NS or rr.rtype == TYPE_MX or rr.rtype == TYPE_SRV or rr.rtype == TYPE_CNAME:
+            # seeded bug (Table 2 #7): CNAME targets do not take glue; the
+            # widened type test stuffs extraneous records into additional.
+            add_glue_for_name(tree, rr.rdata_name, resp)
+        i = i + 1
+
+
+def answer_node(tree: DomainTree, sname: list[int], qtype: int, node: TreeNode, synth: bool, resp: Response, depth: int) -> None:
+    """Authoritative answer construction at a matched node: CNAME handling
+    (with in-zone chasing), qtype matching, NODATA, and glue."""
+    cname = get_rrset(node, TYPE_CNAME)
+    if cname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
+        rr = cname.rrs[0]
+        resp.aa = True
+        if synth:
+            resp.answer.append(copy_with_name(rr, sname))
+        else:
+            resp.answer.append(rr)
+        if depth < MAX_CHASE and is_prefix(tree.root.name, rr.rdata_name):
+            chase_lookup(tree, rr.rdata_name, qtype, resp, depth + 1)
+        return
+    base = len(resp.answer)
+    count = append_matching(node, qtype, synth, sname, resp)
+    resp.aa = True
+    if count == 0:
+        append_soa(tree, resp)
+    else:
+        if not synth:
+            # seeded bug (Table 2 #5): the glue pass is skipped for
+            # wildcard-synthesized answers, leaving the additional section
+            # incomplete. The v2.0 rework also rescans the whole answer
+            # section, which combined with the widened type test above
+            # drags CNAME targets into additional (Table 2 #7).
+            add_glue_for_answers(tree, resp, 0)
+
+
+def chase_search(tree: DomainTree, name: list[int], sr: SearchResult) -> None:
+    """Tree walk for chased (in-zone, concrete) names. Near-duplicate of
+    tree_search — legacy function division kept as-is in production."""
+    node = tree.root
+    while True:
+        if len(name) == len(node.name):
+            sr.kind = SR_EXACT
+            sr.node = node
+            return
+        if node.is_delegation:
+            sr.kind = SR_DELEGATION
+            sr.node = node
+            return
+        nlabel = name[len(node.name)]
+        child = node.down
+        while child is not None:
+            clabel = child.name[len(child.name) - 1]
+            if nlabel == clabel:
+                break
+            if nlabel < clabel:
+                child = child.left
+            else:
+                child = child.right
+        if child is None:
+            wc = find_wildcard_child(node)
+            if wc is not None:
+                sr.kind = SR_WILDCARD
+                sr.node = wc
+                return
+            sr.kind = SR_MISS
+            sr.node = node
+            return
+        node = child
+
+
+def chase_lookup(tree: DomainTree, name: list[int], qtype: int, resp: Response, depth: int) -> None:
+    """Continue resolution at a CNAME target."""
+    sr = SearchResult()
+    chase_search(tree, name, sr)
+    if sr.kind == SR_DELEGATION:
+        make_referral(tree, sr.node, resp, False)
+        return
+    if sr.kind == SR_EXACT:
+        if sr.node.is_delegation:
+            make_referral(tree, sr.node, resp, False)
+            return
+        answer_node(tree, name, qtype, sr.node, False, resp, depth)
+        return
+    if sr.kind == SR_WILDCARD:
+        answer_node(tree, name, qtype, sr.node, True, resp, depth)
+        return
+    resp.rcode = RCODE_NXDOMAIN
+    resp.aa = True
+    append_soa(tree, resp)
+
+
+def find(tree: DomainTree, q: list[int], qtype: int, resp: Response) -> None:
+    """The Find layer: dispatch on the TreeSearch result."""
+    stack = stack_new()
+    sr = SearchResult()
+    tree_search(tree, q, stack, sr)
+    if sr.kind == SR_DELEGATION:
+        make_referral(tree, sr.node, resp, True)
+        return
+    if sr.kind == SR_EXACT:
+        if sr.node.is_delegation:
+            make_referral(tree, sr.node, resp, True)
+            return
+        answer_node(tree, q, qtype, sr.node, False, resp, 0)
+        return
+    if sr.kind == SR_WILDCARD:
+        answer_node(tree, q, qtype, sr.node, True, resp, 0)
+        return
+    resp.rcode = RCODE_NXDOMAIN
+    resp.aa = True
+    append_soa(tree, resp)
+
+
+def resolve(tree: DomainTree, q: list[int], qtype: int, resp: Response) -> None:
+    """Top-level entry point of the DNS authoritative engine."""
+    resp.rcode = RCODE_NOERROR
+    resp.aa = False
+    if not is_prefix(tree.root.name, q):
+        resp.rcode = RCODE_REFUSED
+        return
+    find(tree, q, qtype, resp)

@@ -1,0 +1,28 @@
+"""The GoPy frontend: restricted Python to AbsLLVM.
+
+The paper compiles its Go engine with GoLLVM and trusts the emitted IR as
+reference semantics (section 4.1). We replace Go by **GoPy** — a restricted,
+Go-flavoured subset of Python — and this frontend replaces GoLLVM. The
+correspondence is deliberate:
+
+- GoPy classes are Go structs; all aggregate values have reference
+  semantics (a variable of struct or list type holds a pointer);
+- every attribute access compiles to a nil-check guarded ``getelementptr`` +
+  ``load``/``store``; every index compiles to a bounds-check guarded access
+  — the checks branch to explicit :class:`~repro.ir.instructions.Panic`
+  blocks exactly like the Go runtime checks GoLLVM makes explicit;
+- ``and``/``or`` short-circuit through the CFG, loops are real back-edges,
+  and locals live in ``alloca`` slots (the ``-O0`` discipline, no phis).
+
+Because GoPy is genuine Python, every engine version is *also* directly
+executable and unit-testable concretely — which is how counterexamples
+produced by the verifier get validated end-to-end.
+
+Public API: :func:`compile_module`, :func:`compile_source` and the
+:class:`GoPyError` diagnostic.
+"""
+
+from repro.frontend.errors import GoPyError
+from repro.frontend.compiler import compile_module, compile_source
+
+__all__ = ["GoPyError", "compile_module", "compile_source"]

@@ -1,0 +1,982 @@
+"""GoPy-to-AbsLLVM compiler (the GoLLVM stand-in).
+
+``compile_module`` takes an imported Python module written in the GoPy
+subset and produces an :class:`repro.ir.Module`. The subset (documented in
+:mod:`repro.frontend`) is deliberately Go-shaped:
+
+- module level: ``GoStruct`` subclasses (structs), integer/boolean
+  constants, and top-level functions with fully annotated signatures;
+- statements: assignments (including attribute/subscript targets and
+  augmented forms), ``if``/``elif``/``else``, ``while``, ``for`` over
+  ``range(...)`` or a list, ``return``, ``break``, ``continue``, ``pass``;
+- expressions: int/bool literals, ``None``, arithmetic (``+ - *`` with at
+  most one symbolic factor), comparisons, short-circuit ``and``/``or``,
+  ``not``, conditional expressions, ``len``, ``.append``, list literals,
+  struct constructors with keyword fields, and calls to other GoPy
+  functions.
+
+Safety checks are compiled in exactly where Go's runtime would trap:
+attribute access emits a nil-check branch to a ``panic`` block, and
+subscripts emit lower/upper bounds checks. Proving those panic blocks
+unreachable is the safety property of section 6.1.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import typing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.errors import GoPyError
+from repro.frontend.runtime import GoStruct, is_gopy_struct
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    BinOp,
+    Br,
+    Call,
+    CondBr,
+    ConstBool,
+    ConstInt,
+    ConstNull,
+    Function,
+    GEP,
+    ICmp,
+    IntType,
+    ListType,
+    Load,
+    Module,
+    NamedType,
+    Panic,
+    PointerType,
+    Register,
+    Ret,
+    Store,
+    StructType,
+    Type,
+    validate_module,
+)
+from repro.ir.types import BOOL, INT, VOID, BoolType, VoidType
+
+#: Wildcard pointer type carried by ``None`` literals until unified.
+NULL_TYPE = PointerType(VOID)
+
+
+class Signature:
+    def __init__(self, params: Sequence[Tuple[str, Type]], ret: Type):
+        self.params = tuple(params)
+        self.ret = ret
+
+
+class ModuleContext:
+    """Everything the per-function compiler needs to resolve names."""
+
+    def __init__(self, name: str):
+        self.ir_module = Module(name)
+        self.consts: Dict[str, object] = {}
+        self.signatures: Dict[str, Signature] = {}
+        self.source_name = name
+
+    def define_struct_from_class(self, cls: type) -> None:
+        if cls.__name__ in self.ir_module.types:
+            return
+        annotations: Dict[str, object] = {}
+        for klass in reversed(cls.__mro__):
+            if klass in (object, GoStruct):
+                continue
+            annotations.update(getattr(klass, "__annotations__", {}) or {})
+        fields = [
+            (field, resolve_runtime_annotation(annotation))
+            for field, annotation in annotations.items()
+        ]
+        self.ir_module.types.define(cls.__name__, fields)
+
+    def struct(self, name: str) -> StructType:
+        return self.ir_module.types.get(name)
+
+    def has_struct(self, name: str) -> bool:
+        return name in self.ir_module.types
+
+    def resolve(self, ty: Type) -> Type:
+        return self.ir_module.types.resolve(ty)
+
+
+# ---------------------------------------------------------------------------
+# Annotation resolution (two routes: runtime objects and source AST).
+# ---------------------------------------------------------------------------
+
+
+def resolve_runtime_annotation(annotation) -> Type:
+    """Annotation attached to a live object (class/int/string form)."""
+    if annotation is int or annotation == "int":
+        return INT
+    if annotation is bool or annotation == "bool":
+        return BOOL
+    if annotation is None or annotation is type(None) or annotation == "None":
+        return VOID
+    if isinstance(annotation, str):
+        node = ast.parse(annotation, mode="eval").body
+        return resolve_annotation_ast(node)
+    if isinstance(annotation, type) and issubclass(annotation, GoStruct):
+        return PointerType(NamedType(annotation.__name__))
+    origin = typing.get_origin(annotation)
+    if origin is list:
+        (element,) = typing.get_args(annotation)
+        return PointerType(ListType(resolve_runtime_annotation(element)))
+    raise GoPyError(f"unsupported annotation {annotation!r}")
+
+
+def resolve_annotation_ast(node: ast.AST) -> Type:
+    """Annotation in source form."""
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return VOID
+        if isinstance(node.value, str):
+            inner = ast.parse(node.value, mode="eval").body
+            return resolve_annotation_ast(inner)
+        raise GoPyError(f"unsupported annotation literal {node.value!r}", node)
+    if isinstance(node, ast.Name):
+        if node.id == "int":
+            return INT
+        if node.id == "bool":
+            return BOOL
+        return PointerType(NamedType(node.id))
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in ("list", "List"):
+            return PointerType(ListType(resolve_annotation_ast(node.slice)))
+        raise GoPyError("only list[...] generics are supported", node)
+    raise GoPyError(f"unsupported annotation syntax {ast.dump(node)}", node)
+
+
+def signature_from_ast(fdef: ast.FunctionDef) -> Signature:
+    params: List[Tuple[str, Type]] = []
+    args = fdef.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs or args.defaults:
+        raise GoPyError(
+            f"function {fdef.name}: only plain positional parameters allowed", fdef
+        )
+    for arg in args.args:
+        if arg.annotation is None:
+            raise GoPyError(
+                f"function {fdef.name}: parameter {arg.arg!r} needs a type annotation",
+                fdef,
+            )
+        params.append((arg.arg, resolve_annotation_ast(arg.annotation)))
+    ret = VOID if fdef.returns is None else resolve_annotation_ast(fdef.returns)
+    return Signature(params, ret)
+
+
+# ---------------------------------------------------------------------------
+# Module compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_module(py_module, extern_modules: Sequence[Module] = ()) -> Module:
+    """Compile an imported GoPy module.
+
+    Structs and constants are collected from the module's runtime namespace
+    (so imports from shared GoPy library modules resolve naturally);
+    functions *defined in this file* are compiled, while imported GoPy
+    functions become extern calls — the call sites the verification pipeline
+    later binds to abstract specifications or summaries (section 4.3).
+    """
+    source = inspect.getsource(py_module)
+    tree = ast.parse(textwrap.dedent(source))
+    ctx = ModuleContext(py_module.__name__.rsplit(".", 1)[-1])
+
+    for extern in extern_modules:
+        for struct in extern.types.structs():
+            if not ctx.has_struct(struct.name):
+                ctx.ir_module.types.define(struct.name, struct.fields)
+        for function in extern.functions.values():
+            ctx.signatures.setdefault(
+                function.name, Signature(function.params, function.return_type)
+            )
+
+    for name, obj in vars(py_module).items():
+        if name.startswith("_"):
+            continue
+        if is_gopy_struct(obj):
+            ctx.define_struct_from_class(obj)
+        elif isinstance(obj, bool):
+            ctx.consts[name] = obj
+        elif isinstance(obj, int):
+            ctx.consts[name] = obj
+        elif inspect.isfunction(obj):
+            try:
+                func_tree = ast.parse(textwrap.dedent(inspect.getsource(obj)))
+            except (OSError, TypeError) as exc:
+                raise GoPyError(f"cannot read source of function {name}: {exc}")
+            fdef = func_tree.body[0]
+            if isinstance(fdef, ast.FunctionDef):
+                ctx.signatures[obj.__name__] = signature_from_ast(fdef)
+
+    local_defs = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+    for fdef in local_defs:
+        ctx.signatures[fdef.name] = signature_from_ast(fdef)
+
+    for fdef in local_defs:
+        function = _FunctionCompiler(ctx, fdef).compile()
+        ctx.ir_module.add_function(function)
+
+    validate_module(ctx.ir_module)
+    return ctx.ir_module
+
+
+def compile_source(source: str, name: str = "gopy") -> Module:
+    """Compile GoPy source text (used by tests and small examples).
+
+    The source is executed once so struct classes and constants exist as
+    runtime objects, then compiled exactly like an imported module.
+    """
+    namespace: Dict[str, object] = {"GoStruct": GoStruct}
+    exec(compile(textwrap.dedent(source), f"<{name}>", "exec"), namespace)
+
+    class _Shim:
+        pass
+
+    shim = _Shim()
+    shim.__dict__.update(namespace)
+    shim.__name__ = name
+
+    tree = ast.parse(textwrap.dedent(source))
+    ctx = ModuleContext(name)
+    for attr, obj in namespace.items():
+        if attr.startswith("_") or attr == "GoStruct":
+            continue
+        if is_gopy_struct(obj):
+            ctx.define_struct_from_class(obj)
+        elif isinstance(obj, bool) or (
+            isinstance(obj, int) and not isinstance(obj, bool)
+        ):
+            ctx.consts[attr] = obj
+
+    local_defs = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+    for fdef in local_defs:
+        ctx.signatures[fdef.name] = signature_from_ast(fdef)
+    for fdef in local_defs:
+        ctx.ir_module.add_function(_FunctionCompiler(ctx, fdef).compile())
+    validate_module(ctx.ir_module)
+    return ctx.ir_module
+
+
+# ---------------------------------------------------------------------------
+# Function compilation
+# ---------------------------------------------------------------------------
+
+
+class _FunctionCompiler:
+    def __init__(self, ctx: ModuleContext, fdef: ast.FunctionDef):
+        self.ctx = ctx
+        self.fdef = fdef
+        self.sig = ctx.signatures[fdef.name]
+        self.fn = Function(fdef.name, self.sig.params, self.sig.ret)
+        self._counter = 0
+        self.entry = self.fn.new_block("entry")
+        self.body = self.fn.new_block("body")
+        self.current = self.body
+        self.slots: Dict[str, Tuple[Register, Type]] = {}
+        self.loops: List[Tuple[str, str]] = []  # (continue_label, break_label)
+        for pname, ptype in self.sig.params:
+            slot = self._fresh(f"{pname}.slot")
+            self.entry.append(Alloca(slot, ptype))
+            self.entry.append(Store(Register(pname), slot))
+            self.slots[pname] = (slot, ptype)
+
+    # -- small helpers ----------------------------------------------------
+
+    def _fresh(self, hint: str = "r") -> Register:
+        self._counter += 1
+        return Register(f"{hint}.{self._counter}")
+
+    def _emit(self, insn) -> None:
+        self.current.append(insn)
+
+    def _new_block(self, hint: str) -> BasicBlock:
+        return self.fn.new_block(hint)
+
+    def _branch_to(self, block: BasicBlock) -> None:
+        if not self.current.terminated:
+            self.current.terminate(Br(block.label))
+        self.current = block
+
+    def _error(self, message: str, node: ast.AST) -> GoPyError:
+        return GoPyError(
+            f"{self.fdef.name}: {message}", node, self.ctx.source_name
+        )
+
+    def _slot_for(self, name: str, ty: Type, node: ast.AST) -> Tuple[Register, Type]:
+        existing = self.slots.get(name)
+        if existing is not None:
+            slot, declared = existing
+            self._check_assignable(declared, ty, node)
+            return slot, declared
+        slot = self._fresh(f"{name}.slot")
+        if ty == NULL_TYPE:
+            raise self._error(
+                f"cannot infer type of {name!r} from a bare None; annotate it",
+                node,
+            )
+        self.entry.append(Alloca(slot, ty))
+        self.slots[name] = (slot, ty)
+        return slot, ty
+
+    def _check_assignable(self, expected: Type, actual: Type, node: ast.AST) -> None:
+        if expected == actual:
+            return
+        if actual == NULL_TYPE and isinstance(expected, PointerType):
+            return
+        raise self._error(f"type mismatch: expected {expected!r}, got {actual!r}", node)
+
+    # -- compilation entry --------------------------------------------------
+
+    def compile(self) -> Function:
+        self.compile_stmts(self.fdef.body)
+        if not self.current.terminated:
+            if isinstance(self.sig.ret, VoidType):
+                self.current.terminate(Ret(None))
+            else:
+                self.current.terminate(
+                    Panic("missing-return", f"{self.fdef.name} fell off the end")
+                )
+        self.entry.terminate(Br(self.body.label))
+        return self.fn
+
+    # -- statements -----------------------------------------------------------
+
+    def compile_stmts(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.current.terminated:
+                break  # dead code after return/break/continue
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._compile_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._compile_ann_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._compile_aug_assign(node)
+        elif isinstance(node, ast.If):
+            self._compile_if(node)
+        elif isinstance(node, ast.While):
+            self._compile_while(node)
+        elif isinstance(node, ast.For):
+            self._compile_for(node)
+        elif isinstance(node, ast.Return):
+            self._compile_return(node)
+        elif isinstance(node, ast.Break):
+            if not self.loops:
+                raise self._error("break outside loop", node)
+            self.current.terminate(Br(self.loops[-1][1]))
+        elif isinstance(node, ast.Continue):
+            if not self.loops:
+                raise self._error("continue outside loop", node)
+            self.current.terminate(Br(self.loops[-1][0]))
+        elif isinstance(node, ast.Pass):
+            pass
+        elif isinstance(node, ast.Expr):
+            self._compile_expr_stmt(node)
+        else:
+            raise self._error(
+                f"statement {type(node).__name__} is outside the GoPy subset", node
+            )
+
+    def _compile_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise self._error("chained assignment is not supported", node)
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            expected = None
+            if target.id in self.slots:
+                expected = self.slots[target.id][1]
+            value, ty = self.compile_expr(node.value, expected)
+            slot, _ = self._slot_for(target.id, ty, node)
+            self._emit(Store(value, slot))
+        elif isinstance(target, ast.Attribute):
+            addr, field_ty = self._compile_field_addr(target)
+            value, ty = self.compile_expr(node.value, field_ty)
+            self._check_assignable(field_ty, ty, node)
+            self._emit(Store(value, addr))
+        elif isinstance(target, ast.Subscript):
+            addr, elem_ty = self._compile_index_addr(target)
+            value, ty = self.compile_expr(node.value, elem_ty)
+            self._check_assignable(elem_ty, ty, node)
+            self._emit(Store(value, addr))
+        else:
+            raise self._error(
+                f"cannot assign to {type(target).__name__}", node
+            )
+
+    def _compile_ann_assign(self, node: ast.AnnAssign) -> None:
+        if not isinstance(node.target, ast.Name):
+            raise self._error("annotated assignment must target a name", node)
+        declared = resolve_annotation_ast(node.annotation)
+        if node.value is None:
+            raise self._error("declaration without a value is not supported", node)
+        value, ty = self.compile_expr(node.value, declared)
+        self._check_assignable(declared, ty, node)
+        slot, _ = self._slot_for(node.target.id, declared, node)
+        self._emit(Store(value, slot))
+
+    def _compile_aug_assign(self, node: ast.AugAssign) -> None:
+        op = {ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul"}.get(type(node.op))
+        if op is None:
+            raise self._error(
+                f"augmented operator {type(node.op).__name__} not supported", node
+            )
+        read = ast.copy_location(
+            ast.BinOp(left=_as_load(node.target), op=node.op, right=node.value), node
+        )
+        write = ast.copy_location(
+            ast.Assign(targets=[node.target], value=read), node
+        )
+        ast.fix_missing_locations(write)
+        self._compile_assign(write)
+
+    def _compile_if(self, node: ast.If) -> None:
+        cond = self.compile_cond(node.test)
+        then_block = self._new_block("then")
+        else_block = self._new_block("else") if node.orelse else None
+        merge = self._new_block("merge")
+        self.current.terminate(
+            CondBr(cond, then_block.label, (else_block or merge).label)
+        )
+        self.current = then_block
+        self.compile_stmts(node.body)
+        if not self.current.terminated:
+            self.current.terminate(Br(merge.label))
+        if else_block is not None:
+            self.current = else_block
+            self.compile_stmts(node.orelse)
+            if not self.current.terminated:
+                self.current.terminate(Br(merge.label))
+        self.current = merge
+
+    def _compile_while(self, node: ast.While) -> None:
+        if node.orelse:
+            raise self._error("while/else is not supported", node)
+        header = self._new_block("while.header")
+        body = self._new_block("while.body")
+        exit_block = self._new_block("while.exit")
+        self.current.terminate(Br(header.label))
+        self.current = header
+        cond = self.compile_cond(node.test)
+        self.current.terminate(CondBr(cond, body.label, exit_block.label))
+        self.loops.append((header.label, exit_block.label))
+        self.current = body
+        self.compile_stmts(node.body)
+        if not self.current.terminated:
+            self.current.terminate(Br(header.label))
+        self.loops.pop()
+        self.current = exit_block
+
+    def _compile_for(self, node: ast.For) -> None:
+        if node.orelse:
+            raise self._error("for/else is not supported", node)
+        if not isinstance(node.target, ast.Name):
+            raise self._error("for target must be a plain name", node)
+        if (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        ):
+            self._compile_for_range(node)
+        else:
+            self._compile_for_list(node)
+
+    def _compile_for_range(self, node: ast.For) -> None:
+        args = node.iter.args
+        if len(args) == 1:
+            lo_node, hi_node = None, args[0]
+        elif len(args) == 2:
+            lo_node, hi_node = args
+        else:
+            raise self._error("range() supports 1 or 2 arguments", node)
+        lo_value = (
+            ConstInt(0) if lo_node is None else self._expect_int(lo_node)
+        )
+        hi_value = self._expect_int(hi_node)
+        hi_slot = self._fresh("range.hi.slot")
+        self.entry.append(Alloca(hi_slot, INT))
+        self._emit(Store(hi_value, hi_slot))
+
+        var_slot, _ = self._slot_for(node.target.id, INT, node)
+        self._emit(Store(lo_value, var_slot))
+
+        header = self._new_block("for.header")
+        body = self._new_block("for.body")
+        incr = self._new_block("for.incr")
+        exit_block = self._new_block("for.exit")
+
+        self.current.terminate(Br(header.label))
+        self.current = header
+        i_val = self._fresh("i")
+        self._emit(Load(i_val, var_slot))
+        hi_val = self._fresh("hi")
+        self._emit(Load(hi_val, hi_slot))
+        cond = self._fresh("cond")
+        self._emit(ICmp(cond, "slt", i_val, hi_val))
+        self.current.terminate(CondBr(cond, body.label, exit_block.label))
+
+        self.loops.append((incr.label, exit_block.label))
+        self.current = body
+        self.compile_stmts(node.body)
+        if not self.current.terminated:
+            self.current.terminate(Br(incr.label))
+        self.loops.pop()
+
+        self.current = incr
+        i_again = self._fresh("i")
+        self._emit(Load(i_again, var_slot))
+        i_next = self._fresh("i.next")
+        self._emit(BinOp(i_next, "add", i_again, ConstInt(1)))
+        self._emit(Store(i_next, var_slot))
+        self.current.terminate(Br(header.label))
+        self.current = exit_block
+
+    def _compile_for_list(self, node: ast.For) -> None:
+        lst_value, lst_ty = self.compile_expr(node.iter)
+        lst_ty = self._expect_list(lst_ty, node.iter)
+        elem_ty = lst_ty.pointee.element
+
+        lst_slot = self._fresh("for.list.slot")
+        self.entry.append(Alloca(lst_slot, lst_ty))
+        self._emit(Store(lst_value, lst_slot))
+        idx_slot = self._fresh("for.idx.slot")
+        self.entry.append(Alloca(idx_slot, INT))
+        self._emit(Store(ConstInt(0), idx_slot))
+        var_slot, _ = self._slot_for(node.target.id, elem_ty, node)
+
+        header = self._new_block("for.header")
+        body = self._new_block("for.body")
+        incr = self._new_block("for.incr")
+        exit_block = self._new_block("for.exit")
+
+        self.current.terminate(Br(header.label))
+        self.current = header
+        idx = self._fresh("idx")
+        self._emit(Load(idx, idx_slot))
+        lst = self._fresh("lst")
+        self._emit(Load(lst, lst_slot))
+        length = self._fresh("len")
+        self._emit(Call(length, "list.len", [lst]))
+        cond = self._fresh("cond")
+        self._emit(ICmp(cond, "slt", idx, length))
+        self.current.terminate(CondBr(cond, body.label, exit_block.label))
+
+        self.current = body
+        # Structurally in-bounds: load without the guard the subscript path
+        # emits (the loop condition is the bounds check).
+        elem_ptr = self._fresh("elem.ptr")
+        self._emit(GEP(elem_ptr, lst, [idx]))
+        elem = self._fresh("elem")
+        self._emit(Load(elem, elem_ptr))
+        self._emit(Store(elem, var_slot))
+        self.loops.append((incr.label, exit_block.label))
+        self.compile_stmts(node.body)
+        if not self.current.terminated:
+            self.current.terminate(Br(incr.label))
+        self.loops.pop()
+
+        self.current = incr
+        idx_again = self._fresh("idx")
+        self._emit(Load(idx_again, idx_slot))
+        idx_next = self._fresh("idx.next")
+        self._emit(BinOp(idx_next, "add", idx_again, ConstInt(1)))
+        self._emit(Store(idx_next, idx_slot))
+        self.current.terminate(Br(header.label))
+        self.current = exit_block
+
+    def _compile_return(self, node: ast.Return) -> None:
+        if isinstance(self.sig.ret, VoidType):
+            if node.value is not None:
+                raise self._error("void function returns a value", node)
+            self.current.terminate(Ret(None))
+            return
+        if node.value is None:
+            raise self._error("non-void function returns nothing", node)
+        value, ty = self.compile_expr(node.value, self.sig.ret)
+        self._check_assignable(self.sig.ret, ty, node)
+        self.current.terminate(Ret(value))
+
+    def _compile_expr_stmt(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            return  # docstring
+        if not isinstance(node.value, ast.Call):
+            raise self._error("expression statements must be calls", node)
+        self._compile_call(node.value, expected=None, as_statement=True)
+
+    # -- expressions ------------------------------------------------------------
+
+    def compile_cond(self, node: ast.expr):
+        value, ty = self.compile_expr(node, BOOL)
+        if not isinstance(ty, BoolType):
+            raise self._error(
+                "condition must be boolean (use 'is None' / explicit comparison)",
+                node,
+            )
+        return value
+
+    def _expect_int(self, node: ast.expr):
+        value, ty = self.compile_expr(node, INT)
+        if not isinstance(ty, IntType):
+            raise self._error(f"expected int, got {ty!r}", node)
+        return value
+
+    def _expect_list(self, ty: Type, node: ast.expr) -> PointerType:
+        if isinstance(ty, PointerType) and isinstance(ty.pointee, ListType):
+            return ty
+        raise self._error(f"expected a list, got {ty!r}", node)
+
+    def compile_expr(
+        self, node: ast.expr, expected: Optional[Type] = None
+    ) -> Tuple[object, Type]:
+        if isinstance(node, ast.Constant):
+            return self._compile_constant(node, expected)
+        if isinstance(node, ast.Name):
+            return self._compile_name(node)
+        if isinstance(node, ast.BinOp):
+            return self._compile_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._compile_unaryop(node)
+        if isinstance(node, ast.Compare):
+            return self._compile_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._compile_boolop(node)
+        if isinstance(node, ast.IfExp):
+            return self._compile_ifexp(node, expected)
+        if isinstance(node, ast.Call):
+            return self._compile_call(node, expected, as_statement=False)
+        if isinstance(node, ast.Attribute):
+            addr, field_ty = self._compile_field_addr(node)
+            dest = self._fresh("fld")
+            self._emit(Load(dest, addr))
+            return dest, field_ty
+        if isinstance(node, ast.Subscript):
+            addr, elem_ty = self._compile_index_addr(node)
+            dest = self._fresh("elem")
+            self._emit(Load(dest, addr))
+            return dest, elem_ty
+        if isinstance(node, ast.List):
+            return self._compile_list_literal(node, expected)
+        raise self._error(
+            f"expression {type(node).__name__} is outside the GoPy subset", node
+        )
+
+    def _compile_constant(self, node: ast.Constant, expected: Optional[Type]):
+        value = node.value
+        if value is None:
+            return ConstNull(), (expected if isinstance(expected, PointerType) else NULL_TYPE)
+        if isinstance(value, bool):
+            return ConstBool(value), BOOL
+        if isinstance(value, int):
+            return ConstInt(value), INT
+        raise self._error(f"unsupported literal {value!r}", node)
+
+    def _compile_name(self, node: ast.Name):
+        if node.id in self.slots:
+            slot, ty = self.slots[node.id]
+            dest = self._fresh(node.id)
+            self._emit(Load(dest, slot))
+            return dest, ty
+        if node.id in self.ctx.consts:
+            const = self.ctx.consts[node.id]
+            if isinstance(const, bool):
+                return ConstBool(const), BOOL
+            return ConstInt(const), INT
+        raise self._error(f"unknown name {node.id!r}", node)
+
+    def _compile_binop(self, node: ast.BinOp):
+        op = {ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul"}.get(type(node.op))
+        if op is None:
+            raise self._error(
+                f"operator {type(node.op).__name__} not supported (GoPy has + - * only)",
+                node,
+            )
+        lhs = self._expect_int(node.left)
+        rhs = self._expect_int(node.right)
+        dest = self._fresh("bin")
+        self._emit(BinOp(dest, op, lhs, rhs))
+        return dest, INT
+
+    def _compile_unaryop(self, node: ast.UnaryOp):
+        if isinstance(node.op, ast.Not):
+            value = self.compile_cond(node.operand)
+            dest = self._fresh("not")
+            self._emit(BinOp(dest, "xor", value, ConstBool(True)))
+            return dest, BOOL
+        if isinstance(node.op, ast.USub):
+            value = self._expect_int(node.operand)
+            dest = self._fresh("neg")
+            self._emit(BinOp(dest, "sub", ConstInt(0), value))
+            return dest, INT
+        raise self._error(f"unary {type(node.op).__name__} not supported", node)
+
+    _CMP = {
+        ast.Eq: "eq",
+        ast.NotEq: "ne",
+        ast.Lt: "slt",
+        ast.LtE: "sle",
+        ast.Gt: "sgt",
+        ast.GtE: "sge",
+    }
+
+    def _compile_compare(self, node: ast.Compare):
+        if len(node.ops) != 1:
+            raise self._error("chained comparisons are not supported", node)
+        op = node.ops[0]
+        if isinstance(op, (ast.Is, ast.IsNot)):
+            pred = "eq" if isinstance(op, ast.Is) else "ne"
+            lhs, lty = self.compile_expr(node.left)
+            rhs, rty = self.compile_expr(node.comparators[0])
+            if not (
+                isinstance(lty, PointerType) or isinstance(rty, PointerType)
+            ):
+                raise self._error("'is' comparisons are for pointers/None only", node)
+            dest = self._fresh("cmp")
+            self._emit(ICmp(dest, pred, lhs, rhs))
+            return dest, BOOL
+        pred = self._CMP.get(type(op))
+        if pred is None:
+            raise self._error(f"comparison {type(op).__name__} not supported", node)
+        lhs, lty = self.compile_expr(node.left)
+        rhs, rty = self.compile_expr(node.comparators[0], lty)
+        if isinstance(lty, PointerType) or isinstance(rty, PointerType):
+            if pred not in ("eq", "ne"):
+                raise self._error("pointers only compare with ==/!=", node)
+        elif isinstance(lty, BoolType) or isinstance(rty, BoolType):
+            if pred not in ("eq", "ne"):
+                raise self._error("bools only compare with ==/!=", node)
+            if type(lty) is not type(rty):
+                raise self._error("comparing bool with non-bool", node)
+        elif not (isinstance(lty, IntType) and isinstance(rty, IntType)):
+            raise self._error(f"cannot compare {lty!r} with {rty!r}", node)
+        dest = self._fresh("cmp")
+        self._emit(ICmp(dest, pred, lhs, rhs))
+        return dest, BOOL
+
+    def _compile_boolop(self, node: ast.BoolOp):
+        is_and = isinstance(node.op, ast.And)
+        slot = self._fresh("boolop.slot")
+        self.entry.append(Alloca(slot, BOOL))
+        end = self._new_block("boolop.end")
+        short = self._new_block("boolop.short")
+        short.append(Store(ConstBool(not is_and), slot))
+        short.terminate(Br(end.label))
+        for value_node in node.values[:-1]:
+            cond = self.compile_cond(value_node)
+            next_block = self._new_block("boolop.next")
+            if is_and:
+                self.current.terminate(CondBr(cond, next_block.label, short.label))
+            else:
+                self.current.terminate(CondBr(cond, short.label, next_block.label))
+            self.current = next_block
+        last = self.compile_cond(node.values[-1])
+        self._emit(Store(last, slot))
+        self.current.terminate(Br(end.label))
+        self.current = end
+        dest = self._fresh("boolop")
+        self._emit(Load(dest, slot))
+        return dest, BOOL
+
+    def _compile_ifexp(self, node: ast.IfExp, expected: Optional[Type]):
+        cond = self.compile_cond(node.test)
+        then_block = self._new_block("sel.then")
+        else_block = self._new_block("sel.else")
+        end = self._new_block("sel.end")
+        self.current.terminate(CondBr(cond, then_block.label, else_block.label))
+
+        self.current = then_block
+        then_val, then_ty = self.compile_expr(node.body, expected)
+        slot_ty = then_ty if then_ty != NULL_TYPE else expected
+        then_exit = self.current
+
+        self.current = else_block
+        else_val, else_ty = self.compile_expr(node.orelse, expected or then_ty)
+        if slot_ty is None or slot_ty == NULL_TYPE:
+            slot_ty = else_ty
+        self._check_assignable(slot_ty, else_ty, node)
+        if then_ty != NULL_TYPE:
+            self._check_assignable(slot_ty, then_ty, node)
+        else_exit = self.current
+
+        slot = self._fresh("sel.slot")
+        self.entry.append(Alloca(slot, slot_ty))
+        then_exit.append(Store(then_val, slot))
+        then_exit.terminate(Br(end.label))
+        else_exit.append(Store(else_val, slot))
+        else_exit.terminate(Br(end.label))
+        self.current = end
+        dest = self._fresh("sel")
+        self._emit(Load(dest, slot))
+        return dest, slot_ty
+
+    def _compile_list_literal(self, node: ast.List, expected: Optional[Type]):
+        if node.elts:
+            first_val, first_ty = self.compile_expr(node.elts[0])
+            list_ty = PointerType(ListType(first_ty))
+            dest = self._fresh("list")
+            self._emit(Call(dest, "list.new", [], type_hint=list_ty.pointee))
+            self._emit(Call(None, "list.append", [dest, first_val]))
+            for elt in node.elts[1:]:
+                value, ty = self.compile_expr(elt, first_ty)
+                self._check_assignable(first_ty, ty, elt)
+                self._emit(Call(None, "list.append", [dest, value]))
+            return dest, list_ty
+        if expected is None or not (
+            isinstance(expected, PointerType) and isinstance(expected.pointee, ListType)
+        ):
+            raise self._error(
+                "empty list literal needs a list[...] annotation", node
+            )
+        dest = self._fresh("list")
+        self._emit(Call(dest, "list.new", [], type_hint=expected.pointee))
+        return dest, expected
+
+    def _compile_call(
+        self, node: ast.Call, expected: Optional[Type], as_statement: bool
+    ):
+        if node.keywords and not (
+            isinstance(node.func, ast.Name) and self.ctx.has_struct(node.func.id)
+        ):
+            raise self._error("keyword arguments only in struct constructors", node)
+
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr != "append":
+                raise self._error(
+                    f"method {node.func.attr!r} not supported (only .append)", node
+                )
+            lst_value, lst_ty = self.compile_expr(node.func.value)
+            lst_ty = self._expect_list(lst_ty, node.func.value)
+            if len(node.args) != 1:
+                raise self._error("append takes exactly one argument", node)
+            elem_ty = lst_ty.pointee.element
+            value, ty = self.compile_expr(node.args[0], elem_ty)
+            self._check_assignable(elem_ty, ty, node)
+            self._nil_check(lst_value, "append on nil list")
+            self._emit(Call(None, "list.append", [lst_value, value]))
+            return None, VOID
+
+        if not isinstance(node.func, ast.Name):
+            raise self._error("calls must target plain names", node)
+        name = node.func.id
+
+        if name == "len":
+            if len(node.args) != 1:
+                raise self._error("len takes one argument", node)
+            lst_value, lst_ty = self.compile_expr(node.args[0])
+            self._expect_list(lst_ty, node.args[0])
+            self._nil_check(lst_value, "len of nil list")
+            dest = self._fresh("len")
+            self._emit(Call(dest, "list.len", [lst_value]))
+            return dest, INT
+
+        if self.ctx.has_struct(name):
+            struct = self.ctx.struct(name)
+            if node.args:
+                raise self._error(
+                    "struct constructors take keyword arguments only", node
+                )
+            dest = self._fresh("new")
+            self._emit(Call(dest, "newobject", [], type_hint=NamedType(name)))
+            for kw in node.keywords:
+                if kw.arg is None:
+                    raise self._error("**kwargs not supported", node)
+                idx = struct.field_index(kw.arg)
+                field_ty = struct.field_type(idx)
+                value, ty = self.compile_expr(kw.value, field_ty)
+                self._check_assignable(field_ty, ty, kw.value)
+                addr = self._fresh("fld.ptr")
+                self._emit(GEP(addr, dest, [ConstInt(idx)]))
+                self._emit(Store(value, addr))
+            return dest, PointerType(NamedType(name))
+
+        sig = self.ctx.signatures.get(name)
+        if sig is None:
+            raise self._error(f"call to unknown function {name!r}", node)
+        if len(node.args) != len(sig.params):
+            raise self._error(
+                f"{name} expects {len(sig.params)} arguments, got {len(node.args)}",
+                node,
+            )
+        args = []
+        for arg_node, (_, pty) in zip(node.args, sig.params):
+            value, ty = self.compile_expr(arg_node, pty)
+            self._check_assignable(pty, ty, arg_node)
+            args.append(value)
+        if isinstance(sig.ret, VoidType):
+            self._emit(Call(None, name, args))
+            if not as_statement:
+                raise self._error(f"void call {name} used as a value", node)
+            return None, VOID
+        dest = self._fresh("call")
+        self._emit(Call(dest, name, args))
+        return dest, sig.ret
+
+    # -- memory access with safety checks ------------------------------------
+
+    def _nil_check(self, ptr_value, description: str) -> None:
+        cond = self._fresh("isnil")
+        self._emit(ICmp(cond, "eq", ptr_value, ConstNull()))
+        panic_block = self._new_block("panic")
+        panic_block.terminate(Panic("nil-dereference", description))
+        ok = self._new_block("ok")
+        self.current.terminate(CondBr(cond, panic_block.label, ok.label))
+        self.current = ok
+
+    def _compile_field_addr(self, node: ast.Attribute):
+        value, ty = self.compile_expr(node.value)
+        if not (isinstance(ty, PointerType) and isinstance(ty.pointee, (NamedType, StructType))):
+            raise self._error(
+                f"attribute access on non-struct value of type {ty!r}", node
+            )
+        struct = self.ctx.resolve(ty.pointee)
+        self._nil_check(value, f"{struct.name}.{node.attr}")
+        try:
+            idx = struct.field_index(node.attr)
+        except KeyError as exc:
+            raise self._error(str(exc), node) from exc
+        addr = self._fresh("fld.ptr")
+        self._emit(GEP(addr, value, [ConstInt(idx)]))
+        return addr, struct.field_type(idx)
+
+    def _compile_index_addr(self, node: ast.Subscript):
+        lst_value, lst_ty = self.compile_expr(node.value)
+        lst_ty = self._expect_list(lst_ty, node.value)
+        self._nil_check(lst_value, "index into nil list")
+        index = self._expect_int(node.slice)
+
+        length = self._fresh("len")
+        self._emit(Call(length, "list.len", [lst_value]))
+        negative = self._fresh("isneg")
+        self._emit(ICmp(negative, "slt", index, ConstInt(0)))
+        panic_low = self._new_block("panic")
+        panic_low.terminate(Panic("index-out-of-bounds", "negative index"))
+        ok_low = self._new_block("ok")
+        self.current.terminate(CondBr(negative, panic_low.label, ok_low.label))
+        self.current = ok_low
+
+        too_big = self._fresh("istoobig")
+        self._emit(ICmp(too_big, "sge", index, length))
+        panic_high = self._new_block("panic")
+        panic_high.terminate(Panic("index-out-of-bounds", "index >= len"))
+        ok_high = self._new_block("ok")
+        self.current.terminate(CondBr(too_big, panic_high.label, ok_high.label))
+        self.current = ok_high
+
+        addr = self._fresh("elem.ptr")
+        self._emit(GEP(addr, lst_value, [index]))
+        return addr, lst_ty.pointee.element
+
+
+def _as_load(target: ast.expr) -> ast.expr:
+    """Convert an assignment target node into the matching load node."""
+    clone = ast.copy_location(
+        ast.parse(ast.unparse(target), mode="eval").body, target
+    )
+    ast.fix_missing_locations(clone)
+    return clone

@@ -1,0 +1,21 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class GoPyError(SyntaxError):
+    """A construct outside the GoPy subset, or a type error within it.
+
+    Carries the source line when available so engine developers get
+    compiler-quality diagnostics.
+    """
+
+    def __init__(self, message: str, node: Optional[ast.AST] = None, source_name: str = ""):
+        location = ""
+        if node is not None and hasattr(node, "lineno"):
+            location = f" (at {source_name or '<gopy>'}:{node.lineno})"
+        super().__init__(message + location)
+        self.node = node

@@ -1,0 +1,97 @@
+"""AbsLLVM: the intermediate representation DNS-V verifies.
+
+Reproduces the language of the paper's Figures 7 and 8: an LLVM-flavoured,
+register-based IR extended with an abstract domain —
+
+- the type system carries LLVM-style ints, bools, pointers and structs plus
+  the abstract ``List[T]`` that has no concrete LLVM counterpart;
+- safety checks appear as explicit *panic blocks* (section 4.1): the
+  frontend emits a conditional branch to a ``panic`` terminator before every
+  memory access that could trap, so verifying safety reduces to proving
+  panic blocks unreachable;
+- locals live in ``alloca`` slots with explicit ``load``/``store`` (the
+  clang ``-O0`` discipline), which avoids phi nodes while keeping reference
+  semantics faithful.
+
+The IR is produced by :mod:`repro.frontend` (the GoLLVM stand-in) and by the
+specification frontend in :mod:`repro.spec`; it is consumed by
+:mod:`repro.symex`.
+"""
+
+from repro.ir.types import (
+    Type,
+    IntType,
+    BoolType,
+    PointerType,
+    StructType,
+    ListType,
+    NamedType,
+    INT,
+    BOOL,
+    VOID,
+    VoidType,
+    TypeRegistry,
+)
+from repro.ir.values import Value, Register, ConstInt, ConstBool, ConstNull
+from repro.ir.instructions import (
+    Instruction,
+    BinOp,
+    ICmp,
+    Alloca,
+    Load,
+    Store,
+    GEP,
+    Call,
+    Terminator,
+    Br,
+    CondBr,
+    Ret,
+    Panic,
+    INTRINSICS,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.module import Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.validate import validate_function, validate_module, IRValidationError
+
+__all__ = [
+    "Type",
+    "IntType",
+    "BoolType",
+    "PointerType",
+    "StructType",
+    "ListType",
+    "NamedType",
+    "VoidType",
+    "INT",
+    "BOOL",
+    "VOID",
+    "TypeRegistry",
+    "Value",
+    "Register",
+    "ConstInt",
+    "ConstBool",
+    "ConstNull",
+    "Instruction",
+    "BinOp",
+    "ICmp",
+    "Alloca",
+    "Load",
+    "Store",
+    "GEP",
+    "Call",
+    "Terminator",
+    "Br",
+    "CondBr",
+    "Ret",
+    "Panic",
+    "INTRINSICS",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "print_function",
+    "print_module",
+    "validate_function",
+    "validate_module",
+    "IRValidationError",
+]

@@ -1,0 +1,257 @@
+"""AbsLLVM instructions.
+
+The instruction set follows Figure 8: arithmetic and comparison, memory
+operations (``alloca``/``load``/``store``/``getelementptr``), calls, and the
+control terminators. Two deliberate extensions over stock LLVM:
+
+- **Panic terminators** make Go runtime safety checks explicit blocks
+  (section 4.1); the frontend emits a guarded branch to one before any
+  indexing or nil dereference.
+- **List intrinsics** (``list.new``/``list.len``/``list.append`` and
+  ``newobject``) realise the abstract-domain builtins of section 5.3; the
+  symbolic executor implements them natively, and summaries reuse the same
+  ``newobject``/``append`` vocabulary for effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ir.types import Type
+from repro.ir.values import Register, Value
+
+#: Builtin function names the executor interprets natively.
+INTRINSICS = (
+    "list.new",
+    "list.len",
+    "list.append",
+    "newobject",
+    "assume",
+)
+
+BINOPS = ("add", "sub", "mul", "and", "or", "xor")
+ICMP_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+class Instruction:
+    """Base class. ``dest`` is None for pure side-effect instructions."""
+
+    __slots__ = ()
+    dest: Optional[Register] = None
+
+    def operands(self) -> Tuple[Value, ...]:
+        return ()
+
+
+class BinOp(Instruction):
+    """``dest = op lhs, rhs`` — arithmetic on ints, logic on bools."""
+
+    __slots__ = ("dest", "op", "lhs", "rhs")
+
+    def __init__(self, dest: Register, op: str, lhs: Value, rhs: Value):
+        if op not in BINOPS:
+            raise ValueError(f"unknown binop {op!r}")
+        self.dest = dest
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self):
+        return (self.lhs, self.rhs)
+
+    def __repr__(self):
+        return f"{self.dest!r} = {self.op} {self.lhs!r}, {self.rhs!r}"
+
+
+class ICmp(Instruction):
+    """``dest = icmp pred lhs, rhs``."""
+
+    __slots__ = ("dest", "pred", "lhs", "rhs")
+
+    def __init__(self, dest: Register, pred: str, lhs: Value, rhs: Value):
+        if pred not in ICMP_PREDS:
+            raise ValueError(f"unknown icmp predicate {pred!r}")
+        self.dest = dest
+        self.pred = pred
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self):
+        return (self.lhs, self.rhs)
+
+    def __repr__(self):
+        return f"{self.dest!r} = icmp {self.pred} {self.lhs!r}, {self.rhs!r}"
+
+
+class Alloca(Instruction):
+    """``dest = alloca T`` — a fresh stack slot, freed at function exit."""
+
+    __slots__ = ("dest", "allocated_type")
+
+    def __init__(self, dest: Register, allocated_type: Type):
+        self.dest = dest
+        self.allocated_type = allocated_type
+
+    def __repr__(self):
+        return f"{self.dest!r} = alloca {self.allocated_type!r}"
+
+
+class Load(Instruction):
+    """``dest = load ptr``."""
+
+    __slots__ = ("dest", "ptr")
+
+    def __init__(self, dest: Register, ptr: Value):
+        self.dest = dest
+        self.ptr = ptr
+
+    def operands(self):
+        return (self.ptr,)
+
+    def __repr__(self):
+        return f"{self.dest!r} = load {self.ptr!r}"
+
+
+class Store(Instruction):
+    """``store value, ptr``."""
+
+    __slots__ = ("value", "ptr")
+    dest = None
+
+    def __init__(self, value: Value, ptr: Value):
+        self.value = value
+        self.ptr = ptr
+
+    def operands(self):
+        return (self.value, self.ptr)
+
+    def __repr__(self):
+        return f"store {self.value!r}, {self.ptr!r}"
+
+
+class GEP(Instruction):
+    """``dest = getelementptr base, idx...``.
+
+    Indices navigate *within* the block ``base`` points into: a constant int
+    selects a struct field by position, a register (or constant) indexes an
+    abstract list. Unlike stock LLVM there is no leading pointer-arithmetic
+    index — the flexible memory model (section 5.1) identifies a pointer
+    with (block, index path), which is exactly what GEP extends.
+    """
+
+    __slots__ = ("dest", "base", "indices")
+
+    def __init__(self, dest: Register, base: Value, indices: Sequence[Value]):
+        if not indices:
+            raise ValueError("GEP requires at least one index")
+        self.dest = dest
+        self.base = base
+        self.indices = tuple(indices)
+
+    def operands(self):
+        return (self.base,) + self.indices
+
+    def __repr__(self):
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.dest!r} = getelementptr {self.base!r}, {idx}"
+
+
+class Call(Instruction):
+    """``dest = call callee(args...)`` — ``dest`` may be None for void.
+
+    ``callee`` is a function name resolved by the executor against the
+    module, a registered abstract specification, a summary, or an intrinsic
+    — the dispatch at the heart of layered verification (section 4.3).
+    """
+
+    __slots__ = ("dest", "callee", "args", "type_hint")
+
+    def __init__(
+        self,
+        dest: Optional[Register],
+        callee: str,
+        args: Sequence[Value],
+        type_hint: Optional[Type] = None,
+    ):
+        self.dest = dest
+        self.callee = callee
+        self.args = tuple(args)
+        self.type_hint = type_hint
+
+    def operands(self):
+        return self.args
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.args)
+        prefix = f"{self.dest!r} = " if self.dest is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+class Terminator:
+    """Ends a basic block."""
+
+    __slots__ = ()
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+
+class Br(Terminator):
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+    def __repr__(self):
+        return f"br label %{self.target}"
+
+
+class CondBr(Terminator):
+    __slots__ = ("cond", "then_label", "else_label")
+
+    def __init__(self, cond: Value, then_label: str, else_label: str):
+        self.cond = cond
+        self.then_label = then_label
+        self.else_label = else_label
+
+    def successors(self):
+        return (self.then_label, self.else_label)
+
+    def __repr__(self):
+        return f"br {self.cond!r}, label %{self.then_label}, label %{self.else_label}"
+
+
+class Ret(Terminator):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Value] = None):
+        self.value = value
+
+    def __repr__(self):
+        return f"ret {self.value!r}" if self.value is not None else "ret void"
+
+
+class Panic(Terminator):
+    """A GoLLVM-style panic block terminator.
+
+    ``kind`` distinguishes the runtime error class (``index-out-of-bounds``,
+    ``nil-dereference``, ``explicit``); safety verification proves every
+    ``Panic`` unreachable (section 6.1's safety property).
+    """
+
+    __slots__ = ("kind", "message")
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        self.message = message
+
+    def __repr__(self):
+        return f"panic {self.kind} {self.message!r}".rstrip()

@@ -1,0 +1,53 @@
+"""IR modules: a set of functions plus the struct type registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.types import TypeRegistry
+
+
+class Module:
+    """Container for functions compiled from one source module.
+
+    The executor resolves ``call`` instructions against the module first,
+    then against registered specifications and summaries — the module
+    therefore defines the "concrete code" side of each layer.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.types = TypeRegistry()
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"function {function.name!r} already defined")
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"module {self.name} has no function {name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def function_names(self) -> List[str]:
+        return list(self.functions)
+
+    def merge(self, other: "Module") -> None:
+        """Import all functions and struct types from ``other`` (shared
+        names must agree by identity of definition order)."""
+        for struct in other.types.structs():
+            if struct.name not in self.types:
+                self.types.define(struct.name, struct.fields)
+        for function in other.functions.values():
+            if function.name not in self.functions:
+                self.add_function(function)
+
+    def __repr__(self):
+        return f"Module({self.name}, {len(self.functions)} functions)"

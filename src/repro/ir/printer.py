@@ -1,0 +1,41 @@
+"""LLVM-flavoured textual rendering of AbsLLVM, for debugging and docs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{ty!r} %{name}" for name, ty in function.params)
+    lines: List[str] = [
+        f"define {function.return_type!r} @{function.name}({params}) {{"
+    ]
+    # Entry block first, the rest in insertion order.
+    labels = list(function.blocks)
+    if function.entry_label in labels:
+        labels.remove(function.entry_label)
+        labels.insert(0, function.entry_label)
+    for label in labels:
+        block = function.blocks[label]
+        lines.append(f"{label}:")
+        for insn in block.instructions:
+            lines.append(f"  {insn!r}")
+        if block.terminator is not None:
+            lines.append(f"  {block.terminator!r}")
+        else:
+            lines.append("  <unterminated>")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for struct in module.types.structs():
+        parts.append(struct.describe())
+    for function in module.functions.values():
+        parts.append("")
+        parts.append(print_function(function))
+    return "\n".join(parts)

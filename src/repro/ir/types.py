@@ -1,0 +1,196 @@
+"""AbsLLVM types (paper Figure 7).
+
+``Int``/``Bool`` are the scalar types; ``Pointer`` references a memory
+block; ``Struct`` is a named record whose fields are accessed by index (the
+LLVM convention the paper keeps for its flexible memory model); ``List[T]``
+is the abstract list that has no LLVM counterpart but backs both Go slices
+and specification-level lists.
+
+Recursive structures (the domain tree's ``TreeNode`` pointing at child
+``TreeNode``\\ s, called out in section 5.1 as a required pattern) are
+expressed with :class:`NamedType` forward references resolved through a
+:class:`TypeRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class; subclasses are immutable and hashable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - overridden
+        return self.__class__.__name__
+
+
+class IntType(Type):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+    def __repr__(self):
+        return "Int"
+
+
+class BoolType(Type):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, BoolType)
+
+    def __hash__(self):
+        return hash("bool")
+
+    def __repr__(self):
+        return "Bool"
+
+
+class VoidType(Type):
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+    def __repr__(self):
+        return "Void"
+
+
+INT = IntType()
+BOOL = BoolType()
+VOID = VoidType()
+
+
+class PointerType(Type):
+    """Pointer to a value of ``pointee`` type (``Ptr[T]``)."""
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and self.pointee == other.pointee
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self):
+        return f"Ptr[{self.pointee!r}]"
+
+
+class ListType(Type):
+    """Abstract variable-length list of ``element`` values."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        self.element = element
+
+    def __eq__(self, other):
+        return isinstance(other, ListType) and self.element == other.element
+
+    def __hash__(self):
+        return hash(("list", self.element))
+
+    def __repr__(self):
+        return f"List[{self.element!r}]"
+
+
+class NamedType(Type):
+    """Forward reference to a struct registered in a :class:`TypeRegistry`;
+    enables circular types like ``TreeNode``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return (isinstance(other, NamedType) and self.name == other.name) or (
+            isinstance(other, StructType) and self.name == other.name
+        )
+
+    def __hash__(self):
+        return hash(("named", self.name))
+
+    def __repr__(self):
+        return f"%{self.name}"
+
+
+class StructType(Type):
+    """A named record with ordered fields accessed by index."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]]):
+        self.name = name
+        self.fields: Tuple[Tuple[str, Type], ...] = tuple(fields)
+
+    def field_index(self, field_name: str) -> int:
+        for index, (name, _) in enumerate(self.fields):
+            if name == field_name:
+                return index
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def field_type(self, index: int) -> Type:
+        return self.fields[index][1]
+
+    def field_name(self, index: int) -> str:
+        return self.fields[index][0]
+
+    def __eq__(self, other):
+        if isinstance(other, NamedType):
+            return other.name == self.name
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("named", self.name))
+
+    def __repr__(self):
+        return f"%{self.name}"
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{name}: {ty!r}" for name, ty in self.fields)
+        return f"%{self.name} = {{ {inner} }}"
+
+
+class TypeRegistry:
+    """Name -> struct mapping; resolves :class:`NamedType` references."""
+
+    def __init__(self):
+        self._structs: Dict[str, StructType] = {}
+
+    def define(self, name: str, fields: Sequence[Tuple[str, Type]]) -> StructType:
+        if name in self._structs:
+            raise ValueError(f"struct {name!r} already defined")
+        struct = StructType(name, fields)
+        self._structs[name] = struct
+        return struct
+
+    def get(self, name: str) -> StructType:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise KeyError(f"unknown struct type {name!r}") from None
+
+    def resolve(self, ty: Type) -> Type:
+        """Collapse a NamedType reference to its StructType (one level)."""
+        if isinstance(ty, NamedType):
+            return self.get(ty.name)
+        return ty
+
+    def structs(self) -> List[StructType]:
+        return list(self._structs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._structs

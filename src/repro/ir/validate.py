@@ -1,0 +1,93 @@
+"""Structural well-formedness checks for AbsLLVM.
+
+Run by the frontend after compilation and available to tests: every block
+terminated, every branch target defined, registers defined before any use
+along every path (conservatively: dominance approximated by requiring the
+definition to appear in the same block earlier, or in every predecessor
+path — we check the simpler global single-assignment discipline plus
+reachability of definitions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, CondBr, Ret
+from repro.ir.module import Module
+from repro.ir.values import Register as RegisterValue
+
+
+class IRValidationError(ValueError):
+    """Raised when a function violates IR structural rules."""
+
+
+def validate_function(function: Function) -> None:
+    if not function.blocks:
+        raise IRValidationError(f"{function.name}: no blocks")
+    if function.entry_label not in function.blocks:
+        raise IRValidationError(f"{function.name}: missing entry block")
+
+    defined: Set[str] = set(function.param_names())
+    for block in function.blocks.values():
+        if block.terminator is None:
+            raise IRValidationError(
+                f"{function.name}: block {block.label} is unterminated"
+            )
+        for target in block.terminator.successors():
+            if target not in function.blocks:
+                raise IRValidationError(
+                    f"{function.name}: branch to unknown block {target!r}"
+                )
+        for insn in block.instructions:
+            dest = insn.dest
+            if dest is not None:
+                if dest.name in defined:
+                    raise IRValidationError(
+                        f"{function.name}: register %{dest.name} assigned twice"
+                    )
+                defined.add(dest.name)
+
+    # Uses must reference some definition (parameters count).
+    for block in function.blocks.values():
+        for insn in block.instructions:
+            for operand in insn.operands():
+                if isinstance(operand, RegisterValue) and operand.name not in defined:
+                    raise IRValidationError(
+                        f"{function.name}: use of undefined register %{operand.name} "
+                        f"in {block.label}: {insn!r}"
+                    )
+        term = block.terminator
+        if isinstance(term, CondBr) and isinstance(term.cond, RegisterValue):
+            if term.cond.name not in defined:
+                raise IRValidationError(
+                    f"{function.name}: use of undefined register %{term.cond.name} "
+                    f"in terminator of {block.label}"
+                )
+        if isinstance(term, Ret) and isinstance(term.value, RegisterValue):
+            if term.value.name not in defined:
+                raise IRValidationError(
+                    f"{function.name}: return of undefined register %{term.value.name}"
+                )
+
+
+def validate_module(module: Module) -> None:
+    for function in module.functions.values():
+        validate_function(function)
+        for block in function.blocks.values():
+            for insn in block.instructions:
+                if isinstance(insn, Call):
+                    _check_callee(module, function, insn)
+
+
+def _check_callee(module: Module, function: Function, call: Call) -> None:
+    from repro.ir.instructions import INTRINSICS
+
+    if call.callee in INTRINSICS:
+        return
+    # Non-module callees may be bound later (specs/summaries); only flag
+    # calls that look like typos of intrinsics.
+    if call.callee.startswith("list.") and call.callee not in INTRINSICS:
+        raise IRValidationError(
+            f"{function.name}: unknown list intrinsic {call.callee!r}"
+        )

@@ -1,0 +1,84 @@
+"""IR values: virtual registers and constants."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import Type
+
+
+class Value:
+    """Base of everything an instruction operand can be."""
+
+    __slots__ = ()
+
+
+class Register(Value):
+    """A virtual register (``%name``); assigned exactly once per dynamic
+    execution by the instruction that names it as its destination."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Register) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("reg", self.name))
+
+    def __repr__(self):
+        return f"%{self.name}"
+
+
+class ConstInt(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"ConstInt expects int, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, ConstInt) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("cint", self.value))
+
+    def __repr__(self):
+        return str(self.value)
+
+
+class ConstBool(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __eq__(self, other):
+        return isinstance(other, ConstBool) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("cbool", self.value))
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+class ConstNull(Value):
+    """The nil pointer. ``type_hint`` is informational only."""
+
+    __slots__ = ("type_hint",)
+
+    def __init__(self, type_hint: Optional[Type] = None):
+        self.type_hint = type_hint
+
+    def __eq__(self, other):
+        return isinstance(other, ConstNull)
+
+    def __hash__(self):
+        return hash("cnull")
+
+    def __repr__(self):
+        return "null"

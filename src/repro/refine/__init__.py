@@ -1,0 +1,34 @@
+"""Refinement-based verification (paper section 5.2, Figure 1).
+
+Given a code function and its abstract specification (both AbsLLVM), the
+checker runs full-path symbolic execution on both, then for every feasible
+pair of (code path, spec path) asks the solver whether the outputs can
+differ while both path conditions and the interface-relation axioms hold.
+UNSAT everywhere proves the refinement; a SAT verdict yields a model that is
+decoded into a concrete counterexample.
+
+The *interface configuration* of the paper — the simulation relation R
+associating concrete with abstract state — appears here as a list of
+relation axioms (boolean formulas linking the two input encodings), plus
+the choice of output observations to compare.
+"""
+
+from repro.refine.diff import value_diff_formula
+from repro.refine.checker import (
+    RefinementReport,
+    Mismatch,
+    check_refinement,
+    check_refinement_nested,
+    check_safety,
+    SafetyReport,
+)
+
+__all__ = [
+    "value_diff_formula",
+    "RefinementReport",
+    "Mismatch",
+    "check_refinement",
+    "check_refinement_nested",
+    "check_safety",
+    "SafetyReport",
+]

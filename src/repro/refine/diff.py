@@ -1,0 +1,93 @@
+"""Structural difference formulas between executor values.
+
+``value_diff_formula(a, mem_a, b, mem_b)`` builds a boolean formula that is
+satisfiable exactly when the two values can be observed to differ: scalar
+disequality, null/non-null mismatch, field-wise struct difference, or list
+difference (length disequality, or some index below both lengths whose
+elements differ). Aggregates are compared structurally through their
+memories so the code's heap-allocated response and the specification's
+response compare by content, not identity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.solver.terms import (
+    BoolExpr,
+    IntExpr,
+    and_,
+    beq,
+    bfalse,
+    btrue,
+    iconst,
+    lt,
+    ne,
+    not_,
+    or_,
+)
+from repro.symex.errors import SymexError
+from repro.symex.memory import Memory
+from repro.symex.values import ListVal, Pointer, StructVal, UNINIT
+
+#: Recursion bound; deep enough for any response structure, shallow enough
+#: to cut accidental cycles loudly rather than loop.
+MAX_DEPTH = 24
+
+
+def value_diff_formula(a, mem_a: Memory, b, mem_b: Memory, depth: int = 0) -> BoolExpr:
+    """Formula true iff ``a`` (in ``mem_a``) differs from ``b`` (in ``mem_b``)."""
+    if depth > MAX_DEPTH:
+        raise SymexError("value comparison exceeded depth bound (cyclic data?)")
+    if a is UNINIT or b is UNINIT:
+        return bfalse() if a is b else btrue()
+    if isinstance(a, IntExpr) and isinstance(b, IntExpr):
+        return ne(a, b)
+    if isinstance(a, BoolExpr) and isinstance(b, BoolExpr):
+        return not_(beq(a, b))
+    if isinstance(a, Pointer) and isinstance(b, Pointer):
+        return _pointer_diff(a, mem_a, b, mem_b, depth)
+    return btrue()  # type mismatch is always a difference
+
+
+def _pointer_diff(a: Pointer, mem_a, b: Pointer, mem_b, depth: int) -> BoolExpr:
+    if a.is_null and b.is_null:
+        return bfalse()
+    if a.is_null or b.is_null:
+        return btrue()
+    if a.path or b.path:
+        raise SymexError("cannot compare interior pointers structurally")
+    content_a = mem_a.content(a.block_id)
+    content_b = mem_b.content(b.block_id)
+    if isinstance(content_a, StructVal) and isinstance(content_b, StructVal):
+        if content_a.type_name != content_b.type_name or len(content_a.fields) != len(
+            content_b.fields
+        ):
+            return btrue()
+        parts = [
+            value_diff_formula(fa, mem_a, fb, mem_b, depth + 1)
+            for fa, fb in zip(content_a.fields, content_b.fields)
+        ]
+        return or_(*parts)
+    if isinstance(content_a, ListVal) and isinstance(content_b, ListVal):
+        return _list_diff(content_a, mem_a, content_b, mem_b, depth)
+    if type(content_a) is not type(content_b):
+        return btrue()
+    # Scalar slots.
+    return value_diff_formula(content_a, mem_a, content_b, mem_b, depth + 1)
+
+
+def _list_diff(la: ListVal, mem_a, lb: ListVal, mem_b, depth: int) -> BoolExpr:
+    parts = [ne(la.length, lb.length)]
+    upper = min(len(la.items), len(lb.items))
+    for k in range(upper):
+        element_diff = value_diff_formula(
+            la.items[k], mem_a, lb.items[k], mem_b, depth + 1
+        )
+        guard = and_(lt(iconst(k), la.length), lt(iconst(k), lb.length))
+        parts.append(and_(guard, element_diff))
+    # Physical slots beyond `upper` on either side are only observable when
+    # that side's length exceeds `upper`, which the length-disequality part
+    # covers unless both lengths agree and exceed physical capacity — which
+    # the encoding's global bounds exclude.
+    return or_(*parts)

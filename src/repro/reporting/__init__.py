@@ -1,0 +1,37 @@
+"""Regeneration of the paper's tables and figures as text reports.
+
+Each ``render_*`` function reproduces one evaluation artifact:
+
+- :func:`render_table1` — Table 1 / Figure 11: every TreeSearch execution
+  path over the section 6.4 example domain tree, with an example qname
+  satisfying each path condition (solver models decoded through the
+  interner).
+- :func:`render_table2` — Table 2: the bug classes DNS-V finds per engine
+  version, with validated concrete counterexamples.
+- :func:`render_table3` — Table 3: porting cost per verification artifact.
+- :func:`render_fig10` — the section 6.3 Name-layer refinement experiment
+  (Figure 4's compare_raw against Figure 10's abstract spec).
+- :func:`render_fig12` — Figure 12: per-layer verification time.
+"""
+
+from repro.reporting.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_fig10,
+    render_fig12,
+    table1_rows,
+    table2_results,
+    EXPECTED_TABLE2,
+)
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_fig10",
+    "render_fig12",
+    "table1_rows",
+    "table2_results",
+    "EXPECTED_TABLE2",
+]

@@ -1,0 +1,168 @@
+"""The incremental solver facade used by the rest of DNS-V.
+
+Plays the role Z3 plays in the paper: path-condition satisfiability during
+symbolic execution, equivalence checking during refinement, and model
+(counterexample) extraction. The facade adds an assertion stack
+(``push``/``pop``), a cross-query theory cache, and convenience entailment
+helpers on top of :mod:`repro.solver.sat`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.solver import sat
+from repro.solver.terms import BoolExpr, and_, bool_const, eval_expr, free_vars, not_
+
+
+class SolveResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+_FROM_SAT = {
+    sat.SatResult.SAT: SolveResult.SAT,
+    sat.SatResult.UNSAT: SolveResult.UNSAT,
+    sat.SatResult.UNKNOWN: SolveResult.UNKNOWN,
+}
+
+
+class Model:
+    """An assignment of symbolic constants; unmentioned variables are
+    unconstrained and default as requested."""
+
+    def __init__(self, values: Dict[str, Union[int, bool]]):
+        self._values = dict(values)
+
+    def get_int(self, name: str, default: int = 0) -> int:
+        value = self._values.get(name, default)
+        return int(value)
+
+    def get_bool(self, name: str, default: bool = False) -> bool:
+        return bool(self._values.get(name, default))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> Dict[str, Union[int, bool]]:
+        return dict(self._values)
+
+    def evaluate(self, expr):
+        """Evaluate an expression, defaulting missing variables to 0/False."""
+        names = free_vars(expr)
+        filled = {name: self._values.get(name, 0) for name in names}
+        return eval_expr(expr, filled)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({inner})"
+
+
+class Solver:
+    """Incremental solver with an assertion stack.
+
+    Typical use by the symbolic executor::
+
+        solver = Solver()
+        solver.push()
+        solver.add(path_condition)
+        if solver.check() is SolveResult.SAT:
+            model = solver.model()
+        solver.pop()
+
+    UNKNOWN results are rare (budget exhaustion outside the supported
+    fragment); callers decide their own sound default — the executor treats
+    UNKNOWN branches as feasible, the refinement checker treats UNKNOWN
+    proofs as failures.
+    """
+
+    def __init__(self, node_limit: int = 200000):
+        self._assertions: List[BoolExpr] = []
+        self._stack: List[int] = []
+        self._cache = sat.TheoryCache()
+        self._node_limit = node_limit
+        self._model: Optional[Model] = None
+        self._result_cache: Dict[frozenset, tuple] = {}
+        self.num_checks = 0
+
+    # -- assertion stack ---------------------------------------------------
+
+    def push(self) -> None:
+        self._stack.append(len(self._assertions))
+
+    def pop(self) -> None:
+        if not self._stack:
+            raise RuntimeError("pop without matching push")
+        depth = self._stack.pop()
+        del self._assertions[depth:]
+
+    def add(self, *formulas: Union[BoolExpr, bool]) -> None:
+        for formula in formulas:
+            if isinstance(formula, bool):
+                formula = bool_const(formula)
+            if not isinstance(formula, BoolExpr):
+                raise TypeError(f"not a boolean formula: {formula!r}")
+            self._assertions.append(formula)
+
+    @property
+    def assertions(self) -> List[BoolExpr]:
+        return list(self._assertions)
+
+    # -- checking ------------------------------------------------------------
+
+    def check(self, *extra: Union[BoolExpr, bool]) -> SolveResult:
+        formulas = list(self._assertions)
+        for formula in extra:
+            if isinstance(formula, bool):
+                formula = bool_const(formula)
+            formulas.append(formula)
+
+        key = frozenset(formulas)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            result, model = cached
+            self._model = model
+            return result
+
+        self.num_checks += 1
+        sat_result, model_dict = sat.check_formulas(
+            formulas, self._cache, self._node_limit
+        )
+        result = _FROM_SAT[sat_result]
+        model = Model(model_dict) if model_dict is not None else None
+        self._model = model
+        self._result_cache[key] = (result, model)
+        return result
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("no model available (last check was not SAT)")
+        return self._model
+
+    # -- derived judgements -----------------------------------------------
+
+    def is_satisfiable(self, *extra: BoolExpr) -> bool:
+        """True unless proven UNSAT. The sound default for path pruning:
+        an UNKNOWN branch is still explored."""
+        return self.check(*extra) is not SolveResult.UNSAT
+
+    def entails(self, formula: BoolExpr) -> bool:
+        """True iff assertions ⊨ formula (proven). UNKNOWN counts as not
+        proven — the sound default for refinement obligations."""
+        return self.check(not_(formula)) is SolveResult.UNSAT
+
+    def equivalent(self, a: BoolExpr, b: BoolExpr) -> bool:
+        """True iff a and b agree under the current assertions (proven)."""
+        differ = or_differ(a, b)
+        return self.check(differ) is SolveResult.UNSAT
+
+
+def or_differ(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    """Formula that is true exactly when ``a`` and ``b`` disagree."""
+    return and_(a, not_(b)) | and_(not_(a), b)
+
+
+def conjunction(formulas: Iterable[BoolExpr]) -> BoolExpr:
+    return and_(*list(formulas))

@@ -1,0 +1,506 @@
+"""Term language: linear integer expressions and boolean formulas.
+
+Integer expressions are kept in a *canonical linear form* — a sorted
+coefficient map plus a constant — so that nonlinear terms are unrepresentable
+by construction. This mirrors the paper's encoding methodology (section 5.4):
+branch conditions in the DNS engine reduce to linear comparisons over label
+codes, lengths and flags, and restricting the term language to that fragment
+is what keeps automated reasoning fast and predictable.
+
+Boolean formulas are built by smart constructors that constant-fold and
+normalise on the fly:
+
+- comparisons normalise to two atom kinds over ``e ⋈ 0``: ``LE`` (``e <= 0``)
+  and ``EQ`` (``e == 0``), with ``NE`` kept as a third kind because integer
+  negation of ``EQ`` would otherwise blow up into disjunctions;
+- negation is pushed to atoms immediately (formulas are always in NNF);
+- ``and_``/``or_`` flatten, deduplicate and short-circuit on complements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+
+class NonLinearError(TypeError):
+    """Raised when an operation would leave the linear fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Integer expressions: canonical linear combinations.
+# ---------------------------------------------------------------------------
+
+
+class IntExpr:
+    """A linear integer expression ``sum(coeff_i * var_i) + const``.
+
+    Immutable; ``coeffs`` is a tuple of ``(var_name, coeff)`` sorted by name
+    with no zero coefficients.
+    """
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Tuple[Tuple[str, int], ...], const: int):
+        self.coeffs = coeffs
+        self.const = const
+        self._hash = hash((coeffs, const))
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def is_var(self) -> bool:
+        return len(self.coeffs) == 1 and self.coeffs[0][1] == 1 and self.const == 0
+
+    @property
+    def var_name(self) -> str:
+        if not self.is_var:
+            raise ValueError(f"{self} is not a plain variable")
+        return self.coeffs[0][0]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntExpr)
+            and self.coeffs == other.coeffs
+            and self.const == other.const
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self.coeffs:
+            return str(self.const)
+        parts = []
+        for name, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        text = " + ".join(parts).replace("+ -", "- ")
+        if self.const:
+            text += f" + {self.const}" if self.const > 0 else f" - {-self.const}"
+        return text
+
+
+def iconst(value: int) -> IntExpr:
+    """Integer literal."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"iconst expects an int, got {type(value).__name__}")
+    return IntExpr((), value)
+
+
+def ivar(name: str) -> IntExpr:
+    """Symbolic integer constant (a fresh SMT variable)."""
+    return IntExpr(((name, 1),), 0)
+
+
+def _combine(a: IntExpr, b: IntExpr, sign: int) -> IntExpr:
+    merged: Dict[str, int] = dict(a.coeffs)
+    for name, coeff in b.coeffs:
+        merged[name] = merged.get(name, 0) + sign * coeff
+    coeffs = tuple(sorted((n, c) for n, c in merged.items() if c != 0))
+    return IntExpr(coeffs, a.const + sign * b.const)
+
+
+def _as_int_expr(value: Union[IntExpr, int]) -> IntExpr:
+    if isinstance(value, IntExpr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not integer expressions")
+    if isinstance(value, int):
+        return iconst(value)
+    raise TypeError(f"not an integer expression: {value!r}")
+
+
+def iadd(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> IntExpr:
+    return _combine(_as_int_expr(a), _as_int_expr(b), 1)
+
+
+def isub(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> IntExpr:
+    return _combine(_as_int_expr(a), _as_int_expr(b), -1)
+
+
+def ineg(a: Union[IntExpr, int]) -> IntExpr:
+    return isub(0, a)
+
+
+def imul(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> IntExpr:
+    """Multiplication; at least one side must be constant (linearity)."""
+    ea, eb = _as_int_expr(a), _as_int_expr(b)
+    if not ea.is_const and not eb.is_const:
+        raise NonLinearError(f"nonlinear product ({ea}) * ({eb})")
+    if eb.is_const:
+        ea, eb = eb, ea
+    k = ea.const
+    if k == 0:
+        return iconst(0)
+    coeffs = tuple((name, coeff * k) for name, coeff in eb.coeffs)
+    return IntExpr(coeffs, eb.const * k)
+
+
+# ---------------------------------------------------------------------------
+# Boolean formulas (always in NNF).
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Base class for boolean formulas. All instances are immutable."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return and_(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return or_(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return not_(self)
+
+
+class BoolConst(BoolExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, BoolConst) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("bconst", self.value))
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def btrue() -> BoolExpr:
+    return TRUE
+
+
+def bfalse() -> BoolExpr:
+    return FALSE
+
+
+def bool_const(value: bool) -> BoolExpr:
+    return TRUE if value else FALSE
+
+
+class BoolLit(BoolExpr):
+    """A (possibly negated) boolean variable."""
+
+    __slots__ = ("name", "positive", "_hash")
+
+    def __init__(self, name: str, positive: bool = True):
+        self.name = name
+        self.positive = positive
+        self._hash = hash(("blit", name, positive))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BoolLit)
+            and self.name == other.name
+            and self.positive == other.positive
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return self.name if self.positive else f"!{self.name}"
+
+
+def bvar(name: str) -> BoolExpr:
+    """Symbolic boolean constant."""
+    return BoolLit(name, True)
+
+
+#: Atom kinds: expr <= 0, expr == 0, expr != 0.
+LE, EQ, NE = "le", "eq", "ne"
+_NEGATED_KIND = {EQ: NE, NE: EQ}
+
+
+class Atom(BoolExpr):
+    """A normalised linear atom ``expr <kind> 0``."""
+
+    __slots__ = ("kind", "expr", "_hash")
+
+    def __init__(self, kind: str, expr: IntExpr):
+        self.kind = kind
+        self.expr = expr
+        self._hash = hash(("atom", kind, expr))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Atom)
+            and self.kind == other.kind
+            and self.expr == other.expr
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        op = {LE: "<=", EQ: "==", NE: "!="}[self.kind]
+        return f"({self.expr} {op} 0)"
+
+
+class NaryBool(BoolExpr):
+    """Shared representation for conjunction/disjunction."""
+
+    __slots__ = ("args", "_hash")
+    symbol = "?"
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        self.args = args
+        self._hash = hash((type(self).__name__, args))
+
+    def __eq__(self, other):
+        return type(other) is type(self) and self.args == other.args
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return "(" + f" {self.symbol} ".join(map(repr, self.args)) + ")"
+
+
+class And(NaryBool):
+    __slots__ = ()
+    symbol = "&&"
+
+
+class Or(NaryBool):
+    __slots__ = ()
+    symbol = "||"
+
+
+def _normalize_atom(kind: str, expr: IntExpr) -> BoolExpr:
+    """Fold constants and divide out the gcd."""
+    if expr.is_const:
+        value = expr.const
+        result = {LE: value <= 0, EQ: value == 0, NE: value != 0}[kind]
+        return bool_const(result)
+    gcd = 0
+    for _, coeff in expr.coeffs:
+        gcd = math.gcd(gcd, abs(coeff))
+    const = expr.const
+    if gcd > 1:
+        if kind == LE:
+            # g*a + c <= 0  <=>  a <= floor(-c/g)  <=>  a - floor(-c/g) <= 0.
+            # Python's // is floor division, which keeps this exact over ints.
+            floor_bound = (-expr.const) // gcd
+            expr = IntExpr(
+                tuple((n, c // gcd) for n, c in expr.coeffs), -floor_bound
+            )
+        else:
+            if expr.const % gcd != 0:
+                # g*a + c == 0 has no integer solution.
+                return bool_const(kind == NE)
+            expr = IntExpr(
+                tuple((n, c // gcd) for n, c in expr.coeffs), expr.const // gcd
+            )
+    if kind in (EQ, NE):
+        # Canonical sign: first coefficient positive.
+        if expr.coeffs[0][1] < 0:
+            expr = IntExpr(
+                tuple((n, -c) for n, c in expr.coeffs), -expr.const
+            )
+    return Atom(kind, expr)
+
+
+def le(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    """a <= b"""
+    return _normalize_atom(LE, isub(a, b))
+
+
+def lt(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    """a < b (integers: a + 1 <= b)"""
+    return _normalize_atom(LE, iadd(isub(a, b), 1))
+
+
+def ge(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    return le(b, a)
+
+
+def gt(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    return lt(b, a)
+
+
+def eq(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    """a == b"""
+    return _normalize_atom(EQ, isub(a, b))
+
+
+def ne(a: Union[IntExpr, int], b: Union[IntExpr, int]) -> BoolExpr:
+    """a != b"""
+    return _normalize_atom(NE, isub(a, b))
+
+
+def beq(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    """Boolean equivalence, expanded into NNF."""
+    return or_(and_(a, b), and_(not_(a), not_(b)))
+
+
+def not_(formula: BoolExpr) -> BoolExpr:
+    """Negation, pushed down so results stay in NNF."""
+    if isinstance(formula, BoolConst):
+        return bool_const(not formula.value)
+    if isinstance(formula, BoolLit):
+        return BoolLit(formula.name, not formula.positive)
+    if isinstance(formula, Atom):
+        if formula.kind == LE:
+            # not(e <= 0)  <=>  -e + 1 <= 0
+            return _normalize_atom(LE, iadd(ineg(formula.expr), 1))
+        return Atom(_NEGATED_KIND[formula.kind], formula.expr)
+    if isinstance(formula, And):
+        return or_(*[not_(arg) for arg in formula.args])
+    if isinstance(formula, Or):
+        return and_(*[not_(arg) for arg in formula.args])
+    raise TypeError(f"not a boolean formula: {formula!r}")
+
+
+def _flatten(cls, formulas: Iterable[BoolExpr], absorbing: BoolConst, neutral: BoolConst):
+    seen = []
+    seen_set = set()
+    for formula in formulas:
+        if not isinstance(formula, BoolExpr):
+            raise TypeError(f"not a boolean formula: {formula!r}")
+        if formula == absorbing:
+            return None  # caller returns absorbing
+        if formula == neutral:
+            continue
+        args = formula.args if isinstance(formula, cls) else (formula,)
+        for arg in args:
+            if arg == absorbing:
+                return None
+            if arg == neutral or arg in seen_set:
+                continue
+            seen.append(arg)
+            seen_set.add(arg)
+    # Complement detection: p and !p.
+    for arg in seen:
+        if not_(arg) in seen_set and isinstance(arg, (BoolLit, Atom)):
+            return None
+    return seen
+
+
+def and_(*formulas: BoolExpr) -> BoolExpr:
+    args = _flatten(And, formulas, FALSE, TRUE)
+    if args is None:
+        return FALSE
+    if not args:
+        return TRUE
+    if len(args) == 1:
+        return args[0]
+    return And(tuple(args))
+
+
+def or_(*formulas: BoolExpr) -> BoolExpr:
+    args = _flatten(Or, formulas, TRUE, FALSE)
+    if args is None:
+        return TRUE
+    if not args:
+        return FALSE
+    if len(args) == 1:
+        return args[0]
+    return Or(tuple(args))
+
+
+def implies(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    return or_(not_(a), b)
+
+
+# ---------------------------------------------------------------------------
+# Traversal, substitution, evaluation.
+# ---------------------------------------------------------------------------
+
+Expr = Union[IntExpr, BoolExpr]
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Names of all symbolic constants (int and bool) in ``expr``."""
+    if isinstance(expr, IntExpr):
+        return frozenset(name for name, _ in expr.coeffs)
+    if isinstance(expr, BoolConst):
+        return frozenset()
+    if isinstance(expr, BoolLit):
+        return frozenset((expr.name,))
+    if isinstance(expr, Atom):
+        return free_vars(expr.expr)
+    if isinstance(expr, NaryBool):
+        out: FrozenSet[str] = frozenset()
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace symbolic constants by expressions.
+
+    Int variables map to :class:`IntExpr` (or plain ints); bool variables map
+    to :class:`BoolExpr`. Used when instantiating summary specifications at a
+    call site (section 5.3's naming-convention association).
+    """
+    if isinstance(expr, IntExpr):
+        result = iconst(expr.const)
+        for name, coeff in expr.coeffs:
+            replacement = mapping.get(name)
+            if replacement is None:
+                replacement = ivar(name)
+            elif isinstance(replacement, int) and not isinstance(replacement, bool):
+                replacement = iconst(replacement)
+            elif not isinstance(replacement, IntExpr):
+                raise TypeError(f"int variable {name} mapped to non-int {replacement!r}")
+            result = iadd(result, imul(coeff, replacement))
+        return result
+    if isinstance(expr, BoolConst):
+        return expr
+    if isinstance(expr, BoolLit):
+        replacement = mapping.get(expr.name)
+        if replacement is None:
+            return expr
+        if isinstance(replacement, bool):
+            replacement = bool_const(replacement)
+        if not isinstance(replacement, BoolExpr):
+            raise TypeError(f"bool variable {expr.name} mapped to non-bool {replacement!r}")
+        return replacement if expr.positive else not_(replacement)
+    if isinstance(expr, Atom):
+        return _normalize_atom(expr.kind, substitute(expr.expr, mapping))
+    if isinstance(expr, And):
+        return and_(*[substitute(arg, mapping) for arg in expr.args])
+    if isinstance(expr, Or):
+        return or_(*[substitute(arg, mapping) for arg in expr.args])
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def eval_expr(expr: Expr, model: Mapping[str, Union[int, bool]]) -> Union[int, bool]:
+    """Evaluate under a full model; raises KeyError on missing variables."""
+    if isinstance(expr, IntExpr):
+        total = expr.const
+        for name, coeff in expr.coeffs:
+            total += coeff * int(model[name])
+        return total
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        value = bool(model[expr.name])
+        return value if expr.positive else not value
+    if isinstance(expr, Atom):
+        value = eval_expr(expr.expr, model)
+        return {LE: value <= 0, EQ: value == 0, NE: value != 0}[expr.kind]
+    if isinstance(expr, And):
+        return all(eval_expr(arg, model) for arg in expr.args)
+    if isinstance(expr, Or):
+        return any(eval_expr(arg, model) for arg in expr.args)
+    raise TypeError(f"not an expression: {expr!r}")

@@ -1,0 +1,483 @@
+"""Decision procedure for conjunctions of linear integer constraints.
+
+The SAT layer hands this module a set of normalised atoms (``e <= 0``,
+``e == 0``, ``e != 0`` over linear integer expressions) and expects one of:
+
+- ``UNSAT`` — proven infeasible;
+- ``SAT`` plus an integer model;
+- ``UNKNOWN`` — the (rare) escape hatch when the heuristic budget runs out.
+
+The procedure is complete for the shapes DNS-V produces (section 6.3:
+variable-vs-constant and variable-vs-variable comparisons, bounded domains,
+disequality sets from interned label codes):
+
+1. Gaussian elimination of equalities (exact, over rationals), preferring
+   unit-coefficient pivots so back-substitution stays integral.
+2. Interval propagation over the inequalities to a fixpoint, with integer
+   floor/ceil tightening.
+3. Backtracking model search picking the tightest variable first, skipping
+   values excluded by disequalities.
+4. A Fourier–Motzkin rational-infeasibility check as a safety net so that
+   budget exhaustion can still return a definite UNSAT when one exists.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.solver.terms import Atom, EQ, LE, NE
+
+LinComb = Dict[str, Fraction]
+
+
+class TheoryResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class _Constraint:
+    """``coeffs . vars + const (kind) 0`` with rational coefficients."""
+
+    __slots__ = ("coeffs", "const", "kind")
+
+    def __init__(self, coeffs: LinComb, const: Fraction, kind: str):
+        self.coeffs = {n: c for n, c in coeffs.items() if c != 0}
+        self.const = const
+        self.kind = kind
+
+    @classmethod
+    def from_atom(cls, atom: Atom) -> "_Constraint":
+        coeffs = {name: Fraction(coeff) for name, coeff in atom.expr.coeffs}
+        return cls(coeffs, Fraction(atom.expr.const), atom.kind)
+
+    def substitute(self, name: str, replacement: LinComb, rep_const: Fraction) -> "_Constraint":
+        if name not in self.coeffs:
+            return self
+        factor = self.coeffs[name]
+        coeffs = dict(self.coeffs)
+        del coeffs[name]
+        for var, coeff in replacement.items():
+            coeffs[var] = coeffs.get(var, Fraction(0)) + factor * coeff
+        return _Constraint(coeffs, self.const + factor * rep_const, self.kind)
+
+    def assign(self, name: str, value: int) -> "_Constraint":
+        return self.substitute(name, {}, Fraction(value))
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def const_holds(self) -> bool:
+        value = self.const
+        return {LE: value <= 0, EQ: value == 0, NE: value != 0}[self.kind]
+
+    def __repr__(self) -> str:
+        op = {LE: "<=", EQ: "==", NE: "!="}[self.kind]
+        terms = " + ".join(f"{c}*{n}" for n, c in sorted(self.coeffs.items()))
+        return f"{terms or 0} + {self.const} {op} 0"
+
+
+_POS_INF = None  # sentinel meaning "unbounded"
+
+
+class _Bounds:
+    """Per-variable integer intervals; None means unbounded on that side."""
+
+    def __init__(self):
+        self.lo: Dict[str, Optional[int]] = {}
+        self.hi: Dict[str, Optional[int]] = {}
+
+    def ensure(self, name: str) -> None:
+        self.lo.setdefault(name, None)
+        self.hi.setdefault(name, None)
+
+    def tighten_lo(self, name: str, value: int) -> bool:
+        cur = self.lo.get(name)
+        if cur is None or value > cur:
+            self.lo[name] = value
+            return True
+        return False
+
+    def tighten_hi(self, name: str, value: int) -> bool:
+        cur = self.hi.get(name)
+        if cur is None or value < cur:
+            self.hi[name] = value
+            return True
+        return False
+
+    def empty(self, name: str) -> bool:
+        lo, hi = self.lo.get(name), self.hi.get(name)
+        return lo is not None and hi is not None and lo > hi
+
+    def copy(self) -> "_Bounds":
+        out = _Bounds()
+        out.lo = dict(self.lo)
+        out.hi = dict(self.hi)
+        return out
+
+
+def _ceil_div(a: Fraction) -> int:
+    return -((-a.numerator) // a.denominator)
+
+
+def _floor_div(a: Fraction) -> int:
+    return a.numerator // a.denominator
+
+
+def _propagate(constraints: List[_Constraint], bounds: _Bounds, rounds: int = 30) -> bool:
+    """Interval propagation; returns False on proven emptiness."""
+    les = [c for c in constraints if c.kind == LE and not c.is_const]
+    for c in constraints:
+        for name in c.coeffs:
+            bounds.ensure(name)
+    for _ in range(rounds):
+        changed = False
+        for c in les:
+            # sum ci*xi + const <= 0. For each xi:
+            #   ci*xi <= -const - sum_{j != i} cj*xj
+            for name, coeff in c.coeffs.items():
+                rhs_max = -c.const
+                feasible = True
+                for other, ocoeff in c.coeffs.items():
+                    if other == name:
+                        continue
+                    if ocoeff > 0:
+                        olo = bounds.lo.get(other)
+                        if olo is None:
+                            feasible = False
+                            break
+                        rhs_max -= ocoeff * olo
+                    else:
+                        ohi = bounds.hi.get(other)
+                        if ohi is None:
+                            feasible = False
+                            break
+                        rhs_max -= ocoeff * ohi
+                if not feasible:
+                    continue
+                if coeff > 0:
+                    changed |= bounds.tighten_hi(name, _floor_div(rhs_max / coeff))
+                else:
+                    changed |= bounds.tighten_lo(name, _ceil_div(rhs_max / coeff))
+                if bounds.empty(name):
+                    return False
+        if not changed:
+            break
+    return True
+
+
+def _fourier_motzkin_unsat(les: Sequence[_Constraint], limit: int = 4000) -> bool:
+    """True iff the LE system is infeasible over the *rationals* (hence over
+    the integers). Used as a certain-UNSAT fallback."""
+    system: List[Tuple[LinComb, Fraction]] = [
+        (dict(c.coeffs), c.const) for c in les
+    ]
+    while True:
+        variables: Set[str] = set()
+        for coeffs, _ in system:
+            variables.update(coeffs)
+        if not variables:
+            return any(const > 0 for _, const in system)
+        # Eliminate the variable occurring least often to limit blowup.
+        var = min(variables, key=lambda v: sum(1 for c, _ in system if v in c))
+        uppers, lowers, rest = [], [], []
+        for coeffs, const in system:
+            coeff = coeffs.get(var, Fraction(0))
+            if coeff > 0:
+                uppers.append((coeffs, const, coeff))
+            elif coeff < 0:
+                lowers.append((coeffs, const, coeff))
+            else:
+                rest.append((coeffs, const))
+        new_system = rest
+        for ucoeffs, uconst, uc in uppers:
+            for lcoeffs, lconst, lc in lowers:
+                # uc*x <= -u_rest  and  lc*x >= -l_rest (lc < 0):
+                # combine to eliminate x.
+                coeffs: LinComb = {}
+                for name, c in ucoeffs.items():
+                    if name != var:
+                        coeffs[name] = coeffs.get(name, Fraction(0)) + c / uc
+                for name, c in lcoeffs.items():
+                    if name != var:
+                        coeffs[name] = coeffs.get(name, Fraction(0)) - c / lc
+                const = uconst / uc - lconst / lc
+                coeffs = {n: c for n, c in coeffs.items() if c != 0}
+                if not coeffs:
+                    if const > 0:
+                        return True
+                else:
+                    new_system.append((coeffs, const))
+        if len(new_system) > limit:
+            return False  # give up: not proven infeasible
+        system = [
+            (coeffs, const) for coeffs, const in new_system
+        ]
+        if not system:
+            return False
+
+
+class _SearchBudget:
+    def __init__(self, nodes: int):
+        self.nodes = nodes
+        self.exhausted = False
+
+    def spend(self) -> bool:
+        if self.nodes <= 0:
+            self.exhausted = True
+            return False
+        self.nodes -= 1
+        return True
+
+
+def check_conjunction(
+    atoms: Iterable[Atom],
+    node_limit: int = 50000,
+) -> Tuple[TheoryResult, Optional[Dict[str, int]]]:
+    """Decide a conjunction of linear integer atoms.
+
+    Returns ``(SAT, model)``, ``(UNSAT, None)`` or ``(UNKNOWN, None)``.
+    The model assigns every variable mentioned by the atoms (unconstrained
+    variables get arbitrary in-bound values).
+    """
+    constraints = [_Constraint.from_atom(a) for a in atoms]
+    all_vars: Set[str] = set()
+    for c in constraints:
+        all_vars.update(c.coeffs)
+
+    # Step 1: Gaussian elimination of equalities.
+    substitution: Dict[str, Tuple[LinComb, Fraction]] = {}
+    remaining: List[_Constraint] = []
+    eqs = [c for c in constraints if c.kind == EQ]
+    others = [c for c in constraints if c.kind != EQ]
+    for eq_c in eqs:
+        for name, (rep, rep_const) in substitution.items():
+            eq_c = eq_c.substitute(name, rep, rep_const)
+        if eq_c.is_const:
+            if not eq_c.const_holds():
+                return TheoryResult.UNSAT, None
+            continue
+        # Only eliminate with a unit-coefficient pivot (keeps back
+        # substitution integral). Non-unit equations go to the search as a
+        # pair of inequalities — complete over the bounded domains DNS-V
+        # produces, and exact because fully-assigned constraints are folded.
+        pivot = None
+        for name, coeff in eq_c.coeffs.items():
+            if abs(coeff) == 1:
+                pivot = name
+                break
+        if pivot is None:
+            others.append(_Constraint(dict(eq_c.coeffs), eq_c.const, LE))
+            others.append(
+                _Constraint(
+                    {n: -c for n, c in eq_c.coeffs.items()}, -eq_c.const, LE
+                )
+            )
+            others.append(_Constraint(dict(eq_c.coeffs), eq_c.const, EQ))
+            continue
+        pcoeff = eq_c.coeffs[pivot]
+        rep = {
+            name: -coeff / pcoeff
+            for name, coeff in eq_c.coeffs.items()
+            if name != pivot
+        }
+        rep_const = -eq_c.const / pcoeff
+        # Apply the new substitution to earlier ones.
+        for name in list(substitution):
+            old_rep, old_const = substitution[name]
+            if pivot in old_rep:
+                factor = old_rep.pop(pivot)
+                for var, coeff in rep.items():
+                    old_rep[var] = old_rep.get(var, Fraction(0)) + factor * coeff
+                substitution[name] = (
+                    {n: c for n, c in old_rep.items() if c != 0},
+                    old_const + factor * rep_const,
+                )
+        substitution[pivot] = (rep, rep_const)
+
+    for c in others:
+        for name, (rep, rep_const) in substitution.items():
+            c = c.substitute(name, rep, rep_const)
+        if c.is_const:
+            if not c.const_holds():
+                return TheoryResult.UNSAT, None
+            continue
+        remaining.append(c)
+
+    # Step 2: interval propagation.
+    bounds = _Bounds()
+    for var in all_vars:
+        bounds.ensure(var)
+    if not _propagate(remaining, bounds):
+        return TheoryResult.UNSAT, None
+
+    # Step 3: backtracking search for an integer model.
+    budget = _SearchBudget(node_limit)
+    assignment = _search(remaining, bounds, {}, budget)
+    if assignment is not None:
+        model = _complete_model(assignment, substitution, bounds, all_vars)
+        if model is not None:
+            return TheoryResult.SAT, model
+        return TheoryResult.UNKNOWN, None
+
+    if budget.exhausted:
+        les = [c for c in remaining if c.kind == LE]
+        if _fourier_motzkin_unsat(les):
+            return TheoryResult.UNSAT, None
+        return TheoryResult.UNKNOWN, None
+    return TheoryResult.UNSAT, None
+
+
+def _search(
+    constraints: List[_Constraint],
+    bounds: _Bounds,
+    assignment: Dict[str, int],
+    budget: _SearchBudget,
+) -> Optional[Dict[str, int]]:
+    if not budget.spend():
+        return None
+
+    # Fold fully-assigned constraints; collect free variables.
+    active: List[_Constraint] = []
+    free: Set[str] = set()
+    for c in constraints:
+        if c.is_const:
+            if not c.const_holds():
+                return None
+            continue
+        active.append(c)
+        free.update(c.coeffs)
+    if not active:
+        return dict(assignment)
+
+    local = bounds.copy()
+    if not _propagate(active, local):
+        return None
+    for var in free:
+        if local.empty(var):
+            return None
+
+    var = _pick_variable(active, local, free)
+    forbidden = _unit_forbidden_values(active, var)
+    for value in _candidates(local.lo.get(var), local.hi.get(var), forbidden, budget):
+        if not budget.spend():
+            return None
+        new_constraints = [c.assign(var, value) for c in active]
+        new_bounds = local.copy()
+        new_bounds.lo[var] = new_bounds.hi[var] = value
+        assignment[var] = value
+        result = _search(new_constraints, new_bounds, assignment, budget)
+        if result is not None:
+            return result
+        del assignment[var]
+        if budget.exhausted:
+            return None
+    return None
+
+
+def _pick_variable(constraints: List[_Constraint], bounds: _Bounds, free: Set[str]) -> str:
+    def width(name: str) -> Tuple[int, int]:
+        lo, hi = bounds.lo.get(name), bounds.hi.get(name)
+        if lo is not None and hi is not None:
+            return (0, hi - lo)
+        if lo is not None or hi is not None:
+            return (1, 0)
+        return (2, 0)
+
+    occurrences: Dict[str, int] = {name: 0 for name in free}
+    for c in constraints:
+        for name in c.coeffs:
+            occurrences[name] = occurrences.get(name, 0) + 1
+    return min(free, key=lambda n: (width(n), -occurrences.get(n, 0), n))
+
+
+def _unit_forbidden_values(constraints: List[_Constraint], var: str) -> Set[int]:
+    """Values directly excluded by unit disequalities ``var != value``."""
+    out: Set[int] = set()
+    for c in constraints:
+        if c.kind == NE and set(c.coeffs) == {var}:
+            coeff = c.coeffs[var]
+            value = -c.const / coeff
+            if value.denominator == 1:
+                out.add(int(value))
+    return out
+
+
+def _candidates(
+    lo: Optional[int],
+    hi: Optional[int],
+    forbidden: Set[int],
+    budget: _SearchBudget,
+    limit: int = 4096,
+):
+    """Yield candidate integer values within [lo, hi] avoiding forbidden
+    values: ascending from lo when it exists, expanding from 0 otherwise.
+
+    If the generator truncates while more in-domain values could exist, it
+    marks the budget exhausted so the caller reports UNKNOWN instead of an
+    unsound UNSAT.
+    """
+    produced = 0
+    if lo is not None:
+        value = lo
+        while hi is None or value <= hi:
+            if produced >= limit:
+                budget.exhausted = True
+                return
+            if value not in forbidden:
+                yield value
+                produced += 1
+            value += 1
+        return
+    if hi is not None:
+        value = hi
+        while True:
+            if produced >= limit:
+                budget.exhausted = True
+                return
+            if value not in forbidden:
+                yield value
+                produced += 1
+            value -= 1
+    else:
+        for value in itertools.chain([0], *[(k, -k) for k in range(1, limit)]):
+            if value not in forbidden:
+                yield value
+                produced += 1
+        budget.exhausted = True
+
+
+def _complete_model(
+    assignment: Dict[str, int],
+    substitution: Dict[str, Tuple[LinComb, Fraction]],
+    bounds: _Bounds,
+    all_vars: Set[str],
+) -> Optional[Dict[str, int]]:
+    model = dict(assignment)
+    # Free variables never touched by the search: any in-bound value works.
+    for var in all_vars:
+        if var in model or var in substitution:
+            continue
+        lo, hi = bounds.lo.get(var), bounds.hi.get(var)
+        if lo is not None:
+            model[var] = lo
+        elif hi is not None:
+            model[var] = hi
+        else:
+            model[var] = 0
+    # Back-substitute eliminated variables; order-independent because each
+    # substitution RHS only mentions non-eliminated variables.
+    for var, (rep, rep_const) in substitution.items():
+        value = rep_const
+        for name, coeff in rep.items():
+            if name not in model:
+                model[name] = 0
+            value += coeff * model[name]
+        if value.denominator != 1:
+            return None  # non-integral witness; caller reports UNKNOWN
+        model[var] = int(value)
+    return model

@@ -1,0 +1,18 @@
+"""Specifications (paper section 6.1).
+
+- :mod:`repro.spec.toplevel` — the ~200-line executable top-level
+  specification of authoritative resolution (Figure 9): unlike the engine,
+  it never walks a tree; it resolves by iterative filtering over the flat
+  zone RR list, following RFC 1034/2308/4592 behaviour. Written in GoPy so
+  the same refinement machinery that runs the engine runs the spec.
+- :mod:`repro.spec.namespec` — the manual abstract specification of the
+  Name layer (Figure 10) and the interface relation used by the
+  section 6.3 refinement experiment.
+- :mod:`repro.spec.reference` — an independent plain-Python reference
+  resolver over :mod:`repro.dns` objects, used as the third implementation
+  that validates counterexamples and powers the differential tester.
+"""
+
+from repro.spec.reference import reference_resolve
+
+__all__ = ["reference_resolve"]

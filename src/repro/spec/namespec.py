@@ -1,0 +1,178 @@
+"""The Name-layer refinement experiment (paper section 6.3, Figures 4/10).
+
+Proves that the production byte-level comparison
+:func:`repro.engine.gopy.rawname.compare_raw` refines the abstract
+word-level :func:`repro.engine.gopy.nameops.name_match` under the interface
+relation linking the two encodings:
+
+- the *concrete* input is a byte array (presentation order, ``'.'``
+  separators) whose non-separator bytes are symbolic;
+- the *abstract* input is the reversed list of symbolic label codes;
+- the relation axioms state, for every interned label ``L`` and every
+  query-label position ``j``: *the bytes of label j spell L* ⟺
+  *code variable m_j equals code(L)* — which is exactly what the
+  order-preserving interner guarantees.
+
+Following the paper, the other argument (the tree node's name) is concrete,
+and the query's length is bounded so the byte-level path set is finite: the
+checker enumerates every (label count, per-label byte length) shape within
+the bound and proves the refinement per shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.dns.interner import LabelInterner
+from repro.dns.name import DnsName
+from repro.engine.gopy import nameops, rawname
+from repro.engine.gopy.consts import SEP
+from repro.refine import check_refinement
+from repro.solver import Solver, and_, beq, eq, ge, iconst, ivar, le, ne
+from repro.solver.terms import BoolExpr
+from repro.symex import Executor, ListVal, PathState
+
+#: Symbolic query bytes range over lowercase letters.
+BYTE_MIN, BYTE_MAX = 97, 122
+
+
+def byte_encode(name: DnsName) -> List[int]:
+    """Presentation-order bytes with '.' separators (Figure 4's encoding)."""
+    out: List[int] = []
+    for index, label in enumerate(name.labels):
+        if index:
+            out.append(SEP)
+        out.extend(ord(ch) for ch in label)
+    return out
+
+
+@dataclass
+class NameRefinementReport:
+    """Aggregated result over every bounded shape."""
+
+    node_name: str
+    verified: bool = True
+    shapes_checked: int = 0
+    failures: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    code_paths: int = 0
+    pairs_checked: int = 0
+
+    def describe(self) -> str:
+        status = "VERIFIED" if self.verified else "FAILED"
+        lines = [
+            f"Name layer: compare_raw ⊑ name_match vs {self.node_name}: {status} "
+            f"({self.shapes_checked} shapes, {self.code_paths} byte-level paths, "
+            f"{self.elapsed_seconds:.2f}s)"
+        ]
+        lines.extend("  " + f for f in self.failures[:10])
+        return "\n".join(lines)
+
+
+def _shapes(max_labels: int, max_label_len: int):
+    for count in range(1, max_labels + 1):
+        for lengths in itertools.product(range(1, max_label_len + 1), repeat=count):
+            yield lengths
+
+
+def check_name_refinement(
+    node_name: DnsName,
+    extra_labels: Sequence[str] = (),
+    max_labels: int = 3,
+    max_label_len: int = 3,
+    raw_function: str = "compare_raw",
+    solver: Solver = None,
+) -> NameRefinementReport:
+    """Run the section 6.3 experiment against one concrete node name."""
+    from repro.core.pipeline import _compiled  # shared IR cache
+
+    interner = LabelInterner(list(node_name.labels) + list(extra_labels))
+    executor = Executor(
+        [_compiled(rawname), _compiled(nameops)], solver=solver
+    )
+    report = NameRefinementReport(node_name.to_text())
+    started = time.perf_counter()
+
+    node_bytes = byte_encode(node_name)
+    node_codes = list(interner.encode_name(node_name))
+
+    for lengths in _shapes(max_labels, max_label_len):
+        state = PathState()
+        # Presentation order is the reverse of significance order: byte
+        # label j (presentation) corresponds to code variable m_{k-1-j}.
+        count = len(lengths)
+        byte_items: List[object] = []
+        byte_vars_per_sig: List[List[object]] = [None] * count
+        for pres_j, length in enumerate(lengths):
+            if pres_j:
+                byte_items.append(iconst(SEP))
+            sig = count - 1 - pres_j
+            label_vars = [ivar(f"b{sig}_{p}") for p in range(length)]
+            byte_vars_per_sig[sig] = label_vars
+            byte_items.extend(label_vars)
+        code_vars = [ivar(f"m{j}") for j in range(count)]
+
+        n1_bytes_ptr = state.memory.alloc(ListVal.concrete(byte_items))
+        n2_bytes_ptr = state.memory.alloc(
+            ListVal.concrete([iconst(b) for b in node_bytes])
+        )
+        n1_codes_ptr = state.memory.alloc(ListVal.concrete(code_vars))
+        n2_codes_ptr = state.memory.alloc(
+            ListVal.concrete([iconst(c) for c in node_codes])
+        )
+
+        pre: List[BoolExpr] = []
+        for label_vars in byte_vars_per_sig:
+            for var in label_vars:
+                pre.append(ge(var, BYTE_MIN))
+                pre.append(le(var, BYTE_MAX))
+        for var in code_vars:
+            pre.append(ge(var, interner.min_code))
+            pre.append(le(var, interner.max_code))
+
+        relation = _relation_axioms(interner, byte_vars_per_sig, code_vars)
+
+        shape_report = check_refinement(
+            executor,
+            raw_function,
+            "name_match",
+            [n1_bytes_ptr, n2_bytes_ptr],
+            [n1_codes_ptr, n2_codes_ptr],
+            state=state,
+            pre=pre,
+            relation=relation,
+        )
+        report.shapes_checked += 1
+        report.code_paths += shape_report.code_paths
+        report.pairs_checked += shape_report.pairs_checked
+        if not shape_report.verified:
+            report.verified = False
+            mismatch = shape_report.mismatches[0]
+            report.failures.append(
+                f"shape {lengths}: {mismatch.describe()}"
+            )
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _relation_axioms(
+    interner: LabelInterner,
+    byte_vars_per_sig: List[List[object]],
+    code_vars: List[object],
+) -> List[BoolExpr]:
+    """The interface configuration R: byte spelling <=> label code."""
+    axioms: List[BoolExpr] = []
+    for sig, label_vars in enumerate(byte_vars_per_sig):
+        for label in interner.universe:
+            code = interner.code(label)
+            if len(label) != len(label_vars):
+                axioms.append(ne(code_vars[sig], code))
+                continue
+            spelled = and_(
+                *[eq(var, ord(ch)) for var, ch in zip(label_vars, label)]
+            )
+            axioms.append(beq(spelled, eq(code_vars[sig], code)))
+    return axioms

@@ -1,0 +1,213 @@
+"""Independent reference resolver over :mod:`repro.dns` objects.
+
+A third, straightforward implementation of the authoritative-resolution
+semantics, written directly against the domain model (no GoPy, no
+encoding). It exists to triangulate: the executable top-level
+specification, the engine, and this resolver are three independently
+written artifacts; the counterexample validator and the differential
+tester cross-check them. Behaviour matches the top-level specification
+(:mod:`repro.spec.toplevel`) clause for clause.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dns.message import Query, Response
+from repro.dns.name import DnsName
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.zone import Zone
+
+#: CNAME chains longer than this are cut off (must equal the GoPy MAX_CHASE).
+MAX_CHASE = 8
+
+
+def reference_resolve(zone: Zone, query: Query) -> Response:
+    """Authoritatively resolve ``query`` against ``zone``."""
+    state = _State(zone)
+    if not query.qname.is_subdomain_of(zone.origin):
+        return state.finish(query, RCode.REFUSED, aa=False)
+    state.lookup(query.qname, query.qtype, depth=0)
+    return state.finish(query, state.rcode, state.aa)
+
+
+class _State:
+    def __init__(self, zone: Zone):
+        self.zone = zone
+        self.rcode = RCode.NOERROR
+        self.aa = False
+        self.answer: List[ResourceRecord] = []
+        self.authority: List[ResourceRecord] = []
+        self.additional: List[ResourceRecord] = []
+        self.records = sorted(
+            zone.records,
+            key=lambda r: (r.rname.canonical_key(), int(r.rtype), r.rdata.to_text()),
+        )
+
+    # -- primitive queries over the flat record list ------------------------
+
+    def _at(self, name: DnsName) -> List[ResourceRecord]:
+        return [r for r in self.records if r.rname == name]
+
+    def _exists_at(self, name: DnsName) -> bool:
+        return any(r.rname == name for r in self.records)
+
+    def _exists_below(self, name: DnsName) -> bool:
+        return any(r.rname.is_proper_subdomain_of(name) for r in self.records)
+
+    def _cut(self, name: DnsName) -> Optional[DnsName]:
+        cuts = [
+            r.rname
+            for r in self.records
+            if r.rtype is RRType.NS
+            and r.rname != self.zone.origin
+            and name.is_subdomain_of(r.rname)
+        ]
+        if not cuts:
+            return None
+        return min(cuts, key=len)
+
+    def _closest_encloser_depth(self, name: DnsName) -> int:
+        best = 0
+        target = name.reversed_labels
+        for record in self.records:
+            other = record.rname.reversed_labels
+            depth = 0
+            for a, b in zip(target, other):
+                if a != b:
+                    break
+                depth += 1
+            best = max(best, depth)
+        return best
+
+    def _wildcard_sources(self, name: DnsName, ce_depth: int) -> List[ResourceRecord]:
+        target = name.reversed_labels
+        out = []
+        for record in self.records:
+            labels = record.rname.reversed_labels
+            if (
+                len(labels) == ce_depth + 1
+                and labels[-1] == "*"
+                and labels[:ce_depth] == target[:ce_depth]
+            ):
+                out.append(record)
+        return out
+
+    # -- response construction ------------------------------------------------
+
+    def _add_glue(self, target: DnsName) -> None:
+        if not target.is_subdomain_of(self.zone.origin):
+            return
+        for rtype in (RRType.A, RRType.AAAA):
+            for record in self._at(target):
+                if record.rtype is rtype:
+                    self.additional.append(record)
+
+    def _referral(self, cut: DnsName, at_top: bool) -> None:
+        if at_top:
+            self.aa = False
+        ns_records = [r for r in self._at(cut) if r.rtype is RRType.NS]
+        self.authority.extend(ns_records)
+        for record in ns_records:
+            self._add_glue(record.rdata.names()[0])
+
+    def _append_soa(self) -> None:
+        for record in self._at(self.zone.origin):
+            if record.rtype is RRType.SOA:
+                self.authority.append(record)
+
+    def _glue_for_answers(self, base: int) -> None:
+        for record in self.answer[base:]:
+            if record.rtype in (RRType.NS, RRType.MX, RRType.SRV):
+                self._add_glue(record.rdata.names()[0])
+
+    # -- main recursion ----------------------------------------------------------
+
+    def lookup(self, sname: DnsName, qtype: RRType, depth: int) -> None:
+        cut = self._cut(sname)
+        if cut is not None:
+            self._referral(cut, at_top=depth == 0)
+            return
+
+        if self._exists_at(sname):
+            records = self._at(sname)
+            alias = next((r for r in records if r.rtype is RRType.ALIAS), None)
+            if alias is not None and qtype in (RRType.A, RRType.AAAA):
+                # v4.0 ALIAS flattening: target's records, owner rewritten.
+                self.aa = True
+                target = alias.rdata.names()[0]
+                matched = []
+                if target.is_subdomain_of(self.zone.origin):
+                    matched = [
+                        r.with_rname(sname)
+                        for r in self._at(target)
+                        if r.rtype is qtype
+                    ]
+                self.answer.extend(matched)
+                if not matched:
+                    self._append_soa()
+                return
+            cname = next((r for r in records if r.rtype is RRType.CNAME), None)
+            if cname is not None and qtype not in (RRType.CNAME, RRType.ANY):
+                self.aa = True
+                self.answer.append(cname)
+                target = cname.rdata.names()[0]
+                if depth < MAX_CHASE and target.is_subdomain_of(self.zone.origin):
+                    self.lookup(target, qtype, depth + 1)
+                return
+            base = len(self.answer)
+            matched = [
+                r for r in records if r.rtype is qtype or qtype is RRType.ANY
+            ]
+            self.answer.extend(matched)
+            self.aa = True
+            if not matched:
+                self._append_soa()
+            else:
+                self._glue_for_answers(base)
+            return
+
+        if self._exists_below(sname):
+            self.aa = True
+            self._append_soa()
+            return
+
+        ce_depth = self._closest_encloser_depth(sname)
+        sources = self._wildcard_sources(sname, ce_depth)
+        if sources:
+            cname = next((r for r in sources if r.rtype is RRType.CNAME), None)
+            if cname is not None and qtype not in (RRType.CNAME, RRType.ANY):
+                self.aa = True
+                self.answer.append(cname.with_rname(sname))
+                target = cname.rdata.names()[0]
+                if depth < MAX_CHASE and target.is_subdomain_of(self.zone.origin):
+                    self.lookup(target, qtype, depth + 1)
+                return
+            base = len(self.answer)
+            matched = [
+                r.with_rname(sname)
+                for r in sources
+                if r.rtype is qtype or qtype is RRType.ANY
+            ]
+            self.answer.extend(matched)
+            self.aa = True
+            if not matched:
+                self._append_soa()
+            else:
+                self._glue_for_answers(base)
+            return
+
+        self.rcode = RCode.NXDOMAIN
+        self.aa = True
+        self._append_soa()
+
+    def finish(self, query: Query, rcode: RCode, aa: bool) -> Response:
+        return Response(
+            query=query,
+            rcode=rcode,
+            aa=aa,
+            answer=tuple(self.answer),
+            authority=tuple(self.authority),
+            additional=tuple(self.additional),
+        )

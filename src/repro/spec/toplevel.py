@@ -1,0 +1,255 @@
+"""The top-level specification of DNS authoritative resolution (GoPy).
+
+Figure 9 of the paper: where the production engine traverses a domain tree
+with flags and stacks, the specification groups all zone resource records
+in a flat list and resolves by iterative filtering. Behaviour follows the
+RFCs the paper cites (1034 resolution, 2308 negative answers, 4592
+wildcards) plus the additional-section conventions the engine implements:
+
+- out-of-bailiwick queries are REFUSED;
+- queries at or below a delegation cut get a non-authoritative referral
+  (cut NS records in authority, their in-zone A/AAAA glue in additional);
+- existing names answer matching records (all records for ANY), chase
+  in-zone CNAME targets up to MAX_CHASE links, and fall back to NODATA
+  (SOA in authority) when the type is absent;
+- empty non-terminals answer NODATA — they block wildcards (RFC 4592);
+- otherwise the closest encloser's wildcard child, if any, synthesizes
+  records carrying the query name; absent that, NXDOMAIN with SOA.
+
+``rrlookup(zone, query)`` is exactly the SCALE-style formalisation the
+paper builds on (section 6.1).
+"""
+
+from repro.engine.gopy.consts import (
+    MAX_CHASE,
+    TYPE_ALIAS,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_ANY,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_SRV,
+    WILDCARD_LABEL,
+)
+from repro.engine.gopy.nameops import is_prefix, name_equal, shared_prefix_len
+from repro.engine.gopy.structs import FlatZone, Response, RR
+
+
+def spec_exists_at(z: FlatZone, sname: list[int]) -> bool:
+    """Some record owns exactly this name."""
+    for rr in z.rrs:
+        if name_equal(rr.rname, sname):
+            return True
+    return False
+
+
+def spec_exists_strictly_below(z: FlatZone, sname: list[int]) -> bool:
+    """The name is an empty non-terminal: records exist strictly under it."""
+    for rr in z.rrs:
+        if len(rr.rname) > len(sname) and is_prefix(sname, rr.rname):
+            return True
+    return False
+
+
+def spec_find_cut_depth(z: FlatZone, sname: list[int]) -> int:
+    """Length of the shallowest delegation owner at-or-above ``sname``
+    (0 when the name is not at or below any cut)."""
+    best = 0
+    for rr in z.rrs:
+        if rr.rtype == TYPE_NS and not name_equal(rr.rname, z.origin):
+            if is_prefix(rr.rname, sname):
+                if best == 0 or len(rr.rname) < best:
+                    best = len(rr.rname)
+    return best
+
+
+def spec_ce_depth(z: FlatZone, sname: list[int]) -> int:
+    """Closest-encloser depth: deepest existing node on ``sname``'s path
+    (every prefix of a record owner is an existing node)."""
+    best = 0
+    for rr in z.rrs:
+        d = shared_prefix_len(sname, rr.rname)
+        if d > best:
+            best = d
+    return best
+
+
+def spec_add_glue(z: FlatZone, target: list[int], resp: Response) -> None:
+    """In-zone A then AAAA records of ``target`` into additional."""
+    if not is_prefix(z.origin, target):
+        return
+    for rr in z.rrs:
+        if rr.rtype == TYPE_A and name_equal(rr.rname, target):
+            resp.additional.append(rr)
+    for rr in z.rrs:
+        if rr.rtype == TYPE_AAAA and name_equal(rr.rname, target):
+            resp.additional.append(rr)
+
+
+def spec_referral(z: FlatZone, sname: list[int], cut_len: int, resp: Response, at_top: bool) -> None:
+    """Non-authoritative referral at the cut of length ``cut_len``."""
+    if at_top:
+        resp.aa = False
+    for rr in z.rrs:
+        if rr.rtype == TYPE_NS and len(rr.rname) == cut_len:
+            if is_prefix(rr.rname, sname):
+                resp.authority.append(rr)
+    for rr in z.rrs:
+        if rr.rtype == TYPE_NS and len(rr.rname) == cut_len:
+            if is_prefix(rr.rname, sname):
+                spec_add_glue(z, rr.rdata_name, resp)
+
+
+def spec_append_soa(z: FlatZone, resp: Response) -> None:
+    for rr in z.rrs:
+        if rr.rtype == TYPE_SOA and name_equal(rr.rname, z.origin):
+            resp.authority.append(rr)
+
+
+def spec_get_alias(z: FlatZone, sname: list[int]) -> RR:
+    """The (single, validated) ALIAS record at ``sname``, if any —
+    specification support for the v4.0 apex-flattening feature."""
+    for rr in z.rrs:
+        if rr.rtype == TYPE_ALIAS and name_equal(rr.rname, sname):
+            return rr
+    return None
+
+
+def spec_flatten_alias(z: FlatZone, alias: RR, sname: list[int], qtype: int, resp: Response) -> None:
+    """Answer an A/AAAA query at an aliased name with the target's
+    in-zone records, owners rewritten to the query name (flattening)."""
+    resp.aa = True
+    count = 0
+    if is_prefix(z.origin, alias.rdata_name):
+        for rr in z.rrs:
+            if rr.rtype == qtype and name_equal(rr.rname, alias.rdata_name):
+                resp.answer.append(spec_synth(rr, sname))
+                count = count + 1
+    if count == 0:
+        spec_append_soa(z, resp)
+
+
+def spec_get_cname(z: FlatZone, sname: list[int]) -> RR:
+    for rr in z.rrs:
+        if rr.rtype == TYPE_CNAME and name_equal(rr.rname, sname):
+            return rr
+    return None
+
+
+def spec_append_matching(z: FlatZone, sname: list[int], qtype: int, resp: Response) -> int:
+    count = 0
+    for rr in z.rrs:
+        if name_equal(rr.rname, sname):
+            if rr.rtype == qtype or qtype == TYPE_ANY:
+                resp.answer.append(rr)
+                count = count + 1
+    return count
+
+
+def spec_glue_for_answers(z: FlatZone, resp: Response, base: int) -> None:
+    """Additional-section processing over answers appended at >= base."""
+    i = base
+    while i < len(resp.answer):
+        rr = resp.answer[i]
+        if rr.rtype == TYPE_NS or rr.rtype == TYPE_MX or rr.rtype == TYPE_SRV:
+            spec_add_glue(z, rr.rdata_name, resp)
+        i = i + 1
+
+
+def spec_synth(rr: RR, sname: list[int]) -> RR:
+    """RFC 4592 synthesis: the wildcard record with the query name."""
+    return RR(rname=sname, rtype=rr.rtype, rdata_id=rr.rdata_id, rdata_name=rr.rdata_name)
+
+
+def spec_is_wildcard_source(rr: RR, sname: list[int], ce: int) -> bool:
+    """Is ``rr`` owned by ``*.<closest encloser of sname>``?"""
+    if len(rr.rname) != ce + 1:
+        return False
+    if rr.rname[ce] != WILDCARD_LABEL:
+        return False
+    return shared_prefix_len(rr.rname, sname) == ce
+
+
+def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth: int) -> None:
+    """Resolve ``sname`` (the original qname at depth 0, chased CNAME
+    targets deeper), accumulating into ``resp``."""
+    cut_len = spec_find_cut_depth(z, sname)
+    if cut_len != 0:
+        at_top = depth == 0
+        spec_referral(z, sname, cut_len, resp, at_top)
+        return
+
+    if spec_exists_at(z, sname):
+        alias = spec_get_alias(z, sname)
+        if alias is not None and (qtype == TYPE_A or qtype == TYPE_AAAA):
+            spec_flatten_alias(z, alias, sname, qtype, resp)
+            return
+        cname = spec_get_cname(z, sname)
+        if cname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
+            resp.aa = True
+            resp.answer.append(cname)
+            if depth < MAX_CHASE and is_prefix(z.origin, cname.rdata_name):
+                spec_lookup(z, cname.rdata_name, qtype, resp, depth + 1)
+            return
+        base = len(resp.answer)
+        count = spec_append_matching(z, sname, qtype, resp)
+        resp.aa = True
+        if count == 0:
+            spec_append_soa(z, resp)
+        else:
+            spec_glue_for_answers(z, resp, base)
+        return
+
+    if spec_exists_strictly_below(z, sname):
+        # Empty non-terminal: NODATA, and it blocks wildcards (RFC 4592).
+        resp.aa = True
+        spec_append_soa(z, resp)
+        return
+
+    ce = spec_ce_depth(z, sname)
+    wexists = False
+    wcname: RR = None
+    for rr in z.rrs:
+        if spec_is_wildcard_source(rr, sname, ce):
+            wexists = True
+            if rr.rtype == TYPE_CNAME:
+                wcname = rr
+    if wexists:
+        if wcname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
+            resp.aa = True
+            resp.answer.append(spec_synth(wcname, sname))
+            if depth < MAX_CHASE and is_prefix(z.origin, wcname.rdata_name):
+                spec_lookup(z, wcname.rdata_name, qtype, resp, depth + 1)
+            return
+        base = len(resp.answer)
+        wcount = 0
+        for rr in z.rrs:
+            if spec_is_wildcard_source(rr, sname, ce):
+                if rr.rtype == qtype or qtype == TYPE_ANY:
+                    resp.answer.append(spec_synth(rr, sname))
+                    wcount = wcount + 1
+        resp.aa = True
+        if wcount == 0:
+            spec_append_soa(z, resp)
+        else:
+            spec_glue_for_answers(z, resp, base)
+        return
+
+    resp.rcode = RCODE_NXDOMAIN
+    resp.aa = True
+    spec_append_soa(z, resp)
+
+
+def rrlookup(z: FlatZone, q: list[int], qtype: int, resp: Response) -> None:
+    """The whole-program specification: ``response = rrlookup(zone, query)``."""
+    resp.rcode = RCODE_NOERROR
+    resp.aa = False
+    if not is_prefix(z.origin, q):
+        resp.rcode = RCODE_REFUSED
+        return
+    spec_lookup(z, q, qtype, resp, 0)

@@ -1,0 +1,49 @@
+"""Automated specification summarization (paper sections 5.3 and 6.4).
+
+A summary is the machine-generated stand-in for a manual specification:
+full-path symbolic execution of a module collects, per path ``k``, the path
+condition ``θ'_k`` and the computation effects ``f'_k`` (field writes, list
+appends, fresh allocations, the return value), expressed over symbolic
+inputs that follow a naming convention tied to the parameters. The
+aggregated set of input–effect pairs *is* the module's summary
+specification, and higher layers invoke it instead of the code.
+
+Summaries here are computed against a concrete in-heap domain tree and the
+global symbolic query (section 6.5), which is what makes them finite and
+directly composable: conditions mention the very same query variables the
+top-level verification uses.
+"""
+
+from repro.summary.effects import (
+    Effect,
+    FieldWrite,
+    ListAppend,
+    NewObject,
+    NewTag,
+    UnsupportedEffectError,
+)
+from repro.summary.params import (
+    ParamSpec,
+    SymbolicInt,
+    SymbolicBool,
+    FixedValue,
+    ResultStruct,
+)
+from repro.summary.summarize import Summary, SummaryCase, summarize
+
+__all__ = [
+    "Effect",
+    "FieldWrite",
+    "ListAppend",
+    "NewObject",
+    "NewTag",
+    "UnsupportedEffectError",
+    "ParamSpec",
+    "SymbolicInt",
+    "SymbolicBool",
+    "FixedValue",
+    "ResultStruct",
+    "Summary",
+    "SummaryCase",
+    "summarize",
+]

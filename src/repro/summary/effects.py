@@ -1,0 +1,81 @@
+"""Computation-effect representation (section 5.3).
+
+The paper observes that resolution modules update the heap in exactly three
+ways, and builds the summary vocabulary from them:
+
+- **updating specific fields in a struct** — :class:`FieldWrite`;
+- **appending to an array** (store at the running index, then bump it) —
+  :class:`ListAppend`;
+- **allocating a new struct and populating each field** (wildcard-match RR
+  copies) — :class:`NewObject`, the summary's ``newobject`` builtin.
+
+Effect values are solver expressions over the summary's symbolic inputs,
+concrete pointers into the shared heap, or :class:`NewTag` references to
+objects the same case allocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class UnsupportedEffectError(RuntimeError):
+    """The module's writes fall outside the summarizable patterns."""
+
+
+@dataclass(frozen=True)
+class NewTag:
+    """Reference to the ``index``-th object allocated by a summary case."""
+
+    index: int
+
+    def __repr__(self):
+        return f"new#{self.index}"
+
+
+class Effect:
+    """Base class of summary effects."""
+
+
+@dataclass(frozen=True)
+class FieldWrite(Effect):
+    """``param.field := value``. ``param`` is a parameter position; the
+    field is identified LLVM-style by index (``field_name`` is cosmetic)."""
+
+    param: int
+    field_index: int
+    field_name: str
+    value: object
+
+    def __repr__(self):
+        return f"arg{self.param}.{self.field_name} := {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ListAppend(Effect):
+    """``append(param.field, value)``; ``field_index`` is None when the
+    parameter itself is the list."""
+
+    param: int
+    field_index: Optional[int]
+    field_name: str
+    value: object
+
+    def __repr__(self):
+        target = f"arg{self.param}" + (f".{self.field_name}" if self.field_name else "")
+        return f"append({target}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class NewObject(Effect):
+    """``new#tag = newobject <struct>{field values}``. List-typed fields are
+    given as tuples of element values."""
+
+    tag: NewTag
+    struct_name: str
+    field_values: Tuple
+
+    def __repr__(self):
+        inner = ", ".join(repr(v) for v in self.field_values)
+        return f"{self.tag!r} = newobject {self.struct_name}{{{inner}}}"

@@ -1,0 +1,55 @@
+"""Parameter setup for summarization.
+
+Section 5.3: "Inputs for invoking a module include immediate symbolic values
+for parameters, and symbolic values that are pointed to by parameter
+pointers. We rely on a consistent naming convention to associate symbolic
+values with parameters." These classes are that convention:
+
+- :class:`SymbolicInt` / :class:`SymbolicBool` — an immediate symbolic
+  scalar named ``<function>.<param>``;
+- :class:`FixedValue` — a concrete value shared with the enclosing
+  verification run (the domain-tree pointer, the global query list);
+- :class:`ResultStruct` — a result-holder struct: scalar fields become
+  symbolic variables named ``<function>.<param>.<field>`` (substituted with
+  the caller's live field values at application time), list fields start
+  empty so that every append the module performs is visible as an effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ParamSpec:
+    """Base class for parameter setups."""
+
+
+@dataclass(frozen=True)
+class SymbolicInt(ParamSpec):
+    """Fresh symbolic integer input; optional explicit variable name."""
+
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SymbolicBool(ParamSpec):
+    """Fresh symbolic boolean input (control flags, section 6.4)."""
+
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FixedValue(ParamSpec):
+    """A concrete executor value (pointer into the shared heap, or any
+    scalar) passed through unchanged; the caller must pass the same value
+    when the summary is applied."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ResultStruct(ParamSpec):
+    """A result-holder parameter of the given struct type."""
+
+    struct_name: str

@@ -1,0 +1,60 @@
+"""Full-path symbolic execution over AbsLLVM.
+
+Implements sections 5.1–5.2 of the paper:
+
+- the **flexible memory model**: memory is a map from block ids to contents;
+  a block holds a scalar slot, a struct, or an abstract list whose fields
+  and elements may independently be concrete or symbolic — this is what
+  permits *partial abstraction* of poorly encapsulated data structures;
+- **full-path exploration**: every branch on a symbolic condition forks the
+  path after the solver confirms feasibility of each side, so the final set
+  of paths covers all behaviours; loops terminate because the concrete
+  domain tree is finite and symbolic loop bounds are boxed by global
+  constraints (section 6.5);
+- **layer dispatch**: calls resolve to concrete IR, to a manual abstract
+  specification (itself IR), to an automatically generated summary, or to
+  a native intrinsic — the mechanism behind layered verification
+  (section 4.3);
+- **panic reachability**: a path ending at a panic terminator is returned
+  as a panic outcome; the safety property holds iff no such outcome exists.
+"""
+
+from repro.symex.errors import SymexError, OutOfBudgetError
+from repro.symex.values import (
+    Pointer,
+    NULL,
+    StructVal,
+    ListVal,
+    UNINIT,
+    is_concrete_int,
+    concrete_int,
+)
+from repro.symex.memory import Memory
+from repro.symex.state import PathState
+from repro.symex.heap import HeapLoader, concretize_value
+from repro.symex.bindings import Bindings, IRBinding, SummaryBinding, NativeBinding
+from repro.symex.executor import Executor, Outcome, PanicInfo, ExecutionStats
+
+__all__ = [
+    "SymexError",
+    "OutOfBudgetError",
+    "Pointer",
+    "NULL",
+    "StructVal",
+    "ListVal",
+    "UNINIT",
+    "is_concrete_int",
+    "concrete_int",
+    "Memory",
+    "PathState",
+    "HeapLoader",
+    "concretize_value",
+    "Bindings",
+    "IRBinding",
+    "SummaryBinding",
+    "NativeBinding",
+    "Executor",
+    "Outcome",
+    "PanicInfo",
+    "ExecutionStats",
+]

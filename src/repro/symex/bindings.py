@@ -1,0 +1,87 @@
+"""Call-site bindings: how a callee name resolves during execution.
+
+This is the mechanism of layered verification (section 4.3): when the
+executor meets ``call f(...)`` it consults the bindings first, so a lower
+layer's concrete code can be replaced by its manual abstract specification
+(an :class:`IRBinding` to a spec function), by an automatically generated
+summary (:class:`SummaryBinding`), or by a native Python helper
+(:class:`NativeBinding`, used for built-in predicates of section 6.1).
+Unbound names fall through to the concrete IR modules — i.e. get inlined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class Binding:
+    """Base class; see subclasses."""
+
+
+class IRBinding(Binding):
+    """Execute a different IR function (typically a manual specification)
+    in place of the callee."""
+
+    def __init__(self, function):
+        self.function = function
+
+    def __repr__(self):
+        return f"IRBinding({self.function.name})"
+
+
+class SummaryBinding(Binding):
+    """Apply a summary specification: the object must expose
+    ``apply(executor, state, args) -> List[Outcome]`` (provided by
+    :class:`repro.summary.Summary`)."""
+
+    def __init__(self, summary):
+        self.summary = summary
+
+    def __repr__(self):
+        return f"SummaryBinding({getattr(self.summary, 'name', '?')})"
+
+
+class NativeBinding(Binding):
+    """A Python-implemented callee: ``fn(executor, state, args)`` returning
+    a list of Outcomes."""
+
+    def __init__(self, fn: Callable, name: str = ""):
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "native")
+
+    def __repr__(self):
+        return f"NativeBinding({self.name})"
+
+
+class Bindings:
+    """Name -> binding table with layering-friendly copy semantics."""
+
+    def __init__(self, initial: Optional[Dict[str, Binding]] = None):
+        self._map: Dict[str, Binding] = dict(initial or {})
+
+    def bind(self, name: str, binding: Binding) -> None:
+        self._map[name] = binding
+
+    def bind_spec(self, name: str, spec_function) -> None:
+        self.bind(name, IRBinding(spec_function))
+
+    def bind_summary(self, name: str, summary) -> None:
+        self.bind(name, SummaryBinding(summary))
+
+    def bind_native(self, name: str, fn: Callable) -> None:
+        self.bind(name, NativeBinding(fn, name))
+
+    def lookup(self, name: str) -> Optional[Binding]:
+        return self._map.get(name)
+
+    def copy(self) -> "Bindings":
+        return Bindings(self._map)
+
+    def names(self):
+        return list(self._map)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._map
+
+    def __repr__(self):
+        return f"Bindings({sorted(self._map)})"

@@ -1,0 +1,12 @@
+"""Symbolic-execution diagnostics."""
+
+from __future__ import annotations
+
+
+class SymexError(RuntimeError):
+    """An internal executor invariant failed (distinct from a *target*
+    panic, which is a verification result, not an error)."""
+
+
+class OutOfBudgetError(SymexError):
+    """Path or step budget exhausted; results would be incomplete."""

@@ -1,0 +1,130 @@
+"""Bridging concrete Python object graphs and executor memory.
+
+The control plane builds the in-heap domain tree as ordinary Python
+:class:`~repro.frontend.runtime.GoStruct` objects; :class:`HeapLoader`
+serialises such a graph into executor memory as fully concrete blocks
+(section 6.5's "concrete in-heap domain tree"). After execution,
+:func:`concretize_value` walks a (possibly symbolic) result value under a
+solver model and rebuilds plain Python data — the step that turns a
+symbolic counterexample into a concrete, runnable query and response.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frontend.runtime import GoStruct, struct_fields
+from repro.solver.solver import Model
+from repro.solver.terms import BoolExpr, IntExpr, bool_const, iconst
+from repro.symex.errors import SymexError
+from repro.symex.memory import Memory
+from repro.symex.values import ListVal, NULL, Pointer, StructVal, UNINIT
+
+
+class HeapLoader:
+    """Loads Python GoStruct graphs into memory blocks (memoised, so shared
+    subobjects map to shared blocks — pointer identity is preserved)."""
+
+    def __init__(self, memory: Memory):
+        self.memory = memory
+        self._memo: Dict[int, Pointer] = {}
+        # The memo keys are id()s; keep every loaded object alive so CPython
+        # cannot recycle an id and silently alias two distinct objects.
+        self._keepalive: list = []
+
+    def load(self, obj):
+        """Load any supported Python value, returning an executor value."""
+        if obj is None:
+            return NULL
+        if isinstance(obj, bool):
+            return bool_const(obj)
+        if isinstance(obj, int):
+            return iconst(obj)
+        if isinstance(obj, (IntExpr, BoolExpr, Pointer)):
+            return obj  # already an executor value (symbolic injection)
+        if isinstance(obj, ListVal):
+            return self.memory.alloc(obj)
+        if isinstance(obj, list):
+            key = id(obj)
+            if key in self._memo:
+                return self._memo[key]
+            self._keepalive.append(obj)
+            ptr = self.memory.alloc(ListVal.concrete(()))
+            self._memo[key] = ptr
+            items = tuple(self.load(item) for item in obj)
+            self.memory.replace(ptr.block_id, ListVal.concrete(items))
+            return ptr
+        if isinstance(obj, GoStruct):
+            key = id(obj)
+            if key in self._memo:
+                return self._memo[key]
+            self._keepalive.append(obj)
+            type_name = type(obj).__name__
+            fields = struct_fields(type(obj))
+            ptr = self.memory.alloc(StructVal(type_name, tuple(UNINIT for _ in fields)))
+            self._memo[key] = ptr
+            values = tuple(self.load(getattr(obj, f)) for f in fields)
+            self.memory.replace(ptr.block_id, StructVal(type_name, values))
+            return ptr
+        raise SymexError(f"cannot load {type(obj).__name__} into symbolic memory")
+
+
+def concretize_value(
+    value, memory: Memory, model: Optional[Model] = None, registry=None, _memo=None
+):
+    """Rebuild plain Python data from an executor value under a model.
+
+    Structs come back as dicts with a ``__type__`` key (field keys use real
+    names when a type ``registry`` is supplied, positional ``f<i>`` keys
+    otherwise); lists as Python lists truncated to their (model-evaluated)
+    length; scalars as ints/bools. Shared and cyclic references are
+    preserved via memoisation.
+    """
+    if _memo is None:
+        _memo = {}
+    if value is UNINIT:
+        return None
+    if isinstance(value, IntExpr):
+        if value.is_const:
+            return value.const
+        if model is None:
+            raise SymexError(f"symbolic value {value!r} needs a model to concretise")
+        return model.evaluate(value)
+    if isinstance(value, BoolExpr):
+        if model is None:
+            from repro.solver.terms import BoolConst
+
+            if isinstance(value, BoolConst):
+                return value.value
+            raise SymexError(f"symbolic value {value!r} needs a model to concretise")
+        return bool(model.evaluate(value))
+    if isinstance(value, Pointer):
+        if value.is_null:
+            return None
+        if value.path:
+            raise SymexError("cannot concretise an interior pointer")
+        key = value.block_id
+        if key in _memo:
+            return _memo[key]
+        content = memory.content(value.block_id)
+        if isinstance(content, ListVal):
+            out_list: list = []
+            _memo[key] = out_list
+            length = concretize_value(content.length, memory, model, registry, _memo)
+            for item in content.items[:length]:
+                out_list.append(concretize_value(item, memory, model, registry, _memo))
+            return out_list
+        if isinstance(content, StructVal):
+            out_dict: Dict[str, object] = {"__type__": content.type_name}
+            _memo[key] = out_dict
+            names = None
+            if registry is not None and content.type_name in registry:
+                names = [f for f, _ in registry.get(content.type_name).fields]
+            for index, field in enumerate(content.fields):
+                field_key = names[index] if names else f"f{index}"
+                out_dict[field_key] = concretize_value(
+                    field, memory, model, registry, _memo
+                )
+            return out_dict
+        return concretize_value(content, memory, model, registry, _memo)
+    raise SymexError(f"cannot concretise {value!r}")

@@ -1,0 +1,38 @@
+"""Per-path execution state."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.solver.terms import BoolExpr
+from repro.symex.memory import Memory
+
+
+class PathState:
+    """One explored path: its memory and accumulated path condition.
+
+    Register frames live in the executor's call recursion, not here — the
+    state carries only what must survive across calls and what forking must
+    duplicate.
+    """
+
+    __slots__ = ("memory", "pc", "witness")
+
+    def __init__(self, memory: Optional[Memory] = None, pc: Optional[List[BoolExpr]] = None):
+        self.memory = memory if memory is not None else Memory()
+        self.pc: List[BoolExpr] = list(pc) if pc is not None else []
+        #: A model known to satisfy ``pc`` (or None). Pure optimisation: the
+        #: executor evaluates branch conditions under it to skip solver
+        #: calls for the side the witness already demonstrates feasible.
+        self.witness: Optional[dict] = None
+
+    def fork(self) -> "PathState":
+        forked = PathState(self.memory.clone(), list(self.pc))
+        forked.witness = self.witness
+        return forked
+
+    def assume(self, condition: BoolExpr) -> None:
+        self.pc.append(condition)
+
+    def __repr__(self):
+        return f"PathState({len(self.pc)} conditions, {len(self.memory)} blocks)"

@@ -1,0 +1,154 @@
+"""Runtime values of the symbolic executor.
+
+Scalars are solver expressions directly — :class:`~repro.solver.IntExpr`
+for ints and :class:`~repro.solver.BoolExpr` for bools — so a "concrete"
+int is simply a constant expression. Aggregates are immutable:
+
+- :class:`StructVal` — a tuple of field values (scalar or pointer);
+- :class:`ListVal` — physical item slots plus a *symbolic length*, the
+  section 5.4 encoding of variable-length lists (elements as individual
+  variables, length as its own symbolic variable).
+
+Pointers are always concrete ``(block_id, path)`` pairs: the heap is a
+concrete domain tree (section 6.5) and allocation sites produce fresh
+concrete blocks, so no pointer arithmetic ever becomes symbolic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.solver.terms import BoolExpr, IntExpr, iconst
+
+Scalar = Union[IntExpr, BoolExpr]
+
+
+class _Uninit:
+    """Value of an alloca slot before its first store."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<uninit>"
+
+
+UNINIT = _Uninit()
+
+
+class Pointer:
+    """A concrete reference: block id plus an index path inside the block.
+
+    ``path`` is ``()`` for a scalar slot and ``(index,)`` for a struct field
+    or list element (indices may be symbolic expressions until the access is
+    concretised). The nil pointer is the shared :data:`NULL` singleton with
+    ``block_id is None``.
+    """
+
+    __slots__ = ("block_id", "path")
+
+    def __init__(self, block_id: Optional[int], path: Tuple = ()):
+        self.block_id = block_id
+        self.path = path
+
+    @property
+    def is_null(self) -> bool:
+        return self.block_id is None
+
+    def child(self, index) -> "Pointer":
+        return Pointer(self.block_id, self.path + (index,))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Pointer)
+            and self.block_id == other.block_id
+            and self.path == other.path
+        )
+
+    def __hash__(self):
+        return hash(("ptr", self.block_id, self.path))
+
+    def __repr__(self):
+        if self.is_null:
+            return "null"
+        suffix = "".join(f"[{p!r}]" for p in self.path)
+        return f"&b{self.block_id}{suffix}"
+
+
+NULL = Pointer(None)
+
+
+class StructVal:
+    """Immutable struct contents; ``type_name`` keys the type registry."""
+
+    __slots__ = ("type_name", "fields")
+
+    def __init__(self, type_name: str, fields: Tuple):
+        self.type_name = type_name
+        self.fields = tuple(fields)
+
+    def with_field(self, index: int, value) -> "StructVal":
+        fields = list(self.fields)
+        fields[index] = value
+        return StructVal(self.type_name, tuple(fields))
+
+    def __repr__(self):
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"{self.type_name}{{{inner}}}"
+
+
+class ListVal:
+    """Immutable abstract list: physical slots + symbolic length.
+
+    For fully concrete lists ``length == len(items)``. For symbolic inputs
+    (the query name), ``items`` holds one symbolic variable per potential
+    element and ``length`` is its own variable boxed by the path condition —
+    physical capacity is the verification-time depth bound.
+    """
+
+    __slots__ = ("items", "length")
+
+    def __init__(self, items: Tuple, length: IntExpr):
+        self.items = tuple(items)
+        self.length = length
+
+    @classmethod
+    def concrete(cls, items) -> "ListVal":
+        items = tuple(items)
+        return cls(items, iconst(len(items)))
+
+    @property
+    def has_concrete_length(self) -> bool:
+        return self.length.is_const
+
+    def appended(self, value) -> "ListVal":
+        if not self.has_concrete_length:
+            raise ValueError(
+                "append to symbolic-length list (inputs are read-only by design)"
+            )
+        if self.length.const != len(self.items):
+            raise ValueError("concrete list length out of sync with storage")
+        return ListVal(self.items + (value,), iconst(len(self.items) + 1))
+
+    def with_item(self, index: int, value) -> "ListVal":
+        items = list(self.items)
+        items[index] = value
+        return ListVal(tuple(items), self.length)
+
+    def __repr__(self):
+        inner = ", ".join(repr(i) for i in self.items)
+        return f"[{inner}|len={self.length!r}]"
+
+
+def is_concrete_int(value) -> bool:
+    return isinstance(value, IntExpr) and value.is_const
+
+
+def concrete_int(value) -> int:
+    if not is_concrete_int(value):
+        raise ValueError(f"expected a concrete int, got {value!r}")
+    return value.const

@@ -1,0 +1,29 @@
+"""Randomized zone-configuration generation (paper sections 6.5 and 9).
+
+The paper's scripts generate tens of thousands of zone configurations,
+favouring complex domain names (wildcards at various positions) and
+intertwined records (sub-domains, NS referrals, CNAME chains), so that the
+concrete domain trees cover diverse matching scenarios. This subpackage is
+that generator, plus a small corpus of hand-written zones the evaluation
+benchmarks pin down.
+"""
+
+from repro.zonegen.generator import ZoneGenerator, GeneratorConfig, generate_zone
+from repro.zonegen.corpus import (
+    alias_zone,
+    evaluation_zone,
+    minimal_zone,
+    paper_example_zone,
+    chain_zone,
+)
+
+__all__ = [
+    "ZoneGenerator",
+    "GeneratorConfig",
+    "generate_zone",
+    "alias_zone",
+    "evaluation_zone",
+    "minimal_zone",
+    "paper_example_zone",
+    "chain_zone",
+]

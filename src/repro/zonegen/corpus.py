@@ -1,0 +1,108 @@
+"""Hand-written zones the evaluation pins down.
+
+``evaluation_zone`` is the canonical Table-2 workload: it exercises every
+matching scenario the seeded bug classes need — apex answers, positive
+answers with and without glue-bearing types, a CNAME (for extraneous-glue
+and chase behaviour), a wildcard with both address and MX records (AA-flag
+and wildcard-glue bugs), an empty non-terminal under the wildcard's parent
+(ENT misjudgment and the dev crash), and a delegation with two NS targets
+(incomplete referral glue).
+
+``paper_example_zone`` reproduces the Figure 11 / Table 1 domain tree.
+"""
+
+from __future__ import annotations
+
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone_text
+
+EVALUATION_ZONE_TEXT = """\
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+ns2 IN A 192.0.2.2
+ns2 IN AAAA 2001:db8::2
+www IN A 192.0.2.10
+www IN TXT "hello"
+alias IN CNAME www
+*.wild IN A 192.0.2.20
+*.wild IN MX 10 ns2.example.com.
+a.ent.wild IN TXT "below-ent"
+sub IN NS ns1.sub
+sub IN NS ns2.sub
+ns1.sub IN A 192.0.2.40
+ns2.sub IN A 192.0.2.41
+"""
+
+MINIMAL_ZONE_TEXT = """\
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.10
+"""
+
+#: The section 6.4 example: example.com with cs/www below it, web/zoo under
+#: cs — the tree whose TreeSearch summarization Table 1 enumerates.
+PAPER_EXAMPLE_ZONE_TEXT = """\
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.2
+web.cs IN A 192.0.2.3
+zoo.cs IN A 192.0.2.4
+"""
+
+#: CNAME chains, including one leaving the zone and a two-hop chain.
+CHAIN_ZONE_TEXT = """\
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.2
+one IN CNAME two
+two IN CNAME www
+external IN CNAME www.elsewhere.org.
+*.wcname IN CNAME www
+"""
+
+
+#: The v4.0 feature zone: ALIAS flattening at the apex and at a host name,
+#: including a dangling target and an out-of-zone target.
+ALIAS_ZONE_TEXT = """\
+$ORIGIN example.com.
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+@ IN ALIAS web.pool
+@ IN MX 10 mail
+ns1 IN A 192.0.2.1
+mail IN A 192.0.2.5
+web.pool IN A 192.0.2.50
+web.pool IN A 192.0.2.51
+web.pool IN AAAA 2001:db8::50
+dangling IN ALIAS nothing.pool
+external IN ALIAS cdn.elsewhere.org.
+www IN CNAME web.pool
+"""
+
+
+def alias_zone() -> Zone:
+    return parse_zone_text(ALIAS_ZONE_TEXT)
+
+
+def evaluation_zone() -> Zone:
+    return parse_zone_text(EVALUATION_ZONE_TEXT)
+
+
+def minimal_zone() -> Zone:
+    return parse_zone_text(MINIMAL_ZONE_TEXT)
+
+
+def paper_example_zone() -> Zone:
+    return parse_zone_text(PAPER_EXAMPLE_ZONE_TEXT)
+
+
+def chain_zone() -> Zone:
+    return parse_zone_text(CHAIN_ZONE_TEXT)

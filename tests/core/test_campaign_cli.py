@@ -1,0 +1,94 @@
+"""Tests for verification campaigns and the command-line interface."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import Campaign, run_campaign
+from repro.zonegen import GeneratorConfig, ZoneGenerator, minimal_zone
+
+
+class TestCampaign:
+    def test_verified_clean_campaign(self):
+        report = run_campaign(
+            "verified", num_zones=2, seed=101,
+            num_hosts=3, num_wildcards=1, num_delegations=0, num_cnames=1,
+            num_mx=0,
+        )
+        assert report.zones_run == 2
+        assert report.zones_verified == 2
+        assert report.zones_refuted == 0
+        assert "campaign verified" in report.describe()
+
+    def test_buggy_version_refuted(self):
+        report = run_campaign(
+            "v3.0", num_zones=2, seed=101,
+            num_hosts=3, num_wildcards=1, num_delegations=0, num_cnames=1,
+            num_mx=0,
+        )
+        # v3.0's ENT bug triggers whenever the zone has an empty
+        # non-terminal; at least the wildcard-bearing zones should refute.
+        assert report.zones_refuted >= 1
+        histogram = report.category_histogram()
+        assert histogram
+
+    def test_explicit_zone_list(self):
+        campaign = Campaign(zones=[minimal_zone()])
+        report = campaign.run("verified")
+        assert report.zones_run == 1 and report.zones_verified == 1
+
+    def test_smoke_cross_check_consistency(self):
+        # smoke_first raises if the differential refutes a zone the prover
+        # accepts; running it at all is the assertion.
+        campaign = Campaign(zones=[minimal_zone()])
+        report = campaign.run("v1.0", smoke_first=True)
+        assert report.zones_run == 1
+
+
+class TestCLI:
+    def test_verify_command(self, capsys):
+        code = cli_main(["verify", "--zone", "minimal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFIED" in out
+
+    def test_verify_buggy_exit_code(self, capsys):
+        code = cli_main(["verify", "--zone", "evaluation", "--version", "v3.0"])
+        assert code == 1
+        assert "bug" in capsys.readouterr().out
+
+    def test_differential_command(self, capsys):
+        code = cli_main(["differential", "--zone", "minimal"])
+        assert code == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_summarize_command(self, capsys):
+        code = cli_main(
+            ["summarize", "--zone", "minimal", "--layer", "tree_search"]
+        )
+        assert code == 0
+        assert "summary_spec tree_search" in capsys.readouterr().out
+
+    def test_zonegen_command(self, capsys):
+        code = cli_main(["zonegen", "--count", "2", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("$ORIGIN") == 2
+        assert "SOA" in out
+
+    def test_zone_file_loading(self, tmp_path, capsys):
+        from repro.dns.zonefile import zone_to_text
+
+        path = tmp_path / "test.zone"
+        path.write_text(zone_to_text(minimal_zone()))
+        code = cli_main(["differential", "--zone", str(path)])
+        assert code == 0
+
+    def test_tables_single(self, capsys):
+        code = cli_main(["tables", "table3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "implementation" in out
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["verify", "--version", "v9.9"])

@@ -1,0 +1,78 @@
+"""Deeper property tests for the label interner's gap synthesis — the
+mechanism that turns solver models into runnable counterexample queries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.interner import LABEL_SPACING, LabelInterner, _label_between
+from repro.dns.name import MAX_LABEL_LENGTH
+
+
+label_st = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,6}[a-z0-9])?", fullmatch=True)
+
+
+class TestLabelBetween:
+    @settings(max_examples=200, deadline=None)
+    @given(label_st, label_st)
+    def test_between_is_strictly_ordered(self, a, b):
+        lo, hi = sorted({a, b})[0], sorted({a, b})[-1]
+        if lo == hi:
+            return
+        candidate = _label_between(lo, hi)
+        if candidate is not None:
+            assert lo < candidate < hi
+            assert len(candidate) <= MAX_LABEL_LENGTH
+
+    @settings(max_examples=100, deadline=None)
+    @given(label_st)
+    def test_above_any_label(self, label):
+        candidate = _label_between(label, None)
+        assert candidate is not None and candidate > label
+
+    def test_adjacent_dash_families(self):
+        # The tightest gaps: b directly extends a with low characters.
+        assert _label_between("com", "com0") is not None
+        assert _label_between("com", "com-0") is not None
+        got = _label_between("com", "com--0")
+        assert got is None or "com" < got < "com--0"
+
+    def test_below_smallest(self):
+        assert _label_between(None, "0") is None
+        assert _label_between(None, "a") == "0"
+
+
+class TestGapDecodeExhaustive:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(label_st, min_size=1, max_size=8),
+        st.integers(0, 12 * LABEL_SPACING),
+    )
+    def test_every_in_range_code_orders_correctly(self, labels, code):
+        interner = LabelInterner(labels)
+        if not (interner.min_code <= code <= interner.max_code):
+            assert interner.decode(code) is None
+            return
+        decoded = interner.decode(code)
+        if decoded is None:
+            return  # gap with no legal spelling; solver re-solves
+        if interner.has(decoded):
+            assert interner.code(decoded) == code
+            return
+        # Fresh labels sort exactly where their code sits.
+        for other in interner.universe:
+            if interner.code(other) < code:
+                assert other < decoded
+            else:
+                assert decoded < other
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(label_st, min_size=2, max_size=8))
+    def test_midpoints_usually_decodable(self, labels):
+        interner = LabelInterner(labels)
+        codes = interner.interned_codes()
+        decodable = 0
+        for a, b in zip(codes, codes[1:]):
+            if interner.decode((a + b) // 2) is not None:
+                decodable += 1
+        # With 2^16 spacing, gap midpoints should essentially always admit
+        # a spelling; allow slack for adversarial adjacent labels.
+        assert decodable >= len(codes) - 2

@@ -1,0 +1,184 @@
+"""Unit tests for domain names and canonical ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.name import (
+    DnsName,
+    NameError_,
+    MAX_LABEL_LENGTH,
+    MAX_NAME_DEPTH,
+    common_suffix_depth,
+)
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestConstruction:
+    def test_from_text_absolute(self):
+        n = name("www.example.com.")
+        assert n.labels == ("www", "example", "com")
+
+    def test_root(self):
+        assert name(".").labels == ()
+        assert DnsName.root().to_text() == "."
+
+    def test_case_folding(self):
+        assert name("WWW.Example.COM.") == name("www.example.com.")
+
+    def test_relative_requires_origin(self):
+        with pytest.raises(NameError_):
+            DnsName.from_text("www")
+
+    def test_relative_with_origin(self):
+        origin = name("example.com.")
+        assert DnsName.from_text("www", origin) == name("www.example.com.")
+
+    def test_at_sign_is_origin(self):
+        origin = name("example.com.")
+        assert DnsName.from_text("@", origin) == origin
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(("", "com"))
+
+    def test_long_label_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(("a" * (MAX_LABEL_LENGTH + 1),))
+
+    def test_max_length_label_accepted(self):
+        DnsName(("a" * MAX_LABEL_LENGTH,))
+
+    def test_bad_chars_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(("ex ample",))
+
+    def test_too_deep_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName(tuple("a" for _ in range(MAX_NAME_DEPTH + 1)))
+
+    def test_hyphen_interior_only(self):
+        DnsName(("a-b",))
+        with pytest.raises(NameError_):
+            DnsName(("-ab",))
+        with pytest.raises(NameError_):
+            DnsName(("ab-",))
+
+
+class TestViews:
+    def test_reversed_labels(self):
+        assert name("www.example.com.").reversed_labels == ("com", "example", "www")
+
+    def test_to_text_roundtrip(self):
+        for text in (".", "com.", "a.b.c.d.e."):
+            assert name(text).to_text() == text
+
+    def test_wire_roundtrip(self):
+        n = name("www.example.com.")
+        decoded, offset = DnsName.from_wire(n.to_wire())
+        assert decoded == n
+        assert offset == len(n.to_wire())
+
+    def test_wire_root(self):
+        assert DnsName.root().to_wire() == b"\x00"
+
+    def test_wire_truncated(self):
+        with pytest.raises(NameError_):
+            DnsName.from_wire(b"\x03ww")
+
+
+class TestStructure:
+    def test_parent(self):
+        assert name("www.example.com.").parent() == name("example.com.")
+        assert DnsName.root().parent() == DnsName.root()
+
+    def test_concat_prepend(self):
+        assert name("www.").concat(name("example.com.")) == name("www.example.com.")
+        assert name("example.com.").prepend("www") == name("www.example.com.")
+
+    def test_subdomain(self):
+        assert name("a.b.c.").is_subdomain_of(name("b.c."))
+        assert name("b.c.").is_subdomain_of(name("b.c."))
+        assert not name("b.c.").is_proper_subdomain_of(name("b.c."))
+        assert not name("x.c.").is_subdomain_of(name("b.c."))
+        assert name("x.c.").is_subdomain_of(DnsName.root())
+
+    def test_relativize(self):
+        assert name("a.b.example.com.").relativize(name("example.com.")) == ("a", "b")
+        with pytest.raises(NameError_):
+            name("a.other.org.").relativize(name("example.com."))
+
+
+class TestWildcard:
+    def test_is_wildcard(self):
+        assert name("*.example.com.").is_wildcard
+        assert not name("x.example.com.").is_wildcard
+
+    def test_wildcard_parent(self):
+        assert name("*.example.com.").wildcard_parent() == name("example.com.")
+        with pytest.raises(NameError_):
+            name("example.com.").wildcard_parent()
+
+    def test_with_wildcard(self):
+        assert name("example.com.").with_wildcard() == name("*.example.com.")
+
+
+class TestOrdering:
+    def test_canonical_order_by_suffix(self):
+        # RFC 4034 section 6.1 example ordering.
+        ordered = [
+            name("example.com."),
+            name("a.example.com."),
+            name("yljkjljk.a.example.com."),
+            name("z.a.example.com."),
+            name("zabc.a.example.com."),
+            name("z.example.com."),
+        ]
+        assert sorted(ordered) == ordered
+
+    def test_root_sorts_first(self):
+        assert DnsName.root() < name("com.")
+
+    def test_common_suffix_depth(self):
+        assert common_suffix_depth(name("www.example.com."), name("cs.example.com.")) == 2
+        assert common_suffix_depth(name("www.example.com."), name("www.example.com.")) == 3
+        assert common_suffix_depth(name("a.org."), name("a.com.")) == 0
+
+
+label_st = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+name_st = st.lists(label_st, min_size=0, max_size=6).map(lambda ls: DnsName(tuple(ls)))
+
+
+class TestProperties:
+    @given(name_st)
+    def test_text_roundtrip(self, n):
+        assert DnsName.from_text(n.to_text()) == n
+
+    @given(name_st)
+    def test_wire_roundtrip(self, n):
+        decoded, _ = DnsName.from_wire(n.to_wire())
+        assert decoded == n
+
+    @given(name_st, name_st)
+    def test_order_total_and_consistent(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(name_st, name_st)
+    def test_concat_subdomain(self, a, b):
+        assert len(a) + len(b) <= MAX_NAME_DEPTH or True
+        try:
+            joined = a.concat(b)
+        except NameError_:
+            return
+        assert joined.is_subdomain_of(b)
+
+    @given(name_st)
+    def test_parent_chain_reaches_root(self, n):
+        steps = 0
+        cur = n
+        while cur != DnsName.root():
+            cur = cur.parent()
+            steps += 1
+        assert steps == len(n)

@@ -1,0 +1,216 @@
+"""Unit tests for rdata, records, RRsets and zone validation."""
+
+import pytest
+
+from repro.dns.name import DnsName
+from repro.dns.rdata import (
+    ARdata,
+    AAAARdata,
+    NSRdata,
+    CNAMERdata,
+    SOARdata,
+    MXRdata,
+    TXTRdata,
+    SRVRdata,
+    CAARdata,
+    rdata_from_text,
+)
+from repro.dns.records import ResourceRecord, RRset, group_rrsets
+from repro.dns.rtypes import RRType, RCode
+from repro.dns.zone import Zone, ZoneValidationError, make_zone
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+ORIGIN = name("example.com.")
+
+
+def soa(owner=ORIGIN):
+    return ResourceRecord(
+        owner,
+        RRType.SOA,
+        SOARdata(name("ns1.example.com."), name("admin.example.com."), 1),
+    )
+
+
+def ns(owner, target):
+    return ResourceRecord(name(owner), RRType.NS, NSRdata(name(target)))
+
+
+def a(owner, addr="192.0.2.1"):
+    return ResourceRecord(name(owner), RRType.A, ARdata(addr))
+
+
+class TestRdata:
+    def test_a_validates_address(self):
+        with pytest.raises(ValueError):
+            ARdata("999.0.0.1")
+
+    def test_aaaa_canonicalises(self):
+        assert AAAARdata("2001:DB8:0:0:0:0:0:1").address == "2001:db8::1"
+
+    def test_names_exposed(self):
+        assert NSRdata(name("ns.example.com.")).names() == (name("ns.example.com."),)
+        assert CNAMERdata(name("t.example.com.")).names() == (name("t.example.com."),)
+        assert MXRdata(10, name("mx.example.com.")).names() == (name("mx.example.com."),)
+        assert ARdata("192.0.2.1").names() == ()
+
+    @pytest.mark.parametrize(
+        "rtype,text",
+        [
+            (RRType.A, "192.0.2.1"),
+            (RRType.AAAA, "2001:db8::1"),
+            (RRType.NS, "ns1.example.com."),
+            (RRType.CNAME, "www.example.com."),
+            (RRType.MX, "10 mail.example.com."),
+            (RRType.TXT, '"hello world"'),
+            (RRType.SRV, "0 5 5060 sip.example.com."),
+            (RRType.SOA, "ns1.example.com. admin.example.com. 1 3600 600 86400 300"),
+            (RRType.CAA, '0 issue "ca.example.net"'),
+        ],
+    )
+    def test_text_roundtrip(self, rtype, text):
+        rdata = rdata_from_text(rtype, text)
+        reparsed = rdata_from_text(rtype, rdata.to_text())
+        assert reparsed == rdata
+
+    def test_bad_rdata_raises(self):
+        with pytest.raises(ValueError):
+            rdata_from_text(RRType.MX, "not-a-number mail.example.com.")
+
+
+class TestRecords:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(ORIGIN, RRType.NS, ARdata("192.0.2.1"))
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(ORIGIN, RRType.A, ARdata("192.0.2.1"), ttl=-1)
+
+    def test_with_rname_synthesis(self):
+        wild = ResourceRecord(name("*.example.com."), RRType.A, ARdata("192.0.2.9"))
+        synth = wild.with_rname(name("foo.example.com."))
+        assert synth.rname == name("foo.example.com.")
+        assert synth.rdata == wild.rdata
+
+    def test_group_rrsets(self):
+        records = [a("w.example.com.", "192.0.2.1"), a("w.example.com.", "192.0.2.2"),
+                   ns("example.com.", "ns1.example.com.")]
+        sets = group_rrsets(records)
+        assert len(sets) == 2
+        assert len(sets[0]) == 2
+        assert sets[0].rtype is RRType.A
+
+    def test_rrset_rejects_foreign_record(self):
+        with pytest.raises(ValueError):
+            RRset(ORIGIN, RRType.A, (a("other.example.com."),))
+
+    def test_rrset_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RRset(ORIGIN, RRType.A, ())
+
+
+def base_records():
+    return [
+        soa(),
+        ns("example.com.", "ns1.example.com."),
+        a("ns1.example.com."),
+        a("www.example.com."),
+    ]
+
+
+class TestZoneValidation:
+    def test_valid_zone(self):
+        zone = make_zone("example.com.", base_records())
+        assert len(zone) == 4
+
+    def test_missing_soa(self):
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", base_records()[1:])
+
+    def test_double_soa(self):
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", base_records() + [soa()])
+
+    def test_missing_apex_ns(self):
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", [soa(), a("www.example.com.")])
+
+    def test_out_of_bailiwick(self):
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", base_records() + [a("www.other.org.")])
+
+    def test_cname_exclusivity(self):
+        cname = ResourceRecord(
+            name("www.example.com."), RRType.CNAME, CNAMERdata(name("web.example.com."))
+        )
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", base_records() + [cname])
+
+    def test_interior_wildcard_label_is_legal(self):
+        # RFC 4592 section 2.1.1: only the leftmost asterisk is special;
+        # "x.*.example.com." is an ordinary (if confusing) name.
+        interior = ResourceRecord(
+            DnsName(("x", "*", "example", "com")), RRType.A, ARdata("192.0.2.1")
+        )
+        zone = make_zone("example.com.", base_records() + [interior])
+        assert interior in list(zone)
+
+    def test_data_below_delegation_rejected(self):
+        records = base_records() + [
+            ns("sub.example.com.", "ns1.sub.example.com."),
+            ResourceRecord(
+                name("x.sub.example.com."), RRType.TXT, TXTRdata("oops")
+            ),
+        ]
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", records)
+
+    def test_glue_below_delegation_allowed(self):
+        records = base_records() + [
+            ns("sub.example.com.", "ns1.sub.example.com."),
+            a("ns1.sub.example.com."),
+        ]
+        zone = make_zone("example.com.", records)
+        assert zone.delegation_points() == [name("sub.example.com.")]
+        assert zone.is_below_cut(name("ns1.sub.example.com."))
+        assert not zone.is_below_cut(name("sub.example.com."))
+
+    def test_non_ns_data_at_cut_rejected(self):
+        records = base_records() + [
+            ns("sub.example.com.", "ns1.sub.example.com."),
+            ResourceRecord(name("sub.example.com."), RRType.TXT, TXTRdata("oops")),
+        ]
+        with pytest.raises(ZoneValidationError):
+            make_zone("example.com.", records)
+
+
+class TestZoneQueries:
+    def test_rrset_lookup(self):
+        zone = make_zone("example.com.", base_records())
+        rrset = zone.rrset(name("www.example.com."), RRType.A)
+        assert rrset is not None and len(rrset) == 1
+        assert zone.rrset(name("www.example.com."), RRType.MX) is None
+
+    def test_enclosing_cut(self):
+        records = base_records() + [
+            ns("sub.example.com.", "ns1.sub.example.com."),
+            a("ns1.sub.example.com."),
+        ]
+        zone = make_zone("example.com.", records)
+        assert zone.enclosing_cut(name("deep.x.sub.example.com.")) == name("sub.example.com.")
+        assert zone.enclosing_cut(name("www.example.com.")) is None
+
+    def test_label_universe_excludes_wildcard(self):
+        records = base_records() + [a("*.example.com.", "192.0.2.7")]
+        zone = make_zone("example.com.", records)
+        universe = zone.label_universe()
+        assert "*" not in universe
+        assert "www" in universe and "com" in universe
+
+    def test_max_name_depth(self):
+        zone = make_zone("example.com.", base_records())
+        assert zone.max_name_depth() == 3

@@ -1,0 +1,110 @@
+"""Round-trip tests for the wire codec."""
+
+import pytest
+
+from repro.dns.message import Query, Response
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.wire import (
+    WireError,
+    build_query,
+    build_response,
+    parse_name,
+    parse_query,
+    parse_response,
+)
+from repro.spec import reference_resolve
+from repro.zonegen import evaluation_zone
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestQueryRoundTrip:
+    def test_basic(self):
+        query = Query(name("www.example.com."), RRType.A)
+        txid, parsed = parse_query(build_query(0x1234, query))
+        assert txid == 0x1234 and parsed == query
+
+    @pytest.mark.parametrize("qtype", [RRType.MX, RRType.ANY, RRType.SOA, RRType.AAAA])
+    def test_types(self, qtype):
+        query = Query(name("a.b.example.com."), qtype)
+        _, parsed = parse_query(build_query(1, query))
+        assert parsed.qtype is qtype
+
+    def test_rejects_response_bit(self):
+        query = Query(name("www.example.com."), RRType.A)
+        wire = bytearray(build_query(1, query))
+        wire[2] |= 0x80
+        with pytest.raises(WireError):
+            parse_query(bytes(wire))
+
+    def test_rejects_truncated(self):
+        query = Query(name("www.example.com."), RRType.A)
+        with pytest.raises(WireError):
+            parse_query(build_query(1, query)[:10])
+
+
+class TestCompression:
+    def test_pointer_parse(self):
+        # Name at offset 12; a second name at the end points back to it.
+        base = name("example.com.").to_wire()
+        wire = b"\x00" * 12 + base + b"\x03www" + b"\xc0\x0c"
+        parsed, offset = parse_name(wire, 12 + len(base))
+        assert parsed == name("www.example.com.")
+
+    def test_pointer_loop_rejected(self):
+        wire = b"\x00" * 12 + b"\xc0\x0c"
+        with pytest.raises(WireError):
+            parse_name(wire, 12)
+
+
+class TestResponseRoundTrip:
+    def _responses(self):
+        zone = evaluation_zone()
+        for qname, qtype in [
+            ("www.example.com.", RRType.A),
+            ("example.com.", RRType.ANY),
+            ("alias.example.com.", RRType.A),
+            ("zz.wild.example.com.", RRType.MX),
+            ("deep.sub.example.com.", RRType.A),
+            ("nope.example.com.", RRType.A),
+        ]:
+            query = Query(DnsName.from_text(qname), qtype)
+            yield reference_resolve(zone, query)
+
+    def test_reference_responses_roundtrip(self):
+        for response in self._responses():
+            txid, parsed = parse_response(build_response(7, response))
+            assert txid == 7
+            assert parsed.rcode is response.rcode
+            assert parsed.aa == response.aa
+            assert parsed.semantically_equal(
+                Response(
+                    query=response.query,
+                    rcode=response.rcode,
+                    aa=response.aa,
+                    answer=parsed.answer,
+                    authority=parsed.authority,
+                    additional=parsed.additional,
+                )
+            )
+            # Record counts survive.
+            assert len(parsed.answer) == len(response.answer)
+            assert len(parsed.authority) == len(response.authority)
+            assert len(parsed.additional) == len(response.additional)
+
+    def test_aa_flag_encoded(self):
+        response = next(iter(self._responses()))
+        wire = build_response(1, response)
+        _, parsed = parse_response(wire)
+        assert parsed.aa == response.aa
+
+    def test_rcode_encoded(self):
+        zone = evaluation_zone()
+        query = Query(name("nope.example.com."), RRType.A)
+        response = reference_resolve(zone, query)
+        assert response.rcode is RCode.NXDOMAIN
+        _, parsed = parse_response(build_response(1, response))
+        assert parsed.rcode is RCode.NXDOMAIN

@@ -1,0 +1,52 @@
+"""Fuzzing the wire codec: arbitrary bytes must never crash the parser
+with anything but WireError (the server loop relies on this)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.dns.wire import WireError, build_query, parse_query, parse_response
+
+
+class TestParserRobustness:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=96))
+    def test_parse_query_total(self, wire):
+        try:
+            parse_query(wire)
+        except WireError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=96))
+    def test_parse_response_total(self, wire):
+        try:
+            parse_response(wire)
+        except (WireError, ValueError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=16),
+        st.integers(0, 40),
+    )
+    def test_truncations_of_valid_query(self, garbage, cut):
+        query = Query(DnsName.from_text("www.example.com."), RRType.A)
+        wire = build_query(0x1234, query)[:cut] + garbage
+        try:
+            parse_query(wire)
+        except WireError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 0xFFFF), st.integers(0, 255))
+    def test_bitflips_of_valid_query(self, position_seed, flip):
+        query = Query(DnsName.from_text("a.b.example.com."), RRType.MX)
+        wire = bytearray(build_query(7, query))
+        wire[position_seed % len(wire)] ^= flip
+        try:
+            parse_query(bytes(wire))
+        except WireError:
+            pass

@@ -1,0 +1,187 @@
+"""Unit tests for the zone-file parser, messages and the label interner."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.interner import LabelInterner, LABEL_SPACING, WILDCARD_CODE
+from repro.dns.message import Query, Response, response_diff
+from repro.dns.name import DnsName
+from repro.dns.rdata import ARdata
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.zonefile import ZoneParseError, parse_zone_text, zone_to_text
+
+ZONE_TEXT = """\
+$ORIGIN example.com.
+$TTL 600
+@ IN SOA ns1.example.com. admin.example.com. 1 3600 600 86400 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www 300 IN A 192.0.2.2
+  IN AAAA 2001:db8::2  ; continuation: same owner (www)
+*.wild IN A 192.0.2.9
+mail IN MX 10 mx.example.com.
+mx IN A 192.0.2.3
+"""
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestZoneFile:
+    def test_parse_basic(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        assert zone.origin == name("example.com.")
+        assert len(zone) == 8
+
+    def test_continuation_owner(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        aaaa = zone.rrset(name("www.example.com."), RRType.AAAA)
+        assert aaaa is not None
+
+    def test_default_ttl_applied(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        ns1 = zone.rrset(name("ns1.example.com."), RRType.A)
+        assert ns1.records[0].ttl == 600
+
+    def test_explicit_ttl(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        www = zone.rrset(name("www.example.com."), RRType.A)
+        assert www.records[0].ttl == 300
+
+    def test_roundtrip(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        again = parse_zone_text(zone_to_text(zone))
+        assert set(r.sort_key() for r in zone) == set(r.sort_key() for r in again)
+
+    def test_origin_argument(self):
+        text = "@ IN SOA ns1 admin 1 3600 600 86400 300\n@ IN NS ns1\nns1 IN A 192.0.2.1\n"
+        zone = parse_zone_text(text, origin="example.org.")
+        assert zone.origin == name("example.org.")
+
+    def test_unknown_type(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN e.com.\n@ IN BOGUS data\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$NOPE x\n")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ZoneParseError) as err:
+            parse_zone_text("$ORIGIN e.com.\n@ IN SOA ns1.e.com. a.e.com. 1\nbad..name IN A 1.2.3.4\n")
+        assert err.value.lineno == 3
+
+
+def make_response(**overrides):
+    query = Query(name("www.example.com."), RRType.A)
+    rec = ResourceRecord(name("www.example.com."), RRType.A, ARdata("192.0.2.2"))
+    base = dict(query=query, rcode=RCode.NOERROR, aa=True, answer=(rec,))
+    base.update(overrides)
+    return Response(**base)
+
+
+class TestResponse:
+    def test_semantic_equality_ignores_order(self):
+        r1 = ResourceRecord(name("w.example.com."), RRType.A, ARdata("192.0.2.1"))
+        r2 = ResourceRecord(name("w.example.com."), RRType.A, ARdata("192.0.2.2"))
+        assert make_response(answer=(r1, r2)).semantically_equal(
+            make_response(answer=(r2, r1))
+        )
+
+    def test_semantic_equality_ignores_ttl(self):
+        r1 = ResourceRecord(name("w.example.com."), RRType.A, ARdata("192.0.2.1"), ttl=1)
+        r2 = ResourceRecord(name("w.example.com."), RRType.A, ARdata("192.0.2.1"), ttl=9)
+        assert make_response(answer=(r1,)).semantically_equal(make_response(answer=(r2,)))
+
+    def test_diff_reports_flag_and_rcode(self):
+        got = make_response(aa=False, rcode=RCode.NXDOMAIN, answer=())
+        want = make_response()
+        diffs = response_diff(got, want)
+        assert any("rcode" in d for d in diffs)
+        assert any("aa flag" in d for d in diffs)
+        assert any("missing" in d for d in diffs)
+
+    def test_diff_empty_when_equal(self):
+        assert response_diff(make_response(), make_response()) == []
+
+
+class TestInterner:
+    def test_order_preserved(self):
+        interner = LabelInterner(["com", "example", "www", "cs", "zoo"])
+        labels = sorted(["com", "example", "www", "cs", "zoo"])
+        codes = [interner.code(lab) for lab in labels]
+        assert codes == sorted(codes)
+
+    def test_wildcard_smallest(self):
+        interner = LabelInterner(["aaa", "zzz"])
+        assert interner.code("*") == WILDCARD_CODE
+        assert interner.code("*") < interner.code("aaa")
+
+    def test_exact_decode(self):
+        interner = LabelInterner(["com", "org"])
+        for lab in ("com", "org", "*"):
+            assert interner.decode(interner.code(lab)) == lab
+
+    def test_gap_decode_between(self):
+        interner = LabelInterner(["com", "net"])
+        gap = interner.code("com") + LABEL_SPACING // 2
+        fresh = interner.decode(gap)
+        assert fresh is not None
+        assert "com" < fresh < "net"
+
+    def test_gap_decode_below_first(self):
+        interner = LabelInterner(["com"])
+        fresh = interner.decode(interner.code("com") - 5)
+        assert fresh is not None and fresh < "com"
+
+    def test_gap_decode_above_last(self):
+        interner = LabelInterner(["com"])
+        fresh = interner.decode(interner.code("com") + 5)
+        assert fresh is not None and fresh > "com"
+
+    def test_out_of_range(self):
+        interner = LabelInterner(["com"])
+        assert interner.decode(0) is None
+        assert interner.decode(interner.max_code + 1) is None
+
+    def test_name_roundtrip(self):
+        interner = LabelInterner(["com", "example", "www"])
+        n = name("www.example.com.")
+        assert interner.decode_name(interner.encode_name(n)) == n
+
+    def test_encode_name_reversed(self):
+        interner = LabelInterner(["com", "example", "www"])
+        codes = interner.encode_name(name("www.example.com."))
+        assert codes[0] == interner.code("com")
+        assert codes[-1] == interner.code("www")
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,8}", fullmatch=True), min_size=1, max_size=20))
+    def test_property_order_isomorphism(self, labels):
+        interner = LabelInterner(labels)
+        unique = sorted(set(labels))
+        for a, b in zip(unique, unique[1:]):
+            assert interner.code(a) < interner.code(b)
+
+    @given(
+        st.lists(st.from_regex(r"[a-z]{1,8}", fullmatch=True), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=10 * LABEL_SPACING),
+    )
+    def test_property_gap_decode_ordering(self, labels, code):
+        interner = LabelInterner(labels)
+        if code > interner.max_code:
+            return
+        decoded = interner.decode(code)
+        if decoded is None:
+            return
+        # Re-encoding an interned decode gives the code back; fresh labels
+        # must sort consistently with their gap position.
+        if interner.has(decoded):
+            assert interner.code(decoded) == code
+        else:
+            for lab in interner.universe:
+                if interner.code(lab) < code:
+                    assert lab < decoded
+                else:
+                    assert decoded < lab

@@ -1,0 +1,127 @@
+"""Tests for the v4.0 ALIAS-flattening feature and its spec adaptation.
+
+The paper: "We also adapt the top-level specification to accommodate new
+features. This process is still ongoing with the active development and
+maintenance of our DNS service." This is that flow, reproduced: a new
+engine iteration adds an in-house record type, the top-level specification
+(and the reference resolver) gain the matching clause, the new version
+verifies, and the feature-less engine is refuted on feature zones while
+remaining verified on plain zones.
+"""
+
+import pytest
+
+from repro.core import verify_engine
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.zone import ZoneValidationError
+from repro.dns.zonefile import parse_zone_text
+from repro.spec import reference_resolve
+from repro.testing import differential_test
+from repro.zonegen import alias_zone, evaluation_zone
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestZoneValidation:
+    BASE = (
+        "$ORIGIN e.com.\n"
+        "@ IN SOA ns1.e.com. a.e.com. 1 3600 600 86400 300\n"
+        "@ IN NS ns1\n"
+        "ns1 IN A 192.0.2.1\n"
+    )
+
+    def test_alias_with_a_rejected(self):
+        with pytest.raises(ZoneValidationError):
+            parse_zone_text(self.BASE + "x IN ALIAS ns1\nx IN A 192.0.2.2\n")
+
+    def test_alias_with_cname_rejected(self):
+        with pytest.raises(ZoneValidationError):
+            parse_zone_text(self.BASE + "x IN ALIAS ns1\nx IN CNAME ns1\n")
+
+    def test_double_alias_rejected(self):
+        with pytest.raises(ZoneValidationError):
+            parse_zone_text(self.BASE + "x IN ALIAS ns1\nx IN ALIAS ns1.e.com.\n")
+
+    def test_wildcard_alias_rejected(self):
+        with pytest.raises(ZoneValidationError):
+            parse_zone_text(self.BASE + "*.x IN ALIAS ns1\n")
+
+    def test_alias_with_mx_txt_allowed(self):
+        zone = parse_zone_text(
+            self.BASE + "x IN ALIAS ns1\nx IN MX 10 ns1\nx IN TXT \"ok\"\n"
+        )
+        assert zone.rrset(name("x.e.com."), RRType.ALIAS) is not None
+
+
+class TestReferenceSemantics:
+    def test_apex_flattening(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("example.com."), RRType.A))
+        assert resp.rcode is RCode.NOERROR and resp.aa
+        assert len(resp.answer) == 2  # both target A records
+        assert all(r.rname == name("example.com.") for r in resp.answer)
+        assert all(r.rtype is RRType.A for r in resp.answer)
+
+    def test_aaaa_flattening(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("example.com."), RRType.AAAA))
+        assert len(resp.answer) == 1
+        assert resp.answer[0].rname == name("example.com.")
+
+    def test_dangling_target_nodata(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("dangling.example.com."), RRType.A))
+        assert resp.rcode is RCode.NOERROR and resp.aa
+        assert not resp.answer
+        assert [r.rtype for r in resp.authority] == [RRType.SOA]
+
+    def test_external_target_nodata(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("external.example.com."), RRType.A))
+        assert not resp.answer and resp.rcode is RCode.NOERROR
+
+    def test_any_returns_raw_alias(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("example.com."), RRType.ANY))
+        types = {r.rtype for r in resp.answer}
+        assert RRType.ALIAS in types  # no flattening for ANY
+
+    def test_alias_qtype_returns_record(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("example.com."), RRType.ALIAS))
+        assert [r.rtype for r in resp.answer] == [RRType.ALIAS]
+
+    def test_mx_at_aliased_name_still_answers(self):
+        zone = alias_zone()
+        resp = reference_resolve(zone, Query(name("example.com."), RRType.MX))
+        assert [r.rtype for r in resp.answer] == [RRType.MX]
+
+
+class TestEngineV4:
+    def test_differential_clean(self):
+        assert differential_test(alias_zone(), "v4.0").clean
+
+    def test_v4_verifies_on_feature_zone(self):
+        result = verify_engine(alias_zone(), "v4.0")
+        assert result.verified, result.describe()
+
+    def test_v4_verifies_on_plain_zone(self):
+        result = verify_engine(evaluation_zone(), "v4.0")
+        assert result.verified, result.describe()
+
+    def test_featureless_engine_refuted_on_feature_zone(self):
+        result = verify_engine(alias_zone(), "verified")
+        assert not result.verified
+        # The counterexamples are exactly the flattened queries.
+        assert any(
+            bug.query is not None and bug.query.qtype in (RRType.A, RRType.AAAA)
+            for bug in result.bugs
+        )
+
+    def test_featureless_engine_still_fine_on_plain_zones(self):
+        result = verify_engine(evaluation_zone(), "verified")
+        assert result.verified

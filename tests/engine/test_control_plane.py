@@ -1,0 +1,133 @@
+"""Direct tests of the control plane: zone -> domain tree construction.
+
+The data plane's correctness proof assumes the control plane builds the
+tree the top-level spec's flat view describes (section 6.5); these tests
+pin that construction: node set (including empty non-terminals), BST
+ordering by label code, delegation flags, rrset grouping/order, and RR
+object sharing between the two views.
+"""
+
+import pytest
+
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.engine.control import build_domain_tree, build_flat_zone
+from repro.engine.encoding import ZoneEncoder
+from repro.zonegen import evaluation_zone, generate_zone
+
+
+@pytest.fixture(scope="module")
+def built():
+    zone = evaluation_zone()
+    encoder = ZoneEncoder(zone)
+    return zone, encoder, build_domain_tree(encoder), build_flat_zone(encoder)
+
+
+def collect_nodes(root):
+    out = {}
+
+    def walk_level(node):
+        if node is None:
+            return
+        walk_level(node.left)
+        out[tuple(node.name)] = node
+        walk_level(node.down)
+        walk_level(node.right)
+
+    walk_level(root)
+    return out
+
+
+class TestTreeShape:
+    def test_every_owner_and_ent_is_a_node(self, built):
+        zone, encoder, tree, _ = built
+        nodes = collect_nodes(tree.root)
+        for record in zone:
+            name = record.rname
+            while len(name) >= len(zone.origin):
+                assert tuple(encoder.encode_name(name)) in nodes, name.to_text()
+                if name == zone.origin:
+                    break
+                name = name.parent()
+
+    def test_ent_nodes_have_no_rrsets(self, built):
+        zone, encoder, tree, _ = built
+        nodes = collect_nodes(tree.root)
+        ent = nodes[tuple(encoder.encode_name(DnsName.from_text("ent.wild.example.com.")))]
+        assert ent.rrsets == []
+
+    def test_bst_invariant_per_level(self, built):
+        zone, encoder, tree, _ = built
+
+        def check_bst(node, lo, hi):
+            if node is None:
+                return
+            own = node.name[-1]
+            assert (lo is None or lo < own) and (hi is None or own < hi)
+            check_bst(node.left, lo, own)
+            check_bst(node.right, own, hi)
+            check_bst(node.down, None, None)
+
+        check_bst(tree.root.down, None, None)
+
+    def test_delegation_flags(self, built):
+        zone, encoder, tree, _ = built
+        nodes = collect_nodes(tree.root)
+        sub = nodes[tuple(encoder.encode_name(DnsName.from_text("sub.example.com.")))]
+        assert sub.is_delegation
+        apex = nodes[tuple(encoder.encode_name(zone.origin))]
+        assert apex.is_apex and not apex.is_delegation
+        # Glue below the cut is present but unflagged.
+        glue = nodes[tuple(encoder.encode_name(DnsName.from_text("ns1.sub.example.com.")))]
+        assert not glue.is_delegation
+
+    def test_wildcard_child_has_smallest_label(self, built):
+        zone, encoder, tree, _ = built
+        nodes = collect_nodes(tree.root)
+        wild = nodes[tuple(encoder.encode_name(DnsName.from_text("*.wild.example.com.")))]
+        assert wild.name[-1] == 1  # WILDCARD code
+
+    def test_rrsets_grouped_and_type_ordered(self, built):
+        zone, encoder, tree, _ = built
+        nodes = collect_nodes(tree.root)
+        wild = nodes[tuple(encoder.encode_name(DnsName.from_text("*.wild.example.com.")))]
+        types = [rs.rtype for rs in wild.rrsets]
+        assert types == sorted(types)
+        assert int(RRType.A) in types and int(RRType.MX) in types
+
+
+class TestViewSharing:
+    def test_rr_objects_shared_between_views(self, built):
+        zone, encoder, tree, flat = built
+        tree_rrs = {
+            id(rr)
+            for node in collect_nodes(tree.root).values()
+            for rs in node.rrsets
+            for rr in rs.rrs
+        }
+        flat_rrs = {id(rr) for rr in flat.rrs}
+        assert tree_rrs == flat_rrs
+
+    def test_name_lists_shared(self, built):
+        zone, encoder, tree, flat = built
+        # Encoding the same name twice yields the same list object.
+        a = encoder.encode_name(zone.origin)
+        b = encoder.encode_name(zone.origin)
+        assert a is b
+
+    def test_flat_zone_canonically_sorted(self, built):
+        zone, encoder, tree, flat = built
+        keys = [(tuple(rr.rname), rr.rtype) for rr in flat.rrs]
+        assert keys == sorted(keys)
+
+
+class TestRandomZones:
+    @pytest.mark.parametrize("seed", [3, 17, 91])
+    def test_construction_invariants_hold(self, seed):
+        zone = generate_zone(seed=seed, index=0)
+        encoder = ZoneEncoder(zone)
+        tree = build_domain_tree(encoder)
+        nodes = collect_nodes(tree.root)
+        for record in zone:
+            assert tuple(encoder.encode_name(record.rname)) in nodes
+        assert nodes[tuple(encoder.encode_name(zone.origin))].is_apex

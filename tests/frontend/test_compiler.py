@@ -1,0 +1,345 @@
+"""Unit tests for the GoPy frontend: structure of emitted IR and rejection
+of constructs outside the subset."""
+
+import pytest
+
+from repro.frontend import GoPyError, compile_source
+from repro.ir import (
+    Alloca,
+    Call,
+    CondBr,
+    GEP,
+    ICmp,
+    ListType,
+    Load,
+    Panic,
+    PointerType,
+    Ret,
+    Store,
+    print_function,
+    print_module,
+    validate_function,
+)
+from repro.ir.types import INT, BOOL
+
+
+def compile_one(source, name="f"):
+    module = compile_source(source)
+    return module.get_function(name)
+
+
+def all_instructions(function):
+    for block in function.blocks.values():
+        for insn in block.instructions:
+            yield insn
+
+
+def panic_kinds(function):
+    return [
+        block.terminator.kind
+        for block in function.blocks.values()
+        if isinstance(block.terminator, Panic)
+    ]
+
+
+class TestBasics:
+    def test_empty_void_function(self):
+        fn = compile_one("def f() -> None:\n    pass\n")
+        validate_function(fn)
+        terminators = [b.terminator for b in fn.blocks.values()]
+        assert any(isinstance(t, Ret) for t in terminators)
+
+    def test_return_int(self):
+        fn = compile_one("def f() -> int:\n    return 42\n")
+        rets = [
+            b.terminator for b in fn.blocks.values() if isinstance(b.terminator, Ret)
+        ]
+        assert len(rets) == 1
+
+    def test_params_allocated(self):
+        fn = compile_one("def f(a: int, b: bool) -> int:\n    return a\n")
+        allocas = [i for i in all_instructions(fn) if isinstance(i, Alloca)]
+        assert len(allocas) == 2
+        assert fn.params == (("a", INT), ("b", BOOL))
+
+    def test_arithmetic(self):
+        fn = compile_one("def f(a: int) -> int:\n    return a * 2 + 1 - 3\n")
+        validate_function(fn)
+
+    def test_locals_and_reassignment(self):
+        fn = compile_one(
+            "def f(a: int) -> int:\n"
+            "    x = a + 1\n"
+            "    x = x * 2\n"
+            "    return x\n"
+        )
+        validate_function(fn)
+
+    def test_missing_return_panics(self):
+        fn = compile_one(
+            "def f(a: int) -> int:\n"
+            "    if a > 0:\n"
+            "        return 1\n"
+        )
+        assert "missing-return" in panic_kinds(fn)
+
+    def test_augmented_assignment(self):
+        fn = compile_one("def f(a: int) -> int:\n    a += 5\n    return a\n")
+        validate_function(fn)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        fn = compile_one(
+            "def f(a: int) -> int:\n"
+            "    if a > 0:\n"
+            "        return 1\n"
+            "    else:\n"
+            "        return 0\n"
+        )
+        condbrs = [
+            b.terminator for b in fn.blocks.values() if isinstance(b.terminator, CondBr)
+        ]
+        assert len(condbrs) == 1
+
+    def test_while_loop_backedge(self):
+        fn = compile_one(
+            "def f(n: int) -> int:\n"
+            "    total = 0\n"
+            "    i = 0\n"
+            "    while i < n:\n"
+            "        total = total + i\n"
+            "        i = i + 1\n"
+            "    return total\n"
+        )
+        validate_function(fn)
+        labels = set(fn.blocks)
+        successors = {
+            target for b in fn.blocks.values() for target in b.terminator.successors()
+        }
+        assert successors <= labels
+
+    def test_break_continue(self):
+        fn = compile_one(
+            "def f(n: int) -> int:\n"
+            "    i = 0\n"
+            "    while True:\n"
+            "        i = i + 1\n"
+            "        if i > n:\n"
+            "            break\n"
+            "        if i == 2:\n"
+            "            continue\n"
+            "    return i\n"
+        )
+        validate_function(fn)
+
+    def test_for_range(self):
+        fn = compile_one(
+            "def f(n: int) -> int:\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+        validate_function(fn)
+
+    def test_short_circuit_and_produces_blocks(self):
+        fn = compile_one(
+            "def f(a: int, b: int) -> bool:\n"
+            "    return a > 0 and b > 0\n"
+        )
+        condbrs = [
+            b.terminator for b in fn.blocks.values() if isinstance(b.terminator, CondBr)
+        ]
+        assert len(condbrs) >= 1
+
+    def test_conditional_expression(self):
+        fn = compile_one("def f(a: int) -> int:\n    return 1 if a > 0 else 2\n")
+        validate_function(fn)
+
+
+STRUCT_SOURCE = """
+class Node(GoStruct):
+    value: int
+    next: "Node"
+
+def get(n: Node) -> int:
+    return n.value
+
+def set_value(n: Node, v: int) -> None:
+    n.value = v
+
+def make(v: int) -> Node:
+    return Node(value=v)
+"""
+
+
+class TestStructs:
+    def test_struct_registered(self):
+        module = compile_source(STRUCT_SOURCE)
+        struct = module.types.get("Node")
+        assert struct.field_index("value") == 0
+        assert isinstance(struct.field_type(1), PointerType)
+
+    def test_field_load_has_nil_check(self):
+        module = compile_source(STRUCT_SOURCE)
+        fn = module.get_function("get")
+        assert "nil-dereference" in panic_kinds(fn)
+        assert any(isinstance(i, GEP) for i in all_instructions(fn))
+
+    def test_field_store(self):
+        module = compile_source(STRUCT_SOURCE)
+        fn = module.get_function("set_value")
+        stores = [i for i in all_instructions(fn) if isinstance(i, Store)]
+        assert stores
+
+    def test_constructor_uses_newobject(self):
+        module = compile_source(STRUCT_SOURCE)
+        fn = module.get_function("make")
+        calls = [i for i in all_instructions(fn) if isinstance(i, Call)]
+        assert any(c.callee == "newobject" for c in calls)
+
+    def test_unknown_field_rejected(self):
+        bad = STRUCT_SOURCE + "\ndef bad(n: Node) -> int:\n    return n.nope\n"
+        with pytest.raises(GoPyError):
+            compile_source(bad)
+
+    def test_circular_struct_allowed(self):
+        module = compile_source(STRUCT_SOURCE)
+        struct = module.types.get("Node")
+        assert struct.field_type(1).pointee == struct
+
+
+LIST_SOURCE = """
+def head(xs: list[int]) -> int:
+    return xs[0]
+
+def total(xs: list[int]) -> int:
+    out = 0
+    for x in xs:
+        out += x
+    return out
+
+def build(n: int) -> list[int]:
+    out: list[int] = []
+    i = 0
+    while i < n:
+        out.append(i)
+        i += 1
+    return out
+"""
+
+
+class TestLists:
+    def test_index_has_bounds_panics(self):
+        module = compile_source(LIST_SOURCE)
+        fn = module.get_function("head")
+        kinds = panic_kinds(fn)
+        assert kinds.count("index-out-of-bounds") == 2  # negative and >= len
+        assert "nil-dereference" in kinds
+
+    def test_for_over_list(self):
+        module = compile_source(LIST_SOURCE)
+        validate_function(module.get_function("total"))
+
+    def test_append_intrinsic(self):
+        module = compile_source(LIST_SOURCE)
+        fn = module.get_function("build")
+        calls = [i for i in all_instructions(fn) if isinstance(i, Call)]
+        assert any(c.callee == "list.new" for c in calls)
+        assert any(c.callee == "list.append" for c in calls)
+
+    def test_empty_list_needs_annotation(self):
+        with pytest.raises(GoPyError):
+            compile_source("def f() -> None:\n    xs = []\n")
+
+    def test_list_literal(self):
+        fn = compile_one("def f() -> list[int]:\n    return [1, 2, 3]\n")
+        validate_function(fn)
+
+
+class TestCallsAndConsts:
+    def test_module_constants_inline(self):
+        module = compile_source(
+            "LIMIT = 10\n"
+            "def f(a: int) -> bool:\n"
+            "    return a < LIMIT\n"
+        )
+        validate_function(module.get_function("f"))
+
+    def test_cross_function_call(self):
+        module = compile_source(
+            "def helper(a: int) -> int:\n"
+            "    return a + 1\n"
+            "def f(a: int) -> int:\n"
+            "    return helper(helper(a))\n"
+        )
+        fn = module.get_function("f")
+        calls = [i for i in all_instructions(fn) if isinstance(i, Call)]
+        assert sum(1 for c in calls if c.callee == "helper") == 2
+
+    def test_forward_reference_call(self):
+        module = compile_source(
+            "def f(a: int) -> int:\n"
+            "    return later(a)\n"
+            "def later(a: int) -> int:\n"
+            "    return a\n"
+        )
+        validate_function(module.get_function("f"))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(GoPyError):
+            compile_source(
+                "def helper(a: int) -> int:\n"
+                "    return a\n"
+                "def f() -> int:\n"
+                "    return helper()\n"
+            )
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(GoPyError):
+            compile_source("def f() -> int:\n    return nope(1)\n")
+
+
+class TestSubsetRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(a: int) -> int:\n    return a / 2\n",  # division
+            "def f(a: int) -> int:\n    return a % 2\n",  # modulo
+            "def f() -> None:\n    x = 'hello'\n",  # strings
+            "def f(a: int) -> bool:\n    return 0 < a < 10\n",  # chained cmp
+            "def f(xs: list[int]) -> list[int]:\n    return xs[1:]\n",  # slicing
+            "def f() -> None:\n    for k in {}:\n        pass\n",  # dicts
+            "def f(a) -> int:\n    return a\n",  # missing annotation
+            "def f() -> None:\n    x, y = 1, 2\n",  # tuple unpack
+            "def f(a: int) -> None:\n    if a:\n        pass\n",  # int truthiness
+            "def f() -> None:\n    raise ValueError()\n",  # exceptions
+            "def f(xs: list[int]) -> None:\n    xs.pop()\n",  # other methods
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(GoPyError):
+            compile_source(source)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(GoPyError):
+            compile_source(
+                "def f(a: int, b: bool) -> int:\n"
+                "    x = a\n"
+                "    x = b\n"
+                "    return x\n"
+            )
+
+
+class TestPrinter:
+    def test_printable(self):
+        module = compile_source(STRUCT_SOURCE)
+        text = print_module(module)
+        assert "@get" in text and "panic" in text and "%Node" in text
+
+    def test_function_text_contains_blocks(self):
+        fn = compile_one("def f(a: int) -> int:\n    return a\n")
+        text = print_function(fn)
+        assert text.startswith("define Int @f")
+        assert "ret" in text

@@ -1,0 +1,158 @@
+"""Native-vs-symbolic execution consistency.
+
+GoPy's defining property is its double life: the same source runs under
+CPython and under the AbsLLVM symbolic executor. For *concrete* inputs the
+two must agree exactly — this is the correctness contract of the frontend
+plus the executor, and it is what makes counterexample validation by native
+re-execution sound. Hypothesis drives library functions and whole-engine
+queries through both interpreters.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import _compiled
+from repro.engine import control
+from repro.engine.encoding import ZoneEncoder
+from repro.engine.gopy import nameops, nodestack, rawname
+from repro.engine.versions import verified
+from repro.solver import iconst
+from repro.spec import toplevel
+from repro.symex import Executor, HeapLoader, PathState, concretize_value
+from repro.zonegen import evaluation_zone
+
+
+def symbolic_call(modules, name, python_args):
+    """Run ``name`` symbolically on fully concrete arguments."""
+    executor = Executor([_compiled(m) for m in modules])
+    state = PathState()
+    loader = HeapLoader(state.memory)
+    args = [loader.load(a) for a in python_args]
+    outcomes = executor.run(name, args, state=state)
+    assert len(outcomes) == 1, "concrete inputs must yield exactly one path"
+    out = outcomes[0]
+    if out.is_panic:
+        return ("panic", out.panic.kind)
+    if out.value is None:
+        return ("void", None)
+    return ("value", concretize_value(out.value, out.state.memory))
+
+
+codes_st = st.lists(st.integers(1, 5).map(lambda k: k * 65536), min_size=0, max_size=5)
+
+
+class TestNameOps:
+    @settings(max_examples=60, deadline=None)
+    @given(codes_st, codes_st)
+    def test_name_match(self, a, b):
+        native = nameops.name_match(list(a), list(b))
+        kind, value = symbolic_call([nameops], "name_match", [list(a), list(b)])
+        assert kind == "value" and value == native
+
+    @settings(max_examples=60, deadline=None)
+    @given(codes_st, codes_st)
+    def test_shared_prefix_len(self, a, b):
+        native = nameops.shared_prefix_len(list(a), list(b))
+        kind, value = symbolic_call([nameops], "shared_prefix_len", [list(a), list(b)])
+        assert kind == "value" and value == native
+
+
+bytes_st = st.lists(st.integers(97, 122), min_size=1, max_size=4)
+name_bytes_st = st.lists(bytes_st, min_size=1, max_size=3).map(
+    lambda labels: sum(([46] + lab for lab in labels), [])[1:]
+)
+
+
+class TestRawName:
+    @settings(max_examples=60, deadline=None)
+    @given(name_bytes_st, name_bytes_st)
+    def test_compare_raw(self, n1, n2):
+        native = rawname.compare_raw(list(n1), list(n2))
+        kind, value = symbolic_call([rawname], "compare_raw", [list(n1), list(n2)])
+        assert kind == "value" and value == native
+
+
+class TestWholeEngine:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        zone = evaluation_zone()
+        encoder = ZoneEncoder(zone, extra_labels=["zz", "deep"])
+        tree = control.build_domain_tree(encoder)
+        flat = control.build_flat_zone(encoder)
+        modules = [
+            _compiled(nameops),
+            _compiled(nodestack),
+            _compiled(verified, externs=[_compiled(nameops), _compiled(nodestack)]),
+        ]
+        return zone, encoder, tree, flat, modules
+
+    @pytest.mark.parametrize(
+        "qname,qtype",
+        [
+            ("www.example.com.", 1),
+            ("example.com.", 255),
+            ("alias.example.com.", 1),
+            ("zz.wild.example.com.", 15),
+            ("deep.sub.example.com.", 1),
+            ("zz.example.com.", 1),
+        ],
+    )
+    def test_resolve_concrete_query(self, setup, qname, qtype):
+        from repro.dns.name import DnsName
+
+        zone, encoder, tree, flat, modules = setup
+        codes = [
+            encoder.interner.code(lab)
+            for lab in DnsName.from_text(qname).reversed_labels
+        ]
+        native = control.run_engine_concrete(verified, tree, codes, qtype)
+
+        executor = Executor(modules)
+        state = PathState()
+        loader = HeapLoader(state.memory)
+        tree_ptr = loader.load(tree)
+        q_ptr = loader.load(list(codes))
+        resp_ptr = executor.new_object(state, "Response")
+        outcomes = executor.run(
+            "resolve", [tree_ptr, q_ptr, iconst(qtype), resp_ptr], state=state
+        )
+        assert len(outcomes) == 1 and not outcomes[0].is_panic
+        decoded = concretize_value(
+            resp_ptr, outcomes[0].state.memory, registry=executor.registry
+        )
+        assert decoded["rcode"] == native.rcode
+        assert decoded["aa"] == native.aa
+        for section in ("answer", "authority", "additional"):
+            got = [(r["rtype"], r["rdata_id"]) for r in decoded[section]]
+            want = [(r.rtype, r.rdata_id) for r in getattr(native, section)]
+            assert got == want, section
+
+    def test_dev_crash_is_panic_symbolically(self, setup):
+        from repro.dns.name import DnsName
+        from repro.engine.versions import dev
+
+        zone, encoder, tree, flat, _ = setup
+        codes = [
+            encoder.interner.code(lab)
+            for lab in DnsName.from_text("ent.wild.example.com.").reversed_labels
+        ]
+        with pytest.raises(IndexError):
+            control.run_engine_concrete(dev, tree, codes, 1)
+
+        base = [_compiled(nameops), _compiled(nodestack)]
+        executor = Executor(base + [_compiled(dev, externs=base)])
+        state = PathState()
+        loader = HeapLoader(state.memory)
+        outcomes = executor.run(
+            "resolve",
+            [
+                loader.load(tree),
+                loader.load(list(codes)),
+                iconst(1),
+                executor.new_object(state, "Response"),
+            ],
+            state=state,
+        )
+        assert len(outcomes) == 1
+        assert outcomes[0].is_panic
+        assert outcomes[0].panic.kind == "index-out-of-bounds"

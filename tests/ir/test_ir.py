@@ -1,0 +1,182 @@
+"""Unit tests for the AbsLLVM IR layer."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    BinOp,
+    Br,
+    Call,
+    CondBr,
+    ConstBool,
+    ConstInt,
+    ConstNull,
+    Function,
+    GEP,
+    ICmp,
+    IRValidationError,
+    ListType,
+    Load,
+    Module,
+    NamedType,
+    Panic,
+    PointerType,
+    Register,
+    Ret,
+    Store,
+    StructType,
+    print_function,
+    print_module,
+    validate_function,
+    validate_module,
+)
+from repro.ir.types import BOOL, INT, VOID, TypeRegistry
+
+
+class TestTypes:
+    def test_scalar_equality(self):
+        assert INT == INT and BOOL == BOOL and INT != BOOL
+
+    def test_pointer_structural_equality(self):
+        assert PointerType(INT) == PointerType(INT)
+        assert PointerType(INT) != PointerType(BOOL)
+
+    def test_list_type(self):
+        assert ListType(INT) == ListType(INT)
+        assert repr(ListType(INT)) == "List[Int]"
+
+    def test_named_matches_struct(self):
+        struct = StructType("Node", [("v", INT)])
+        assert NamedType("Node") == struct
+        assert struct == NamedType("Node")
+        assert hash(NamedType("Node")) == hash(struct)
+
+    def test_registry_define_and_resolve(self):
+        registry = TypeRegistry()
+        struct = registry.define("Node", [("v", INT), ("next", PointerType(NamedType("Node")))])
+        assert registry.resolve(NamedType("Node")) is struct
+        with pytest.raises(ValueError):
+            registry.define("Node", [])
+
+    def test_field_lookup(self):
+        struct = StructType("S", [("a", INT), ("b", BOOL)])
+        assert struct.field_index("b") == 1
+        assert struct.field_type(0) == INT
+        with pytest.raises(KeyError):
+            struct.field_index("nope")
+
+
+class TestInstructions:
+    def test_binop_validates_op(self):
+        with pytest.raises(ValueError):
+            BinOp(Register("r"), "div", ConstInt(1), ConstInt(2))
+
+    def test_icmp_validates_pred(self):
+        with pytest.raises(ValueError):
+            ICmp(Register("r"), "ult", ConstInt(1), ConstInt(2))
+
+    def test_gep_requires_indices(self):
+        with pytest.raises(ValueError):
+            GEP(Register("r"), Register("base"), [])
+
+    def test_terminator_successors(self):
+        assert Br("next").successors() == ("next",)
+        assert CondBr(Register("c"), "a", "b").successors() == ("a", "b")
+        assert Ret(None).successors() == ()
+        assert Panic("explicit").successors() == ()
+
+    def test_const_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ConstInt(True)
+
+
+def build_function(terminate=True, branch_target=None):
+    fn = Function("f", [("a", INT)], INT)
+    entry = fn.new_block("entry")
+    exit_block = fn.new_block("exit")
+    reg = Register("r1")
+    entry.append(BinOp(reg, "add", Register("a"), ConstInt(1)))
+    entry.terminate(Br(branch_target if branch_target else exit_block.label))
+    if terminate:
+        exit_block.terminate(Ret(reg))
+    return fn
+
+
+class TestValidation:
+    def test_valid_function(self):
+        fn = build_function()
+        validate_function(fn)
+
+    def test_unterminated_block_rejected(self):
+        fn = build_function(terminate=False)
+        with pytest.raises(IRValidationError):
+            validate_function(fn)
+
+    def test_unknown_branch_target_rejected(self):
+        fn = build_function(branch_target="nowhere")
+        with pytest.raises(IRValidationError):
+            validate_function(fn)
+
+    def test_double_assignment_rejected(self):
+        fn = Function("f", [], VOID)
+        block = fn.new_block("entry")
+        block.append(Alloca(Register("r"), INT))
+        block.append(Alloca(Register("r"), INT))
+        block.terminate(Ret(None))
+        with pytest.raises(IRValidationError):
+            validate_function(fn)
+
+    def test_undefined_use_rejected(self):
+        fn = Function("f", [], INT)
+        block = fn.new_block("entry")
+        block.terminate(Ret(Register("ghost")))
+        with pytest.raises(IRValidationError):
+            validate_function(fn)
+
+    def test_block_double_terminate_rejected(self):
+        block = BasicBlock("b")
+        block.terminate(Ret(None))
+        with pytest.raises(ValueError):
+            block.terminate(Ret(None))
+
+    def test_module_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(build_function())
+        with pytest.raises(ValueError):
+            module.add_function(build_function())
+
+    def test_bad_list_intrinsic_rejected(self):
+        module = Module("m")
+        fn = Function("f", [], VOID)
+        block = fn.new_block("entry")
+        block.append(Call(None, "list.reverse", []))
+        block.terminate(Ret(None))
+        module.add_function(fn)
+        with pytest.raises(IRValidationError):
+            validate_module(module)
+
+
+class TestPrinter:
+    def test_function_text(self):
+        text = print_function(build_function())
+        assert "define Int @f(Int %a)" in text
+        assert "add" in text and "ret" in text
+
+    def test_module_text_includes_structs(self):
+        module = Module("m")
+        module.types.define("Node", [("v", INT)])
+        module.add_function(build_function())
+        text = print_module(module)
+        assert "%Node = { v: Int }" in text
+
+
+class TestModuleMerge:
+    def test_merge_brings_functions_and_types(self):
+        a = Module("a")
+        a.types.define("S", [("x", INT)])
+        a.add_function(build_function())
+        b = Module("b")
+        b.merge(a)
+        assert b.has_function("f")
+        assert "S" in b.types

@@ -1,0 +1,172 @@
+"""Library-layer refinement proofs (the Figure 2/3 story).
+
+The NodeStack reproduces the paper's leaky-encapsulation anti-pattern: the
+``level`` field is maintained by ``stack_push`` but read (and used as an
+index) directly by other code. These proofs run with ``level`` *symbolic*
+while the node storage stays concrete — the partial abstraction the
+flexible memory model exists for — and rely on concretization-by-forking
+for the symbolic index read in ``stack_top``.
+
+The harness inlines the (tiny) library source so ``compile_source`` can
+build a self-contained module; the functions are verbatim copies of
+:mod:`repro.engine.gopy.nodestack` (a test below pins that).
+"""
+
+import inspect
+
+from repro.engine.gopy import nodestack
+from repro.frontend import compile_source
+from repro.frontend.runtime import GoStruct
+from repro.refine import check_refinement, check_safety
+from repro.solver import ge, iconst, ivar, le
+from repro.symex import Executor, HeapLoader, ListVal, PathState, StructVal
+
+HARNESS = """
+class TreeNode(GoStruct):
+    name: list[int]
+    left: "TreeNode"
+
+class NodeStack(GoStruct):
+    nodes: list[TreeNode]
+    level: int
+
+def stack_push(s: NodeStack, n: TreeNode) -> None:
+    s.nodes.append(n)
+    s.level = s.level + 1
+
+def stack_top(s: NodeStack) -> TreeNode:
+    return s.nodes[s.level - 1]
+
+def push_then_top(s: NodeStack, n: TreeNode) -> TreeNode:
+    stack_push(s, n)
+    return stack_top(s)
+
+def push_then_level(s: NodeStack, n: TreeNode) -> int:
+    old = s.level
+    stack_push(s, n)
+    return s.level - old
+
+def spec_identity(s: NodeStack, n: TreeNode) -> TreeNode:
+    return n
+
+def spec_one(s: NodeStack, n: TreeNode) -> int:
+    return 1
+"""
+
+
+class _Node(GoStruct):
+    name: list[int]
+    left: "_Node"
+
+
+def make_executor():
+    return Executor([compile_source(HARNESS, "nodestack_harness")])
+
+
+def make_stack(state, num_nodes, level_expr):
+    """A stack whose node storage is concrete but whose level is the given
+    (possibly symbolic) expression — partial abstraction in one struct."""
+    loader = HeapLoader(state.memory)
+    nodes = [loader.load(_Node(name=[i])) for i in range(num_nodes)]
+    nodes_ptr = state.memory.alloc(ListVal.concrete(nodes))
+    stack_ptr = state.memory.alloc(StructVal("NodeStack", (nodes_ptr, level_expr)))
+    node_arg = loader.load(_Node(name=[99]))
+    return stack_ptr, node_arg
+
+
+class TestHarnessMatchesLibrary:
+    def test_functions_are_verbatim_copies(self):
+        library = inspect.getsource(nodestack)
+        for fragment in (
+            "s.nodes.append(n)",
+            "s.level = s.level + 1",
+            "return s.nodes[s.level - 1]",
+        ):
+            assert fragment in HARNESS and fragment in library
+
+
+class TestNodeStackRefinement:
+    def test_push_then_top_returns_pushed_node(self):
+        """Under the stack-consistency invariant (level == storage size,
+        here kept abstract as a symbolic value pinned by the precondition),
+        top-after-push is the pushed node."""
+        from repro.solver import eq
+
+        executor = make_executor()
+        state = PathState()
+        level = ivar("level")
+        stack_ptr, node = make_stack(state, 3, level)
+        report = check_refinement(
+            executor,
+            "push_then_top",
+            "spec_identity",
+            [stack_ptr, node],
+            [stack_ptr, node],
+            state=state,
+            pre=[eq(level, 3)],
+        )
+        assert report.verified, report.describe()
+
+    def test_push_then_top_fails_without_invariant(self):
+        """Dropping the consistency invariant makes the property false —
+        the checker must produce the inconsistent-level counterexample
+        (this is the hazard the leaky ``level`` field creates)."""
+        executor = make_executor()
+        state = PathState()
+        level = ivar("level")
+        stack_ptr, node = make_stack(state, 3, level)
+        report = check_refinement(
+            executor,
+            "push_then_top",
+            "spec_identity",
+            [stack_ptr, node],
+            [stack_ptr, node],
+            state=state,
+            pre=[ge(level, 0), le(level, 3)],
+        )
+        assert not report.verified
+        model = report.mismatches[0].model
+        assert model.get_int("level") < 3
+
+    def test_push_increments_level_by_one(self):
+        executor = make_executor()
+        state = PathState()
+        level = ivar("level")
+        stack_ptr, node = make_stack(state, 2, level)
+        report = check_refinement(
+            executor,
+            "push_then_level",
+            "spec_one",
+            [stack_ptr, node],
+            [stack_ptr, node],
+            state=state,
+            pre=[ge(level, 0), le(level, 2)],
+        )
+        assert report.verified, report.describe()
+
+    def test_inconsistent_level_caught_by_safety(self):
+        """If external code corrupted level beyond the storage (the risk
+        the leaky field creates), stack_top's bounds check panics — and the
+        safety checker reports it with a model."""
+        executor = make_executor()
+        state = PathState()
+        level = ivar("level")
+        stack_ptr, node = make_stack(state, 2, level)
+        report = check_safety(
+            executor,
+            "push_then_top",
+            [stack_ptr, node],
+            state=state,
+            pre=[ge(level, 0), le(level, 8)],  # allows level > storage
+        )
+        assert not report.safe
+        info, model = report.reachable_panics[0]
+        assert info.kind == "index-out-of-bounds"
+        assert model.get_int("level") > 2
+
+    def test_top_of_empty_stack_panics(self):
+        executor = make_executor()
+        state = PathState()
+        stack_ptr, _ = make_stack(state, 0, iconst(0))
+        outcomes = executor.run("stack_top", [stack_ptr], state=state)
+        assert all(o.is_panic for o in outcomes)

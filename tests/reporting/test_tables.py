@@ -1,0 +1,60 @@
+"""Tests for the table/figure renderers (the evaluation artifacts)."""
+
+import pytest
+
+from repro.reporting import (
+    EXPECTED_TABLE2,
+    render_table1,
+    render_table3,
+    table1_rows,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_rows()
+
+    def test_path_count_matches_paper_scale(self, rows):
+        # The paper's example tree yields 14 paths; ours differs slightly in
+        # shape (an extra ns1 node) but must be the same order of magnitude.
+        assert 10 <= len(rows) <= 25
+
+    def test_every_node_has_exact_path(self, rows):
+        exact_nodes = {r.matched_node for r in rows if r.kind == "EXACT"}
+        for node in (
+            "example.com.",
+            "www.example.com.",
+            "cs.example.com.",
+            "web.cs.example.com.",
+            "zoo.cs.example.com.",
+        ):
+            assert node in exact_nodes
+
+    def test_miss_paths_report_closest_encloser(self, rows):
+        misses = [r for r in rows if r.kind == "MISS"]
+        assert misses
+        assert all(r.matched_node.endswith("example.com.") for r in misses)
+
+    def test_example_qnames_satisfy_kind(self, rows):
+        # An EXACT row's example qname must be the matched node itself.
+        for row in rows:
+            if row.kind == "EXACT":
+                assert row.example_qname == row.matched_node
+
+    def test_render(self):
+        text = render_table1()
+        assert "Table 1" in text and "EXACT" in text
+
+
+class TestTable2Static:
+    def test_expected_covers_nine_rows(self):
+        assert len(EXPECTED_TABLE2) == 9
+        assert {v for _, v, _, _ in EXPECTED_TABLE2} == {"v1.0", "v2.0", "v3.0", "dev"}
+
+
+class TestTable3:
+    def test_render(self):
+        text = render_table3()
+        assert "implementation" in text
+        assert "top-level specification" in text

@@ -1,0 +1,148 @@
+"""Direct tests of the LIA theory decision procedure internals."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import eq, ge, iadd, iconst, imul, isub, ivar, le, lt, ne
+from repro.solver.terms import Atom
+from repro.solver.theory import TheoryResult, check_conjunction
+
+
+def atoms_of(*formulas):
+    out = []
+    for formula in formulas:
+        assert isinstance(formula, Atom), formula
+        out.append(formula)
+    return out
+
+
+x, y, z = ivar("x"), ivar("y"), ivar("z")
+
+
+class TestConjunctionDecisions:
+    def test_empty_sat(self):
+        result, model = check_conjunction([])
+        assert result is TheoryResult.SAT and model == {}
+
+    def test_simple_bounds(self):
+        result, model = check_conjunction(atoms_of(ge(x, 3), le(x, 3)))
+        assert result is TheoryResult.SAT
+        assert model["x"] == 3
+
+    def test_gaussian_elimination_chain(self):
+        result, model = check_conjunction(
+            atoms_of(eq(x, 5), eq(y, iadd(x, 10)), eq(z, iadd(y, x)))
+        )
+        assert result is TheoryResult.SAT
+        assert model["y"] == 15 and model["z"] == 20
+
+    def test_equality_contradiction(self):
+        result, _ = check_conjunction(atoms_of(eq(x, 1), eq(x, 2)))
+        assert result is TheoryResult.UNSAT
+
+    def test_interval_emptiness(self):
+        result, _ = check_conjunction(atoms_of(ge(x, 10), le(x, 9)))
+        assert result is TheoryResult.UNSAT
+
+    def test_transitive_infeasibility(self):
+        result, _ = check_conjunction(
+            atoms_of(lt(x, y), lt(y, z), lt(z, x))
+        )
+        assert result is TheoryResult.UNSAT
+
+    def test_disequality_search(self):
+        atoms = atoms_of(ge(x, 0), le(x, 5), *[ne(x, k) for k in range(5)])
+        result, model = check_conjunction(atoms)
+        assert result is TheoryResult.SAT
+        assert model["x"] == 5
+
+    def test_disequality_exhaustion(self):
+        atoms = atoms_of(ge(x, 0), le(x, 4), *[ne(x, k) for k in range(5)])
+        result, _ = check_conjunction(atoms)
+        assert result is TheoryResult.UNSAT
+
+    def test_var_vs_var_disequality(self):
+        result, model = check_conjunction(
+            atoms_of(ge(x, 0), le(x, 1), ge(y, 0), le(y, 1), ne(x, y))
+        )
+        assert result is TheoryResult.SAT
+        assert model["x"] != model["y"]
+
+    def test_coefficient_equation(self):
+        # 3x - 2y == 1 with both in [0, 10].
+        result, model = check_conjunction(
+            atoms_of(
+                eq(isub(imul(3, x), imul(2, y)), 1),
+                ge(x, 0), le(x, 10), ge(y, 0), le(y, 10),
+            )
+        )
+        assert result is TheoryResult.SAT
+        assert 3 * model["x"] - 2 * model["y"] == 1
+
+    def test_large_spaced_domain(self):
+        spacing = 1 << 16
+        atoms = atoms_of(
+            ge(x, 1),
+            le(x, 6 * spacing),
+            *[ne(x, k * spacing) for k in range(1, 6)],
+            ge(x, 3 * spacing),
+        )
+        result, model = check_conjunction(atoms)
+        assert result is TheoryResult.SAT
+        assert model["x"] >= 3 * spacing and model["x"] % spacing != 0
+
+
+class TestModelCompleteness:
+    def test_unconstrained_vars_get_values(self):
+        result, model = check_conjunction(atoms_of(eq(iadd(x, y), 10)))
+        assert result is TheoryResult.SAT
+        assert model["x"] + model["y"] == 10
+
+    def test_eliminated_vars_back_substituted(self):
+        result, model = check_conjunction(
+            atoms_of(eq(x, y), eq(y, z), ge(z, 7), le(z, 7))
+        )
+        assert result is TheoryResult.SAT
+        assert model["x"] == model["y"] == model["z"] == 7
+
+
+@st.composite
+def small_system(draw):
+    n_atoms = draw(st.integers(1, 6))
+    makers = [le, lt, eq, ne, ge]
+    atoms = []
+    for _ in range(n_atoms):
+        maker = draw(st.sampled_from(makers))
+        cx = draw(st.integers(-2, 2))
+        cy = draw(st.integers(-2, 2))
+        c = draw(st.integers(-5, 5))
+        formula = maker(iadd(imul(cx, x), imul(cy, y)), c)
+        if isinstance(formula, Atom):
+            atoms.append(formula)
+    # Box both variables so brute force is finite.
+    for bound in (ge(x, -4), le(x, 4), ge(y, -4), le(y, 4)):
+        atoms.append(bound)
+    return atoms
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(small_system())
+    def test_matches_enumeration(self, atoms):
+        from repro.solver.terms import and_, eval_expr
+
+        formula = and_(*atoms)
+        expected = any(
+            eval_expr(formula, {"x": vx, "y": vy})
+            for vx in range(-4, 5)
+            for vy in range(-4, 5)
+        )
+        result, model = check_conjunction(atoms)
+        if expected:
+            assert result is TheoryResult.SAT
+            filled = {"x": model.get("x", 0), "y": model.get("y", 0)}
+            assert eval_expr(formula, filled)
+        else:
+            assert result is TheoryResult.UNSAT

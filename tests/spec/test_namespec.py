@@ -1,0 +1,94 @@
+"""Tests for the section 6.3 Name-layer refinement experiment."""
+
+import pytest
+
+from repro.dns.name import DnsName
+from repro.engine.gopy import nameops, rawname
+from repro.engine.gopy.consts import EXACTMATCH, NOMATCH, PARTIALMATCH
+from repro.spec.namespec import byte_encode, check_name_refinement
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestByteEncoding:
+    def test_simple(self):
+        assert byte_encode(name("ab.cd.")) == [97, 98, 46, 99, 100]
+
+    def test_single_label(self):
+        assert byte_encode(name("x.")) == [120]
+
+
+class TestCompareRawConcrete:
+    """compare_raw runs natively; check it against the abstract semantics
+    on concrete cases first."""
+
+    def pair(self, a, b):
+        return rawname.compare_raw(byte_encode(name(a)), byte_encode(name(b)))
+
+    def test_exact(self):
+        assert self.pair("www.example.com.", "www.example.com.") == EXACTMATCH
+
+    def test_partial(self):
+        assert self.pair("a.example.com.", "example.com.") == PARTIALMATCH
+
+    def test_nomatch_sibling(self):
+        assert self.pair("a.example.com.", "b.example.com.") == NOMATCH
+
+    def test_nomatch_not_on_boundary(self):
+        # The Figure 4 subtlety: byte suffix without a label boundary.
+        assert self.pair("wwwexample.com.", "example.com.") == NOMATCH
+
+    def test_nomatch_query_above_node(self):
+        assert self.pair("com.", "example.com.") == NOMATCH
+
+    def test_buggy_version_differs(self):
+        raw = rawname.compare_raw_noboundary(
+            byte_encode(name("wwwexample.com.")), byte_encode(name("example.com."))
+        )
+        assert raw == PARTIALMATCH  # the bug
+
+    def test_agrees_with_name_match_concretely(self):
+        labels = ["a", "b", "ab", "com", "net"]
+        from repro.dns.interner import LabelInterner
+
+        interner = LabelInterner(labels)
+        import itertools
+
+        for la, lb in itertools.product(labels, repeat=2):
+            for lc in labels:
+                n1 = DnsName((la, lb))
+                n2 = DnsName((lc,))
+                raw = rawname.compare_raw(byte_encode(n1), byte_encode(n2))
+                abstract = nameops.name_match(
+                    list(interner.encode_name(n1)), list(interner.encode_name(n2))
+                )
+                assert raw == abstract, (n1, n2)
+
+
+class TestSymbolicRefinement:
+    def test_correct_implementation_verifies(self):
+        report = check_name_refinement(
+            name("ab.cd."), extra_labels=["x", "yz"], max_labels=2, max_label_len=2
+        )
+        assert report.verified
+        assert report.shapes_checked == 6
+
+    def test_buggy_implementation_fails_with_counterexample(self):
+        report = check_name_refinement(
+            name("ab.cd."),
+            extra_labels=["x", "yz"],
+            max_labels=3,
+            max_label_len=3,
+            raw_function="compare_raw_noboundary",
+        )
+        assert not report.verified
+        # The failing shape must involve a 3-byte label ending in 'ab'.
+        assert any("(3, 2)" in failure for failure in report.failures)
+
+    def test_single_label_node(self):
+        report = check_name_refinement(
+            name("ab."), extra_labels=["q"], max_labels=2, max_label_len=2
+        )
+        assert report.verified

@@ -1,0 +1,174 @@
+"""Unit tests for the top-level specification and the reference resolver.
+
+The executable spec (GoPy) and the reference resolver (plain Python) are
+independent implementations of the same RFC semantics; these tests check
+each against hand-computed expectations, then against each other over the
+corpus and random zones.
+"""
+
+import pytest
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.engine.control import build_flat_zone
+from repro.engine.encoding import ZoneEncoder
+from repro.engine.gopy.structs import Response as GoResponse
+from repro.spec import reference_resolve, toplevel
+from repro.testing import differential_test, enumerate_queries
+from repro.zonegen import (
+    ZoneGenerator,
+    GeneratorConfig,
+    chain_zone,
+    evaluation_zone,
+    paper_example_zone,
+)
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def eval_setup():
+    zone = evaluation_zone()
+    encoder = ZoneEncoder(zone, extra_labels=["zz", "deep", "b"])
+    flat = build_flat_zone(encoder)
+    return zone, encoder, flat
+
+
+def spec_answer(encoder, flat, qname_text, qtype):
+    qname = name(qname_text)
+    codes = [encoder.interner.code(lab) for lab in qname.reversed_labels]
+    resp = GoResponse()
+    toplevel.rrlookup(flat, codes, int(qtype), resp)
+    return encoder.decode_response(Query(qname, qtype), resp)
+
+
+class TestToplevelSpec:
+    def test_positive_answer(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "www.example.com.", RRType.A)
+        assert resp.rcode is RCode.NOERROR and resp.aa
+        assert len(resp.answer) == 1
+        assert resp.answer[0].rdata.to_text() == "192.0.2.10"
+
+    def test_nodata_has_soa(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "www.example.com.", RRType.MX)
+        assert resp.rcode is RCode.NOERROR and resp.aa
+        assert not resp.answer
+        assert [r.rtype for r in resp.authority] == [RRType.SOA]
+
+    def test_nxdomain(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "zz.example.com.", RRType.A)
+        assert resp.rcode is RCode.NXDOMAIN and resp.aa
+
+    def test_refused_out_of_zone(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "zz.b.", RRType.A)
+        assert resp.rcode is RCode.REFUSED and not resp.aa
+
+    def test_empty_nonterminal_nodata(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "ent.wild.example.com.", RRType.A)
+        assert resp.rcode is RCode.NOERROR
+        assert not resp.answer
+
+    def test_wildcard_synthesis(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "zz.wild.example.com.", RRType.A)
+        assert resp.rcode is RCode.NOERROR and resp.aa
+        assert resp.answer[0].rname == name("zz.wild.example.com.")
+
+    def test_wildcard_multi_label(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "zz.zz.wild.example.com.", RRType.A)
+        assert len(resp.answer) == 1
+
+    def test_wildcard_blocked_by_ent(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        # ent.wild exists (a.ent.wild has data): wildcard must not fire.
+        resp = spec_answer(encoder, flat, "ent.wild.example.com.", RRType.MX)
+        assert not resp.answer
+
+    def test_wildcard_mx_gets_glue(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "zz.wild.example.com.", RRType.MX)
+        assert len(resp.answer) == 1
+        # ns2 has A + AAAA glue.
+        assert len(resp.additional) == 2
+
+    def test_referral(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "deep.sub.example.com.", RRType.A)
+        assert resp.rcode is RCode.NOERROR and not resp.aa
+        assert len(resp.authority) == 2  # two NS at the cut
+        assert len(resp.additional) == 2  # glue for both targets
+
+    def test_exact_delegation_is_referral(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "sub.example.com.", RRType.A)
+        assert not resp.aa and len(resp.authority) == 2
+
+    def test_any_returns_all(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "example.com.", RRType.ANY)
+        types = {r.rtype for r in resp.answer}
+        assert RRType.SOA in types and RRType.NS in types
+
+    def test_cname_chase(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "alias.example.com.", RRType.A)
+        types = [r.rtype for r in resp.answer]
+        assert types == [RRType.CNAME, RRType.A]
+
+    def test_cname_qtype_cname_no_chase(self, eval_setup):
+        zone, encoder, flat = eval_setup
+        resp = spec_answer(encoder, flat, "alias.example.com.", RRType.CNAME)
+        assert [r.rtype for r in resp.answer] == [RRType.CNAME]
+
+
+class TestReferenceResolver:
+    def test_agrees_with_spec_on_eval_zone(self):
+        result = differential_test(evaluation_zone(), "verified")
+        assert result.clean
+
+    def test_agrees_on_chain_zone(self):
+        result = differential_test(chain_zone(), "verified")
+        assert result.clean
+
+    def test_external_cname_not_chased(self):
+        zone = chain_zone()
+        resp = reference_resolve(zone, Query(name("external.example.com."), RRType.A))
+        assert [r.rtype for r in resp.answer] == [RRType.CNAME]
+        assert resp.rcode is RCode.NOERROR
+
+    def test_two_hop_chain(self):
+        zone = chain_zone()
+        resp = reference_resolve(zone, Query(name("one.example.com."), RRType.A))
+        assert [r.rtype for r in resp.answer] == [RRType.CNAME, RRType.CNAME, RRType.A]
+
+    def test_wildcard_cname_synthesis(self):
+        zone = chain_zone()
+        resp = reference_resolve(zone, Query(name("zz.wcname.example.com."), RRType.A))
+        assert resp.answer[0].rname == name("zz.wcname.example.com.")
+        assert resp.answer[0].rtype is RRType.CNAME
+        assert resp.answer[-1].rtype is RRType.A
+
+
+class TestRandomZoneAgreement:
+    @pytest.mark.parametrize("index", range(8))
+    def test_three_way_agreement(self, index):
+        generator = ZoneGenerator(
+            GeneratorConfig(seed=42, num_hosts=5, num_wildcards=2,
+                            num_delegations=1, num_cnames=2, num_mx=1)
+        )
+        zone = generator.generate(index)
+        result = differential_test(zone, "verified")
+        assert result.clean, result.describe()
+
+    def test_query_corpus_is_substantial(self):
+        queries = enumerate_queries(evaluation_zone())
+        assert len(queries) > 100

@@ -1,0 +1,163 @@
+"""Edge-case tests for summarization and summary application."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.runtime import GoStruct
+from repro.solver import SolveResult, Solver, bool_const, eq, ge, iconst, ivar, le
+from repro.summary import (
+    FixedValue,
+    NewObject,
+    ResultStruct,
+    SymbolicBool,
+    SymbolicInt,
+    summarize,
+)
+from repro.symex import Executor, HeapLoader, ListVal, PathState, StructVal, SymexError
+
+
+SOURCE = """
+class Out(GoStruct):
+    code: int
+    items: list[int]
+
+class Inner(GoStruct):
+    v: int
+
+class Holder(GoStruct):
+    inner: Inner
+    code: int
+
+def noop(a: int, res: Out) -> None:
+    pass
+
+def conditional_noop(a: int, res: Out) -> None:
+    if a > 5:
+        res.code = 1
+
+def nested_alloc(a: int, res: Holder) -> None:
+    res.inner = Inner(v=a)
+    res.code = 2
+
+def chained_alloc(a: int, res: Out) -> Inner:
+    b = Inner(v=a + 1)
+    res.code = 3
+    return b
+
+def reads_own_appends(a: int, res: Out) -> int:
+    res.items.append(a)
+    res.items.append(a + 1)
+    return res.items[0] + len(res.items)
+"""
+
+
+def make_executor():
+    return Executor([compile_source(SOURCE, "edge")])
+
+
+class TestSummarizationEdges:
+    def test_noop_summary_has_empty_case(self):
+        executor = make_executor()
+        summary = summarize(executor, "noop", [SymbolicInt("a"), ResultStruct("Out")])
+        assert len(summary) == 1
+        case = summary.cases[0]
+        assert not case.effects and case.ret is None
+
+    def test_conditional_effect_cases(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "conditional_noop", [SymbolicInt("a"), ResultStruct("Out")]
+        )
+        effectful = [c for c in summary.cases if c.effects]
+        empty = [c for c in summary.cases if not c.effects]
+        assert len(effectful) == 1 and len(empty) == 1
+
+    def test_pointer_field_write_of_new_object(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "nested_alloc", [SymbolicInt("a"), ResultStruct("Holder")]
+        )
+        (case,) = summary.cases
+        news = [e for e in case.effects if isinstance(e, NewObject)]
+        assert len(news) == 1 and news[0].struct_name == "Inner"
+
+    def test_returned_allocation(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "chained_alloc", [SymbolicInt("a"), ResultStruct("Out")]
+        )
+        (case,) = summary.cases
+        assert case.ret is not None
+
+    def test_module_reading_its_own_result_writes(self):
+        # Reading back your own appends is fine (they exist in memory during
+        # summarization); only *pre-existing* result content is off-limits.
+        executor = make_executor()
+        summary = summarize(
+            executor, "reads_own_appends", [SymbolicInt("a"), ResultStruct("Out")]
+        )
+        (case,) = summary.cases
+        # ret = a + 2 (items[0]=a, len=2).
+        assert dict(case.ret.coeffs) == {"a": 1}
+        assert case.ret.const == 2
+
+
+class TestApplicationEdges:
+    def _fresh_out(self, state):
+        items = state.memory.alloc(ListVal.concrete(()))
+        return state.memory.alloc(StructVal("Out", (iconst(0), items)))
+
+    def test_apply_nested_alloc_materialises_object(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "nested_alloc", [SymbolicInt("a"), ResultStruct("Holder")]
+        )
+        state = PathState()
+        holder = state.memory.alloc(StructVal("Holder", (None, iconst(0))))
+        outcomes = summary.apply(executor, state, [ivar("z"), holder])
+        assert len(outcomes) == 1
+        final = outcomes[0].state.memory
+        content = final.content(holder.block_id)
+        inner = final.content(content.fields[0].block_id)
+        assert inner.type_name == "Inner"
+        assert inner.fields[0] == ivar("z")
+
+    def test_apply_prunes_by_pc(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "conditional_noop", [SymbolicInt("a"), ResultStruct("Out")]
+        )
+        state = PathState()
+        out = self._fresh_out(state)
+        state.assume(le(ivar("w"), 3))
+        outcomes = summary.apply(executor, state, [ivar("w"), out])
+        # a>5 case infeasible under w<=3.
+        assert len(outcomes) == 1
+        final = outcomes[0].state.memory.content(out.block_id)
+        assert final.fields[0] == iconst(0)
+
+    def test_apply_substitutes_concrete_argument(self):
+        executor = make_executor()
+        summary = summarize(
+            executor, "conditional_noop", [SymbolicInt("a"), ResultStruct("Out")]
+        )
+        state = PathState()
+        out = self._fresh_out(state)
+        outcomes = summary.apply(executor, state, [iconst(9), out])
+        assert len(outcomes) == 1
+        final = outcomes[0].state.memory.content(out.block_id)
+        assert final.fields[0] == iconst(1)
+
+    def test_apply_wrong_arity_rejected(self):
+        executor = make_executor()
+        summary = summarize(executor, "noop", [SymbolicInt("a"), ResultStruct("Out")])
+        with pytest.raises(SymexError):
+            summary.apply(executor, PathState(), [iconst(1)])
+
+    def test_apply_nil_result_pointer_rejected(self):
+        from repro.symex import NULL
+
+        executor = make_executor()
+        summary = summarize(executor, "noop", [SymbolicInt("a"), ResultStruct("Out")])
+        with pytest.raises(SymexError):
+            summary.apply(executor, PathState(), [iconst(1), NULL])

@@ -1,0 +1,234 @@
+"""Unit tests for automated summarization (section 5.3 patterns)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.runtime import GoStruct
+from repro.solver import SolveResult, Solver, and_, eq, ge, iconst, ivar, le
+from repro.solver.terms import bool_const, bvar
+from repro.summary import (
+    FieldWrite,
+    FixedValue,
+    ListAppend,
+    NewObject,
+    ResultStruct,
+    SymbolicBool,
+    SymbolicInt,
+    UnsupportedEffectError,
+    summarize,
+)
+from repro.symex import Executor, HeapLoader, PathState, StructVal
+
+
+SOURCE = """
+class Result(GoStruct):
+    code: int
+    items: list[int]
+
+class Box(GoStruct):
+    value: int
+
+def compute(a: int, flag: bool, res: Result) -> int:
+    if flag:
+        res.code = 1
+        return 0
+    if a > 10:
+        res.code = 2
+        res.items.append(a)
+        res.items.append(a + 1)
+    else:
+        res.code = 3
+    return a
+
+def make_box(a: int, res: Result) -> Box:
+    b = Box(value=a * 2)
+    res.code = 7
+    return b
+
+def caller(a: int, flag: bool, res: Result) -> int:
+    x = compute(a, flag, res)
+    return x + 100
+"""
+
+
+def build_executor():
+    module = compile_source(SOURCE)
+    return Executor([module])
+
+
+def summarize_compute(executor):
+    return summarize(
+        executor,
+        "compute",
+        [SymbolicInt("a"), SymbolicBool("flag"), ResultStruct("Result")],
+    )
+
+
+class TestSummarization:
+    def test_case_count(self):
+        summary = summarize_compute(build_executor())
+        assert len(summary) == 3
+
+    def test_conditions_partition(self):
+        summary = summarize_compute(build_executor())
+        solver = Solver()
+        # Cases are mutually exclusive.
+        for i, ci in enumerate(summary.cases):
+            for j, cj in enumerate(summary.cases):
+                if i < j:
+                    assert solver.check(ci.condition, cj.condition) is SolveResult.UNSAT
+
+    def test_field_write_effects(self):
+        summary = summarize_compute(build_executor())
+        writes = {
+            effect.value
+            for case in summary.cases
+            for effect in case.effects
+            if isinstance(effect, FieldWrite) and effect.field_name == "code"
+        }
+        assert {iconst(1), iconst(2), iconst(3)} == writes
+
+    def test_append_effects_symbolic_values(self):
+        summary = summarize_compute(build_executor())
+        appends = [
+            effect
+            for case in summary.cases
+            for effect in case.effects
+            if isinstance(effect, ListAppend)
+        ]
+        assert len(appends) == 2
+        values = {repr(a.value) for a in appends}
+        assert "a" in values and "a + 1" in values
+
+    def test_newobject_effect(self):
+        executor = build_executor()
+        summary = summarize(
+            executor, "make_box", [SymbolicInt("a"), ResultStruct("Result")]
+        )
+        (case,) = summary.cases
+        news = [e for e in case.effects if isinstance(e, NewObject)]
+        assert len(news) == 1
+        assert news[0].struct_name == "Box"
+        assert dict(news[0].field_values[0].coeffs) == {"a": 2}
+        # Return value references the allocated object.
+        assert case.ret == news[0].tag
+
+    def test_describe_is_readable(self):
+        summary = summarize_compute(build_executor())
+        text = summary.describe()
+        assert "summary_spec compute" in text
+        assert "append" in text
+
+    def test_panic_paths_become_panic_cases(self):
+        source = SOURCE + (
+            "\ndef risky(xs: list[int], res: Result) -> int:\n"
+            "    res.code = 4\n"
+            "    return xs[5]\n"
+        )
+        module = compile_source(source)
+        executor = Executor([module])
+        state = PathState()
+        lst = HeapLoader(state.memory).load([1, 2])
+        summary = summarize(
+            executor,
+            "risky",
+            [FixedValue(lst), ResultStruct("Result")],
+            state=state,
+        )
+        assert any(case.panic is not None for case in summary.cases)
+
+
+class TestApplication:
+    def test_summary_matches_inline_execution(self):
+        # Verify `caller` twice: once inlining compute, once against its
+        # summary; both must produce identical return sets per condition.
+        executor_inline = build_executor()
+        executor_summary = build_executor()
+        summary = summarize_compute(executor_summary)
+        executor_summary.bindings.bind_summary("compute", summary)
+
+        def run(executor):
+            state = PathState()
+            res_ptr = state.memory.alloc(
+                StructVal("Result", (iconst(0), state.memory.alloc_slot()))
+            )
+            # give it a real empty list field
+            from repro.symex import ListVal
+
+            state.memory.replace(
+                res_ptr.block_id,
+                StructVal(
+                    "Result",
+                    (iconst(0), state.memory.alloc(ListVal.concrete(()))),
+                ),
+            )
+            outs = executor.run(
+                "caller", [ivar("a"), bvar("flag"), res_ptr], state=state
+            )
+            solver = Solver()
+            summary_set = set()
+            for out in outs:
+                res = out.state.memory.content(res_ptr.block_id)
+                summary_set.add((repr(out.value), repr(res.fields[0])))
+            return summary_set
+
+        assert run(executor_inline) == run(executor_summary)
+
+    def test_apply_respects_caller_pc(self):
+        executor = build_executor()
+        summary = summarize_compute(executor)
+        executor.bindings.bind_summary("compute", summary)
+        state = PathState()
+        from repro.symex import ListVal
+
+        res_ptr = state.memory.alloc(
+            StructVal("Result", (iconst(0), state.memory.alloc(ListVal.concrete(())))),
+        )
+        outs = executor.run(
+            "caller",
+            [ivar("a"), bool_const(False), res_ptr],
+            state=state,
+            pre=[ge(ivar("a"), 20)],
+        )
+        # flag false and a >= 20: only the a>10 case is feasible.
+        assert len(outs) == 1
+        res = outs[0].state.memory.content(res_ptr.block_id)
+        assert res.fields[0] == iconst(2)
+        items = outs[0].state.memory.content(res.fields[1].block_id)
+        assert len(items.items) == 2
+
+    def test_fixed_value_mismatch_rejected(self):
+        from repro.symex import SymexError
+
+        executor = build_executor()
+        state = PathState()
+        lst1 = HeapLoader(state.memory).load([1])
+        lst2 = HeapLoader(state.memory).load([1])
+        source = (
+            "def reader(xs: list[int]) -> int:\n"
+            "    return len(xs)\n"
+        )
+        module = compile_source(source)
+        executor2 = Executor([module])
+        summary = summarize(executor2, "reader", [FixedValue(lst1)], state=state)
+        executor2.bindings.bind_summary("reader", summary)
+        with pytest.raises(SymexError):
+            summary.apply(executor2, state, [lst2])
+
+    def test_write_outside_result_rejected(self):
+        source = (
+            "class Cell(GoStruct):\n"
+            "    v: int\n"
+            "def writer(c: Cell) -> None:\n"
+            "    c.v = 9\n"
+        )
+        module = compile_source(source)
+        executor = Executor([module])
+        state = PathState()
+
+        class Cell(GoStruct):
+            v: int
+
+        ptr = HeapLoader(state.memory).load(Cell(v=1))
+        with pytest.raises(UnsupportedEffectError):
+            summarize(executor, "writer", [FixedValue(ptr)], state=state)

@@ -1,0 +1,70 @@
+"""Tests for the SCALE-style differential tester."""
+
+import pytest
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.testing import DifferentialResult, differential_test, enumerate_queries
+from repro.zonegen import evaluation_zone, minimal_zone
+
+
+class TestEnumeration:
+    def test_includes_zone_names(self):
+        zone = evaluation_zone()
+        queries = enumerate_queries(zone)
+        names = {q.qname for q in queries}
+        for record in zone:
+            assert record.rname in names
+
+    def test_includes_wildcard_probes(self):
+        zone = evaluation_zone()
+        names = {q.qname for q in enumerate_queries(zone)}
+        assert DnsName.from_text("zz.wild.example.com.") in names
+        assert DnsName.from_text("zz.z0.wild.example.com.") in names
+
+    def test_includes_out_of_zone(self):
+        names = {q.qname for q in enumerate_queries(minimal_zone())}
+        assert DnsName.from_text("www.elsewhere.org.") in names
+
+    def test_crossed_with_all_types(self):
+        queries = enumerate_queries(minimal_zone())
+        types = {q.qtype for q in queries if q.qname == DnsName.from_text("www.example.com.")}
+        assert RRType.ANY in types and RRType.MX in types
+
+
+class TestDifferential:
+    def test_verified_clean(self):
+        result = differential_test(evaluation_zone(), "verified")
+        assert result.clean
+        assert result.queries_run > 100
+
+    @pytest.mark.parametrize(
+        "version,expected_fragment",
+        [
+            ("v1.0", "aa flag"),
+            ("v2.0", "additional"),
+            ("v3.0", "rcode"),
+        ],
+    )
+    def test_buggy_versions_flagged(self, version, expected_fragment):
+        result = differential_test(evaluation_zone(), version)
+        assert not result.clean
+        text = result.describe().lower()
+        assert expected_fragment in text
+
+    def test_dev_crash_reported(self):
+        result = differential_test(evaluation_zone(), "dev")
+        crashes = [d for d in result.divergences if d.crash]
+        assert crashes
+        assert "IndexError" in crashes[0].crash
+
+    def test_custom_query_list(self):
+        zone = minimal_zone()
+        queries = [Query(DnsName.from_text("www.example.com."), RRType.A)]
+        result = differential_test(zone, "verified", queries=queries)
+        assert result.queries_run == 1 and result.clean
+
+    def test_describe(self):
+        result = differential_test(minimal_zone(), "verified")
+        assert "CLEAN" in result.describe()
