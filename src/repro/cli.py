@@ -9,6 +9,7 @@ Wraps the library the way an operator would use it:
 - ``tables``        — regenerate the paper's tables/figures.
 - ``zonegen``       — emit random zone files.
 - ``serve``         — answer real DNS packets with an engine version.
+- ``watch``         — daemon: re-verify a zone file whenever it changes.
 """
 
 from __future__ import annotations
@@ -48,21 +49,59 @@ def _add_zone_arguments(parser):
     parser.add_argument("--origin", default=None, help="origin for relative zone files")
 
 
+def _make_cache(args):
+    if getattr(args, "cache", None) is None:
+        return None
+    from repro.incremental import SummaryCache
+
+    return SummaryCache(cache_dir=args.cache)
+
+
 def cmd_verify(args) -> int:
+    import json
+
     from repro.core import verify_engine
 
     zone = _load_zone(args)
-    result = verify_engine(zone, args.version)
-    print(result.describe())
+    cache = _make_cache(args)
+    result = verify_engine(zone, args.version, cache=cache)
+    if args.json:
+        from repro.incremental.serialize import result_to_json
+
+        print(json.dumps(result_to_json(result, cache_stats=result.cache_stats),
+                         indent=2, sort_keys=True))
+    else:
+        print(result.describe())
+        if cache is not None:
+            print(f"cache: {cache!r}")
     return 0 if result.verified else 1
 
 
 def cmd_campaign(args) -> int:
     from repro.core import run_campaign
 
-    report = run_campaign(args.version, num_zones=args.zones, seed=args.seed)
+    cache = _make_cache(args)
+    report = run_campaign(
+        args.version, num_zones=args.zones, seed=args.seed, cache=cache
+    )
     print(report.describe())
+    if cache is not None:
+        print(f"cache: {cache!r}")
     return 0 if report.zones_refuted == 0 else 1
+
+
+def cmd_watch(args) -> int:
+    from repro.incremental import SummaryCache, WatchDaemon
+
+    cache = _make_cache(args)
+    daemon = WatchDaemon(
+        args.zone,
+        version=args.version,
+        cache=cache if cache is not None else SummaryCache(memory_only=True),
+        interval=args.interval,
+    )
+    daemon.run(max_updates=args.max_updates)
+    return 0
 
 
 def cmd_differential(args) -> int:
@@ -149,12 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="verify an engine version on a zone")
     _add_zone_arguments(p)
     p.add_argument("--version", default="verified", choices=versions)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result (bugs, layer timings, cache stats)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="persistent summary/refinement cache directory")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("campaign", help="verify across N random zones")
     p.add_argument("--version", default="verified", choices=versions)
     p.add_argument("--zones", type=int, default=5)
     p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="cache directory shared across the campaign's zones")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("differential", help="concrete cross-checking on a zone")
@@ -183,6 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", default="verified", choices=versions)
     p.add_argument("--port", type=int, default=5353)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "watch", help="re-verify a zone file whenever it changes (mtime polling)"
+    )
+    p.add_argument("--zone", required=True, help="zone file path to tail")
+    p.add_argument("--version", default="verified", choices=versions)
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="persistent cache directory (default: in-memory)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds")
+    p.add_argument("--max-updates", type=int, default=None,
+                   help="exit after N processed updates (default: run forever)")
+    p.set_defaults(func=cmd_watch)
 
     return parser
 

@@ -19,6 +19,7 @@ from repro.core.pipeline import (
     VerificationResult,
     VerificationSession,
     classify_divergence,
+    clear_ir_cache,
     compile_engine_modules,
     verify_engine,
     RUNTIME_ERROR,
@@ -44,6 +45,7 @@ __all__ = [
     "VerificationResult",
     "VerificationSession",
     "classify_divergence",
+    "clear_ir_cache",
     "compile_engine_modules",
     "verify_engine",
     "RUNTIME_ERROR",

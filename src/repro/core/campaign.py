@@ -110,12 +110,16 @@ class Campaign:
         version: str,
         smoke_first: bool = True,
         max_zone_seconds: Optional[float] = None,
+        cache=None,
     ) -> CampaignReport:
         """Verify ``version`` on every zone; returns the aggregate report.
 
         With ``smoke_first`` the differential tester runs before each
         proof (its divergence count is recorded either way — a sanity
         cross-check: the prover must refute every zone the tester does).
+        ``cache`` (a :class:`repro.incremental.cache.SummaryCache`) is
+        shared across every zone of the campaign, so repeated or related
+        snapshots replay their summaries and refinement verdicts.
         """
         report = CampaignReport(version)
         started = time.perf_counter()
@@ -124,7 +128,7 @@ class Campaign:
             if smoke_first:
                 smoke = differential_test(zone, version, check_reference=False)
                 divergences = len(smoke.divergences)
-            result = VerificationSession(zone, version).verify()
+            result = VerificationSession(zone, version, cache=cache).verify()
             if divergences and result.verified:
                 raise RuntimeError(
                     f"unsound: differential refuted zone {index} but the "
@@ -155,10 +159,11 @@ def run_campaign(
     version: str,
     num_zones: int = 10,
     seed: int = 2023,
+    cache=None,
     **config_overrides,
 ) -> CampaignReport:
     """Convenience API: generate ``num_zones`` zones and verify ``version``
-    on each."""
+    on each; ``cache`` is shared by every zone."""
     config = GeneratorConfig(seed=seed, **config_overrides)
     campaign = Campaign(generator_config=config, num_zones=num_zones)
-    return campaign.run(version)
+    return campaign.run(version, cache=cache)

@@ -40,14 +40,31 @@ from repro.summary import Summary, summarize
 from repro.symex import Executor, HeapLoader, PathState
 
 # ---------------------------------------------------------------------------
-# Compilation cache: GoPy modules compile once per process.
+# Compilation cache: GoPy modules compile once per process *per source
+# text*. Keys carry the source digest (own plus externs'), so editing a
+# version module on disk — the paper's porting workflow — recompiles
+# instead of serving stale IR.
 # ---------------------------------------------------------------------------
 
-_IR_CACHE: Dict[str, Module] = {}
+_IR_CACHE: Dict[Tuple, Module] = {}
+
+
+def clear_ir_cache() -> None:
+    """Drop every compiled module (tests and long-running daemons)."""
+    _IR_CACHE.clear()
 
 
 def _compiled(py_module, externs: Sequence[Module] = ()) -> Module:
-    key = py_module.__name__
+    from repro.incremental.digest import source_digest
+
+    # Externs are already-compiled Modules; identity captures their
+    # provenance (a re-compiled base module is a new object, so dependents
+    # recompile too).
+    key = (
+        py_module.__name__,
+        source_digest(py_module),
+        tuple((module.name, id(module)) for module in externs),
+    )
     cached = _IR_CACHE.get(key)
     if cached is None:
         cached = compile_module(py_module, extern_modules=list(externs))
@@ -127,6 +144,7 @@ class VerificationResult:
     elapsed_seconds: float = 0.0
     solver_checks: int = 0
     spurious_mismatches: int = 0
+    cache_stats: Optional[Dict[str, int]] = None
 
     def bug_categories(self) -> List[str]:
         seen = []
@@ -169,9 +187,12 @@ class VerificationSession:
         solver: Optional[Solver] = None,
         max_paths: int = 200000,
         max_steps: int = 20_000_000,
+        cache=None,
     ):
         self.zone = zone
         self.version = version
+        self.cache = cache  # Optional[repro.incremental.cache.SummaryCache]
+        self._layer_routes: Dict[str, str] = {}
         self.encoder = ZoneEncoder(zone)
         self.tree_go = control.build_domain_tree(self.encoder)
         self.flat_go = control.build_flat_zone(self.encoder)
@@ -191,16 +212,68 @@ class VerificationSession:
         self.engine_resp_ptr = self.executor.new_object(self.state, "Response")
         self.spec_resp_ptr = self.executor.new_object(self.state, "Response")
 
+    # -- restriction and cache keys --------------------------------------------
+
+    def restrict(self, extra_pre: Sequence) -> None:
+        """Conjoin extra constraints onto the global precondition (the
+        incremental engine confines a session to one query-space
+        partition this way). Call before any summarization."""
+        self.pre = self.pre + list(extra_pre)
+
+    def _cache_key_base(self) -> Dict[str, object]:
+        from repro.incremental.digest import (
+            digest_text,
+            engine_digest,
+            layers_digest,
+            zone_digest,
+        )
+
+        return {
+            "engine": engine_digest(self.version),
+            "layers": layers_digest(),
+            "zone": zone_digest(self.zone),
+            "depth": self.query_encoding.depth,
+            "pre": digest_text(*[repr(f) for f in self.pre]),
+        }
+
     # -- layered verification --------------------------------------------------
 
     def summarize_layer(self, layer: LayerConfig) -> Summary:
-        summary = summarize(
-            self.executor,
-            layer.function,
-            layer.params(self),
-            state=self.state,
-            pre=self.pre,
-        )
+        summary = None
+        key = None
+        if self.cache is not None:
+            from repro.incremental.serialize import (
+                SerializationError,
+                summary_from_json,
+            )
+
+            key = dict(self._cache_key_base(), function=layer.function)
+            payload = self.cache.get("summary", key)
+            if payload is not None:
+                try:
+                    summary = summary_from_json(payload, layer.params(self))
+                    self._layer_routes[layer.function] = "cache"
+                except (SerializationError, KeyError, TypeError):
+                    summary = None
+        if summary is None:
+            summary = summarize(
+                self.executor,
+                layer.function,
+                layer.params(self),
+                state=self.state,
+                pre=self.pre,
+            )
+            self._layer_routes[layer.function] = "summarize"
+            if self.cache is not None:
+                from repro.incremental.serialize import (
+                    SerializationError,
+                    summary_to_json,
+                )
+
+                try:
+                    self.cache.put("summary", key, summary_to_json(summary))
+                except SerializationError:
+                    pass
         self.executor.bindings.bind_summary(layer.function, summary)
         return summary
 
@@ -211,41 +284,74 @@ class VerificationSession:
         checks_before = self.executor.solver.num_checks
         result = VerificationResult(self.version, self.zone.origin.to_text(), True)
 
-        if use_summaries:
-            for layer in resolution_layers():
-                summary = self.summarize_layer(layer)
-                result.layers.append(
-                    LayerResult(
-                        layer.name,
-                        "summarize",
-                        summary.elapsed_seconds,
-                        summary.paths_explored,
-                        cases=len(summary.cases),
-                    )
-                )
+        report = None
+        report_key = None
+        if self.cache is not None:
+            from repro.incremental.serialize import report_from_json
 
-        top_started = time.perf_counter()
-        report = check_refinement_nested(
-            self.executor,
-            "resolve",
-            "rrlookup",
-            [self.tree_ptr, self.q_ptr, self.query_encoding.qtype, self.engine_resp_ptr],
-            [self.flat_ptr, self.q_ptr, self.query_encoding.qtype, self.spec_resp_ptr],
-            state=self.state,
-            pre=self.pre,
-            observe_code=lambda outcome: self.engine_resp_ptr,
-            observe_spec=lambda outcome: self.spec_resp_ptr,
-        )
-        result.refinement = report
-        result.layers.append(
-            LayerResult(
-                "Resolve",
-                "toplevel",
-                time.perf_counter() - top_started,
-                report.code_paths,
-                verified=report.verified,
+            report_key = dict(
+                self._cache_key_base(),
+                code="resolve",
+                spec="rrlookup",
+                use_summaries=use_summaries,
             )
-        )
+            payload = self.cache.get("refinement", report_key)
+            if payload is not None:
+                try:
+                    report = report_from_json(payload)
+                except (KeyError, TypeError):
+                    report = None
+
+        if report is not None:
+            # Same zone content, engine and preconditions: replay the stored
+            # mismatch models through the normal decode/validate path below
+            # without re-running summarization or the refinement check.
+            result.layers.append(
+                LayerResult(
+                    "Resolve", "cache", 0.0, report.code_paths,
+                    verified=report.verified,
+                )
+            )
+        else:
+            if use_summaries:
+                for layer in resolution_layers():
+                    summary = self.summarize_layer(layer)
+                    result.layers.append(
+                        LayerResult(
+                            layer.name,
+                            self._layer_routes.get(layer.function, "summarize"),
+                            summary.elapsed_seconds,
+                            summary.paths_explored,
+                            cases=len(summary.cases),
+                        )
+                    )
+
+            top_started = time.perf_counter()
+            report = check_refinement_nested(
+                self.executor,
+                "resolve",
+                "rrlookup",
+                [self.tree_ptr, self.q_ptr, self.query_encoding.qtype, self.engine_resp_ptr],
+                [self.flat_ptr, self.q_ptr, self.query_encoding.qtype, self.spec_resp_ptr],
+                state=self.state,
+                pre=self.pre,
+                observe_code=lambda outcome: self.engine_resp_ptr,
+                observe_spec=lambda outcome: self.spec_resp_ptr,
+            )
+            result.layers.append(
+                LayerResult(
+                    "Resolve",
+                    "toplevel",
+                    time.perf_counter() - top_started,
+                    report.code_paths,
+                    verified=report.verified,
+                )
+            )
+            if self.cache is not None:
+                from repro.incremental.serialize import report_to_json
+
+                self.cache.put("refinement", report_key, report_to_json(report))
+        result.refinement = report
 
         for mismatch in report.mismatches:
             bug = self._decode_mismatch(mismatch)
@@ -259,6 +365,8 @@ class VerificationSession:
             result.verified = False
         result.elapsed_seconds = time.perf_counter() - started
         result.solver_checks = self.executor.solver.num_checks - checks_before
+        if self.cache is not None:
+            result.cache_stats = self.cache.stats()
         return result
 
     # -- counterexample decoding and validation ---------------------------------

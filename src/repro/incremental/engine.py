@@ -1,0 +1,303 @@
+"""Delta-driven verification: re-verify only what a zone change invalidates.
+
+:class:`IncrementalVerifier` holds the current zone snapshot and a
+content-addressed cache of *partition verdicts*. A verification run splits
+the symbolic query space into the partitions of
+:func:`repro.incremental.delta.zone_partitions`, verifies each in a
+restricted session (the partition's constraints are conjoined onto the
+global preconditions), and merges per-partition verdicts into one ordinary
+:class:`~repro.core.pipeline.VerificationResult`. Verdicts are cached; a
+subsequent run — typically after :meth:`IncrementalVerifier.apply` applied
+a :class:`~repro.incremental.delta.ZoneDelta` — replays every partition
+whose dependency closure is unchanged and re-runs only the rest.
+
+Witness stability (why replayed results are bit-identical)
+----------------------------------------------------------
+
+A cached verdict stores the *decoded* bug reports of its original run.
+Replaying them must reproduce exactly what a fresh run would report, so the
+cache key pins everything the restricted run can observe: the engine and
+layer-config digests, the partition's dependency closure, the encoding
+depth, **and the zone's full label universe plus top-label set**. The last
+two look redundant but are not: interner codes are assigned by global label
+rank, and the walk's first branch compares against every apex child, so
+path conditions (and hence the solver's witness models) depend on them.
+With all of it pinned, the restricted session's constraint set is
+reproduced exactly and the deterministic solver returns the same models.
+The cost is honest: a delta that adds or removes a *label* invalidates all
+partitions, while rdata-only churn — the dominant production update — keeps
+the universe stable and replays everything untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import (
+    BugReport,
+    LayerResult,
+    VerificationResult,
+    VerificationSession,
+)
+from repro.dns.zone import Zone
+from repro.incremental.cache import SummaryCache
+from repro.incremental.delta import (
+    Partition,
+    ZoneDelta,
+    partition_digest,
+    zone_partitions,
+)
+from repro.incremental.digest import (
+    engine_digest,
+    layers_digest,
+    top_labels,
+    zone_digest,
+)
+from repro.incremental.serialize import (
+    SerializationError,
+    bug_from_json,
+    bug_to_json,
+)
+from repro.incremental import delta as delta_mod
+
+
+def bug_sort_key(bug: BugReport) -> Tuple:
+    """Canonical order for merged bug lists (partition merge order is not
+    the monolithic session's discovery order)."""
+    return (
+        bug.version,
+        bug.categories,
+        bug.qname_codes,
+        bug.qtype_code,
+        bug.description,
+    )
+
+
+@dataclass
+class ReuseStats:
+    """How much of one incremental run was replayed from the cache."""
+
+    partitions_total: int = 0
+    partitions_reused: int = 0
+    partitions_recomputed: int = 0
+    reused_keys: Tuple[str, ...] = ()
+    recomputed_keys: Tuple[str, ...] = ()
+    records_changed: int = 0
+    reused_checks: int = 0  # solver checks the replayed verdicts originally cost
+    fresh_checks: int = 0
+    cache: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "partitions_total": self.partitions_total,
+            "partitions_reused": self.partitions_reused,
+            "partitions_recomputed": self.partitions_recomputed,
+            "reused_keys": list(self.reused_keys),
+            "recomputed_keys": list(self.recomputed_keys),
+            "records_changed": self.records_changed,
+            "reused_checks": self.reused_checks,
+            "fresh_checks": self.fresh_checks,
+            "cache": dict(self.cache),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"reused {self.partitions_reused}/{self.partitions_total} "
+            f"partition(s), recomputed "
+            f"[{', '.join(self.recomputed_keys) or '-'}]; "
+            f"{self.fresh_checks} fresh solver checks "
+            f"(+{self.reused_checks} replayed)"
+        )
+
+
+@dataclass
+class IncrementalOutcome:
+    """A normal verification result plus reuse statistics."""
+
+    result: VerificationResult
+    reuse: ReuseStats
+
+    def describe(self) -> str:
+        return self.result.describe() + "\n  " + self.reuse.describe()
+
+
+class IncrementalVerifier:
+    """Verifies one engine version against an evolving zone.
+
+    ``cache`` defaults to an in-memory store; pass a
+    :class:`~repro.incremental.cache.SummaryCache` with a directory for
+    persistence across processes (the watch daemon does).
+    """
+
+    def __init__(
+        self,
+        zone: Zone,
+        version: str = "verified",
+        cache: Optional[SummaryCache] = None,
+        depth: Optional[int] = None,
+        **session_kwargs,
+    ) -> None:
+        self.zone = zone
+        self.version = version
+        self.cache = cache if cache is not None else SummaryCache(memory_only=True)
+        self.depth = depth
+        self.session_kwargs = session_kwargs
+
+    # -- the delta entry point -----------------------------------------------
+
+    def apply(self, delta: ZoneDelta) -> IncrementalOutcome:
+        """Apply a delta to the current snapshot and re-verify; only
+        partitions the delta invalidates are recomputed."""
+        self.zone = delta.apply(self.zone)
+        return self.verify_current(records_changed=len(delta))
+
+    def diff_to(self, new_zone: Zone) -> IncrementalOutcome:
+        """Adopt ``new_zone`` (diffing against the current snapshot for the
+        change count) and re-verify. The watch daemon's entry point."""
+        delta = delta_mod.diff_zones(self.zone, new_zone)
+        self.zone = new_zone
+        return self.verify_current(records_changed=len(delta))
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_current(self, records_changed: int = 0) -> IncrementalOutcome:
+        started = time.perf_counter()
+        merged = VerificationResult(
+            self.version, self.zone.origin.to_text(), True
+        )
+        stats = ReuseStats(records_changed=records_changed)
+        reused: List[str] = []
+        recomputed: List[str] = []
+
+        for part in self._partitions():
+            key = self._verdict_key(part)
+            verdict = self.cache.get("partition", key)
+            if verdict is not None:
+                replayed_bugs = self._replay_bugs(verdict)
+                if replayed_bugs is not None:
+                    reused.append(part.key)
+                    stats.reused_checks += verdict.get("solver_checks", 0)
+                    self._merge(merged, part.key, verdict, replayed_bugs,
+                                cached=True)
+                    continue
+            result = self._verify_partition(part)
+            verdict = self._verdict_of(result)
+            if verdict is not None:
+                self.cache.put("partition", key, verdict)
+            else:
+                verdict = self._verdict_of(result, with_bugs=False)
+            recomputed.append(part.key)
+            merged.solver_checks += result.solver_checks
+            self._merge(merged, part.key, verdict, result.bugs, cached=False)
+
+        merged.bugs.sort(key=bug_sort_key)
+        merged.verified = merged.verified and not merged.bugs
+        merged.elapsed_seconds = time.perf_counter() - started
+        stats.partitions_total = len(reused) + len(recomputed)
+        stats.partitions_reused = len(reused)
+        stats.partitions_recomputed = len(recomputed)
+        stats.reused_keys = tuple(reused)
+        stats.recomputed_keys = tuple(recomputed)
+        stats.fresh_checks = merged.solver_checks
+        stats.cache = self.cache.stats()
+        return IncrementalOutcome(merged, stats)
+
+    # -- internals -------------------------------------------------------------
+
+    def _partitions(self) -> List[Partition]:
+        origin_depth = len(self.zone.origin)
+        if origin_depth == 0 or self._encoding_depth() <= origin_depth:
+            # The query space cannot be split below this origin; fall back
+            # to one unrestricted pseudo-partition.
+            return [Partition("full")]
+        return zone_partitions(self.zone)
+
+    def _encoding_depth(self) -> int:
+        from repro.dns.name import MAX_NAME_DEPTH
+
+        base = self.depth if self.depth is not None else self.zone.max_name_depth() + 2
+        return min(base, MAX_NAME_DEPTH)
+
+    def _verdict_key(self, part: Partition) -> Dict:
+        if part.key == "full":
+            closure = zone_digest(self.zone)
+        else:
+            closure = partition_digest(self.zone, part.key)
+        return {
+            "engine": engine_digest(self.version),
+            "layers": layers_digest(),
+            "origin": self.zone.origin.to_text(),
+            "depth": self._encoding_depth(),
+            "universe": self.zone.label_universe(),
+            "tops": top_labels(self.zone),
+            "partition": part.key,
+            "closure": closure,
+        }
+
+    def _verify_partition(self, part: Partition) -> VerificationResult:
+        session = VerificationSession(
+            self.zone,
+            self.version,
+            depth=self.depth,
+            cache=self.cache,
+            **self.session_kwargs,
+        )
+        if part.key != "full":
+            session.restrict(part.preconditions(session.query_encoding))
+        return session.verify()
+
+    @staticmethod
+    def _verdict_of(result: VerificationResult,
+                    with_bugs: bool = True) -> Optional[Dict]:
+        """The JSON-safe cacheable form of a partition result, or None when
+        its bugs do not serialize (the run stays live, the cache untouched)."""
+        verdict = {
+            "verified": result.verified,
+            "solver_checks": result.solver_checks,
+            "spurious_mismatches": result.spurious_mismatches,
+            "elapsed_seconds": result.elapsed_seconds,
+            "layers": [
+                {
+                    "name": layer.name,
+                    "route": layer.route,
+                    "elapsed_seconds": layer.elapsed_seconds,
+                    "paths": layer.paths,
+                    "cases": layer.cases,
+                    "verified": layer.verified,
+                }
+                for layer in result.layers
+            ],
+            "bugs": [],
+        }
+        if with_bugs:
+            try:
+                verdict["bugs"] = [bug_to_json(b) for b in result.bugs]
+            except SerializationError:
+                return None
+        return verdict
+
+    @staticmethod
+    def _replay_bugs(verdict: Dict) -> Optional[List[BugReport]]:
+        try:
+            return [bug_from_json(b) for b in verdict["bugs"]]
+        except (SerializationError, KeyError, TypeError, ValueError):
+            return None
+
+    def _merge(self, merged: VerificationResult, part_key: str, verdict: Dict,
+               bugs: List[BugReport], cached: bool) -> None:
+        merged.bugs.extend(bugs)
+        merged.verified = merged.verified and verdict["verified"]
+        merged.spurious_mismatches += verdict.get("spurious_mismatches", 0)
+        for layer in verdict.get("layers", ()):
+            merged.layers.append(
+                LayerResult(
+                    f"{part_key}:{layer['name']}",
+                    "replay" if cached else layer["route"],
+                    0.0 if cached else layer["elapsed_seconds"],
+                    layer["paths"],
+                    layer["cases"],
+                    layer["verified"],
+                )
+            )

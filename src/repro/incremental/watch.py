@@ -1,0 +1,147 @@
+"""A long-running daemon that re-verifies a zone file as it changes.
+
+``WatchDaemon`` polls one zone file's mtime; when the file changes it
+reparses, diffs against the running snapshot, re-verifies incrementally via
+:class:`~repro.incremental.engine.IncrementalVerifier` and emits one JSON
+log line per update (latency, partitions reused/recomputed, solver checks,
+verdict). The CLI front end is ``python -m repro watch --zone ... --version
+...``; tests drive :meth:`poll_once` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dns.zonefile import parse_zone_text
+from repro.incremental.cache import SummaryCache
+from repro.incremental.engine import IncrementalOutcome, IncrementalVerifier
+
+
+@dataclass
+class WatchEvent:
+    """One processed update (or the initial verification)."""
+
+    sequence: int
+    reason: str  # "initial" | "change"
+    outcome: Optional[IncrementalOutcome]
+    error: Optional[str]
+    latency_seconds: float
+
+    def to_json(self) -> dict:
+        payload = {
+            "sequence": self.sequence,
+            "reason": self.reason,
+            "latency_seconds": round(self.latency_seconds, 6),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+            return payload
+        result = self.outcome.result
+        payload.update(
+            {
+                "verified": result.verified,
+                "bugs": len(result.bugs),
+                "bug_categories": result.bug_categories(),
+                "solver_checks": result.solver_checks,
+                "reuse": self.outcome.reuse.as_dict(),
+            }
+        )
+        return payload
+
+
+class WatchDaemon:
+    """Tail one zone file and keep its verification verdict current."""
+
+    def __init__(
+        self,
+        zone_path: os.PathLike,
+        version: str = "verified",
+        cache: Optional[SummaryCache] = None,
+        interval: float = 1.0,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.zone_path = os.fspath(zone_path)
+        self.version = version
+        self.cache = cache if cache is not None else SummaryCache(memory_only=True)
+        self.interval = interval
+        self.log = log if log is not None else self._default_log
+        self.verifier: Optional[IncrementalVerifier] = None
+        self.sequence = 0
+        self._last_mtime: Optional[float] = None
+        self._last_size: Optional[int] = None
+        self._last_stat_error: Optional[str] = None
+
+    @staticmethod
+    def _default_log(line: str) -> None:
+        sys.stdout.write(line + "\n")
+        sys.stdout.flush()
+
+    # -- polling ---------------------------------------------------------------
+
+    def _stat(self):
+        st = os.stat(self.zone_path)
+        return st.st_mtime, st.st_size
+
+    def poll_once(self) -> Optional[WatchEvent]:
+        """Process at most one update; None when the file is unchanged."""
+        try:
+            mtime, size = self._stat()
+        except OSError as exc:
+            # Report a vanished file once, not on every poll while absent.
+            error = f"stat failed: {exc}"
+            if error == self._last_stat_error:
+                return None
+            self._last_stat_error = error
+            return self._emit("change", None, error, 0.0)
+        self._last_stat_error = None
+        if (mtime, size) == (self._last_mtime, self._last_size):
+            return None
+        self._last_mtime, self._last_size = mtime, size
+
+        started = time.perf_counter()
+        try:
+            with open(self.zone_path, "r", encoding="utf-8") as handle:
+                zone = parse_zone_text(handle.read())
+        except (OSError, ValueError) as exc:
+            return self._emit(
+                "change" if self.verifier else "initial",
+                None,
+                f"zone parse failed: {exc}",
+                time.perf_counter() - started,
+            )
+
+        if self.verifier is None:
+            self.verifier = IncrementalVerifier(zone, self.version, cache=self.cache)
+            outcome = self.verifier.verify_current()
+            reason = "initial"
+        else:
+            outcome = self.verifier.diff_to(zone)
+            reason = "change"
+        return self._emit(reason, outcome, None, time.perf_counter() - started)
+
+    def _emit(self, reason, outcome, error, latency) -> WatchEvent:
+        self.sequence += 1
+        event = WatchEvent(self.sequence, reason, outcome, error, latency)
+        self.log(json.dumps(event.to_json(), sort_keys=True))
+        return event
+
+    def run(self, max_updates: Optional[int] = None) -> int:
+        """Poll until interrupted (or until ``max_updates`` events were
+        processed); returns the number of events."""
+        processed = 0
+        try:
+            while max_updates is None or processed < max_updates:
+                event = self.poll_once()
+                if event is not None:
+                    processed += 1
+                    if max_updates is not None and processed >= max_updates:
+                        break
+                time.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+        return processed

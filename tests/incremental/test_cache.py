@@ -1,0 +1,81 @@
+"""SummaryCache: content addressing, persistence, eviction, counters."""
+
+import json
+import os
+
+from repro.incremental.cache import SummaryCache
+
+
+class TestSummaryCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        key = {"zone": "abc", "depth": 5}
+        assert cache.get("summary", key) is None
+        cache.put("summary", key, {"cases": [1, 2, 3]})
+        assert cache.get("summary", key) == {"cases": [1, 2, 3]}
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1, "evictions": 0}
+
+    def test_key_material_differences_miss(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        cache.put("summary", {"zone": "abc"}, 1)
+        assert cache.get("summary", {"zone": "abd"}) is None
+        assert cache.get("summary", {"zone": "abc", "extra": 0}) is None
+        # Kinds namespace independently.
+        assert cache.get("refinement", {"zone": "abc"}) is None
+
+    def test_persists_across_instances(self, tmp_path):
+        SummaryCache(cache_dir=tmp_path).put("partition", {"k": 1}, {"bugs": []})
+        fresh = SummaryCache(cache_dir=tmp_path)
+        assert fresh.get("partition", {"k": 1}) == {"bugs": []}
+        assert fresh.stats()["hits"] == 1
+
+    def test_memory_only_leaves_disk_untouched(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path, memory_only=True)
+        cache.put("summary", {"k": 1}, "v")
+        assert cache.get("summary", {"k": 1}) == "v"
+        assert list(tmp_path.iterdir()) == []
+        assert SummaryCache(cache_dir=tmp_path).get("summary", {"k": 1}) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        address = cache.put("summary", {"k": 1}, "v")
+        path = tmp_path / "summary" / f"{address}.json"
+        path.write_text("{ not json")
+        fresh = SummaryCache(cache_dir=tmp_path)
+        assert fresh.get("summary", {"k": 1}) is None
+        assert fresh.stats()["misses"] == 1
+
+    def test_collision_detected_by_stored_key(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        address = cache.put("summary", {"k": 1}, "v")
+        path = tmp_path / "summary" / f"{address}.json"
+        entry = json.loads(path.read_text())
+        entry["key"] = {"k": 2}  # simulate an address collision
+        path.write_text(json.dumps(entry))
+        assert SummaryCache(cache_dir=tmp_path).get("summary", {"k": 1}) is None
+
+    def test_lru_eviction(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path, max_entries=3)
+        for i in range(5):
+            address = cache.put("summary", {"k": i}, i)
+            path = tmp_path / "summary" / f"{address}.json"
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            cache._evict(path.parent)
+        files = list((tmp_path / "summary").glob("*.json"))
+        assert len(files) == 3
+        assert cache.evictions >= 2
+        fresh = SummaryCache(cache_dir=tmp_path)
+        assert fresh.get("summary", {"k": 0}) is None  # oldest evicted
+        assert fresh.get("summary", {"k": 4}) == 4
+
+    def test_address_is_stable(self, tmp_path):
+        a = SummaryCache(cache_dir=tmp_path)
+        b = SummaryCache(cache_dir=tmp_path)
+        key = {"zone": "z", "universe": ["a", "b"], "depth": 7}
+        assert a.address("partition", key) == b.address("partition", dict(reversed(list(key.items()))))
+
+    def test_env_var_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = SummaryCache()
+        cache.put("summary", {"k": 1}, "v")
+        assert (tmp_path / "envcache" / "summary").exists()
