@@ -49,6 +49,17 @@ def _add_zone_arguments(parser):
     parser.add_argument("--origin", default=None, help="origin for relative zone files")
 
 
+def _add_budget_arguments(parser):
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="cooperative wall-clock deadline; exhaustion "
+                        "yields an UNKNOWN verdict, not a kill")
+    parser.add_argument("--fuel", type=int, default=None,
+                        help="symbolic step budget; exhaustion yields UNKNOWN")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault plan: 'seed:<N>[:<rate>]' or "
+                        "'site=count,...' (see repro.resilience.faults)")
+
+
 def _make_cache(args):
     if getattr(args, "cache", None) is None:
         return None
@@ -57,14 +68,70 @@ def _make_cache(args):
     return SummaryCache(cache_dir=args.cache)
 
 
+def _make_budget(args):
+    seconds = getattr(args, "budget_seconds", None)
+    fuel = getattr(args, "fuel", None)
+    if seconds is None and fuel is None:
+        return None
+    from repro.resilience import Budget
+
+    return Budget(wall_seconds=seconds, fuel=fuel)
+
+
+def _parse_faults(spec: Optional[str]):
+    """``seed:<N>[:<rate>]`` for a seeded plan, or ``site=count,...`` for a
+    scripted one (e.g. ``cache.read=2,solver.exhaust=10``)."""
+    if spec is None:
+        return None
+    from repro.resilience import FaultPlan
+
+    if spec.startswith("seed:"):
+        parts = spec.split(":")
+        seed = int(parts[1])
+        rate = float(parts[2]) if len(parts) > 2 else 0.1
+        return FaultPlan.seeded(seed, rate=rate)
+    script = {}
+    for item in spec.split(","):
+        site, _, count = item.partition("=")
+        script[site.strip()] = int(count) if count else 1
+    return FaultPlan.scripted(script)
+
+
+def _exit_code(verdict: str) -> int:
+    """0 VERIFIED, 1 BUG, 2 UNKNOWN/ERROR — scripts can tell 'proved' from
+    'refuted' from 'gave up'."""
+    from repro.resilience import verdicts
+
+    if verdict == verdicts.VERIFIED:
+        return 0
+    if verdict == verdicts.BUG:
+        return 1
+    return 2
+
+
 def cmd_verify(args) -> int:
     import json
 
     from repro.core import verify_engine
+    from repro.resilience import faults, verdicts
 
     zone = _load_zone(args)
     cache = _make_cache(args)
-    result = verify_engine(zone, args.version, cache=cache)
+    plan = _parse_faults(args.faults)
+    try:
+        if plan is not None:
+            faults.install(plan)
+        try:
+            result = verify_engine(
+                zone, args.version, cache=cache, budget=_make_budget(args)
+            )
+        finally:
+            if plan is not None:
+                faults.clear()
+    except (faults.InjectedFault, OSError) as exc:
+        error_class, detail = verdicts.classify_error(exc)
+        print(f"ERROR ({error_class}): {detail}", file=sys.stderr)
+        return 2
     if args.json:
         from repro.incremental.serialize import result_to_json
 
@@ -74,19 +141,38 @@ def cmd_verify(args) -> int:
         print(result.describe())
         if cache is not None:
             print(f"cache: {cache!r}")
-    return 0 if result.verified else 1
+    return _exit_code(result.verdict)
 
 
 def cmd_campaign(args) -> int:
     from repro.core import run_campaign
+    from repro.resilience import faults, verdicts
 
     cache = _make_cache(args)
-    report = run_campaign(
-        args.version, num_zones=args.zones, seed=args.seed, cache=cache
-    )
+    plan = _parse_faults(args.faults)
+    if plan is not None:
+        faults.install(plan)
+    try:
+        report = run_campaign(
+            args.version,
+            num_zones=args.zones,
+            seed=args.seed,
+            cache=cache,
+            budget_seconds=args.budget_seconds,
+            budget_fuel=args.fuel,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    finally:
+        if plan is not None:
+            faults.clear()
     print(report.describe())
     if cache is not None:
         print(f"cache: {cache!r}")
+    if any(v.verdict == verdicts.BUG for v in report.verdicts):
+        return 1
+    if report.zones_unknown or report.zones_errored:
+        return 2
     return 0 if report.zones_refuted == 0 else 1
 
 
@@ -99,9 +185,18 @@ def cmd_watch(args) -> int:
         version=args.version,
         cache=cache if cache is not None else SummaryCache(memory_only=True),
         interval=args.interval,
+        max_failures=args.max_failures,
     )
     daemon.run(max_updates=args.max_updates)
-    return 0
+    return 2 if daemon.breaker.is_open else 0
+
+
+def cmd_faultdrill(args) -> int:
+    from repro.testing import fault_drill
+
+    report = fault_drill(args.version)
+    print(report.describe())
+    return 0 if report.clean else 1
 
 
 def cmd_differential(args) -> int:
@@ -192,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable result (bugs, layer timings, cache stats)")
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="persistent summary/refinement cache directory")
+    _add_budget_arguments(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("campaign", help="verify across N random zones")
@@ -200,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2023)
     p.add_argument("--cache", default=None, metavar="DIR",
                    help="cache directory shared across the campaign's zones")
+    _add_budget_arguments(p)
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="JSONL checkpoint: one atomic record per finished zone")
+    p.add_argument("--resume", action="store_true",
+                   help="replay finished units from --checkpoint instead of re-running")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("differential", help="concrete cross-checking on a zone")
@@ -240,7 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="poll interval in seconds")
     p.add_argument("--max-updates", type=int, default=None,
                    help="exit after N processed updates (default: run forever)")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="consecutive failing polls before the circuit breaker "
+                   "opens and the daemon exits")
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "faultdrill",
+        help="inject a fault at every known site; prove each degrades "
+        "to a typed verdict",
+    )
+    p.add_argument("--version", default="verified", choices=versions)
+    p.set_defaults(func=cmd_faultdrill)
 
     return parser
 

@@ -34,10 +34,12 @@ from repro.engine.gopy import nameops, nodestack
 from repro.frontend import compile_module
 from repro.ir import Module
 from repro.refine import RefinementReport, check_refinement_nested
+from repro.resilience import verdicts as verdicts_mod
+from repro.resilience.budget import Budget, BudgetExhausted
 from repro.spec import toplevel
 from repro.solver import Solver
 from repro.summary import Summary, summarize
-from repro.symex import Executor, HeapLoader, PathState
+from repro.symex import Executor, HeapLoader, OutOfBudgetError, PathState
 
 # ---------------------------------------------------------------------------
 # Compilation cache: GoPy modules compile once per process *per source
@@ -56,6 +58,9 @@ def clear_ir_cache() -> None:
 
 def _compiled(py_module, externs: Sequence[Module] = ()) -> Module:
     from repro.incremental.digest import source_digest
+    from repro.resilience import faults
+
+    faults.maybe_raise(faults.SITE_COMPILE)
 
     # Externs are already-compiled Modules; identity captures their
     # provenance (a re-compiled base module is a new object, so dependents
@@ -133,7 +138,15 @@ class LayerResult:
 
 @dataclass
 class VerificationResult:
-    """Outcome of verifying one engine version on one zone."""
+    """Outcome of verifying one engine version on one zone.
+
+    ``verdict`` is the typed outcome of the fault-tolerant runtime
+    (:mod:`repro.resilience.verdicts`): VERIFIED/BUG coincide with the
+    historical ``verified`` flag; UNKNOWN means the proof neither closed
+    nor refuted (budget exhaustion, solver give-up — ``unknown_reason``
+    says which, ``partial`` holds coverage so far); ERROR means the run
+    itself failed (``error_class``/``error_detail`` classify it).
+    """
 
     version: str
     zone_origin: str
@@ -145,6 +158,11 @@ class VerificationResult:
     solver_checks: int = 0
     spurious_mismatches: int = 0
     cache_stats: Optional[Dict[str, int]] = None
+    verdict: str = verdicts_mod.VERIFIED
+    unknown_reason: Optional[str] = None
+    error_class: Optional[str] = None
+    error_detail: str = ""
+    partial: Optional[Dict[str, object]] = None
 
     def bug_categories(self) -> List[str]:
         seen = []
@@ -155,7 +173,14 @@ class VerificationResult:
         return seen
 
     def describe(self) -> str:
-        status = "VERIFIED" if self.verified else f"{len(self.bugs)} bug(s) found"
+        if self.verdict == verdicts_mod.UNKNOWN:
+            status = f"UNKNOWN ({self.unknown_reason})"
+        elif self.verdict == verdicts_mod.ERROR:
+            status = f"ERROR ({self.error_class}: {self.error_detail})"
+        elif self.verified:
+            status = "VERIFIED"
+        else:
+            status = f"{len(self.bugs)} bug(s) found"
         lines = [
             f"DNS-V {self.version} on {self.zone_origin}: {status} "
             f"({self.elapsed_seconds:.1f}s, {self.solver_checks} solver checks)"
@@ -166,6 +191,11 @@ class VerificationResult:
                 f"{layer.elapsed_seconds:6.2f}s  {layer.paths} paths"
                 + (f", {layer.cases} summary cases" if layer.cases else "")
             )
+        if self.partial:
+            coverage = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.partial.items())
+            )
+            lines.append(f"  partial coverage: {coverage}")
         for bug in self.bugs:
             lines.append("  " + bug.describe())
         return "\n".join(lines)
@@ -188,10 +218,14 @@ class VerificationSession:
         max_paths: int = 200000,
         max_steps: int = 20_000_000,
         cache=None,
+        budget: Optional[Budget] = None,
     ):
         self.zone = zone
         self.version = version
         self.cache = cache  # Optional[repro.incremental.cache.SummaryCache]
+        self.budget = budget
+        if budget is not None:
+            budget.start()
         self._layer_routes: Dict[str, str] = {}
         self.encoder = ZoneEncoder(zone)
         self.tree_go = control.build_domain_tree(self.encoder)
@@ -201,6 +235,7 @@ class VerificationSession:
             solver=solver,
             max_paths=max_paths,
             max_steps=max_steps,
+            budget=budget,
         )
         self.state = PathState()
         loader = HeapLoader(self.state.memory)
@@ -279,11 +314,47 @@ class VerificationSession:
 
     def verify(self, use_summaries: bool = True) -> VerificationResult:
         """Run the full pipeline; ``use_summaries=False`` is the ablation
-        that inlines every layer (monolithic symbolic execution)."""
+        that inlines every layer (monolithic symbolic execution).
+
+        Every outcome is a typed verdict: budget/path/step exhaustion is
+        caught here and returned as ``UNKNOWN(reason)`` with partial
+        coverage — never raised — so a campaign or partition loop simply
+        continues with the next unit.
+        """
         started = time.perf_counter()
         checks_before = self.executor.solver.num_checks
         result = VerificationResult(self.version, self.zone.origin.to_text(), True)
+        try:
+            self._verify_into(result, use_summaries)
+        except BudgetExhausted as exc:
+            self._mark_unknown(result, exc.reason, str(exc))
+        except OutOfBudgetError as exc:
+            self._mark_unknown(result, _exhaustion_reason(exc), str(exc))
+        result.elapsed_seconds = time.perf_counter() - started
+        result.solver_checks = self.executor.solver.num_checks - checks_before
+        if self.cache is not None:
+            result.cache_stats = self.cache.stats()
+        return result
 
+    def _mark_unknown(self, result: VerificationResult, reason: str,
+                      detail: str) -> None:
+        """Typed degradation: record what ran out plus coverage so far."""
+        result.verified = False
+        result.verdict = verdicts_mod.UNKNOWN
+        result.unknown_reason = reason
+        stats = self.executor.stats
+        result.partial = {
+            "steps": stats.steps,
+            "forks": stats.forks,
+            "paths": stats.paths,
+            "layers_done": len(result.layers),
+            "detail": detail,
+        }
+        if self.budget is not None:
+            result.partial["budget"] = self.budget.snapshot()
+
+    def _verify_into(self, result: VerificationResult,
+                     use_summaries: bool) -> None:
         report = None
         report_key = None
         if self.cache is not None:
@@ -347,7 +418,10 @@ class VerificationSession:
                     verified=report.verified,
                 )
             )
-            if self.cache is not None:
+            if self.cache is not None and not report.unknowns:
+                # An UNKNOWN-tainted report reflects a budget/solver limit,
+                # not zone content; caching it would pin the give-up past
+                # runs with roomier budgets.
                 from repro.incremental.serialize import report_to_json
 
                 self.cache.put("refinement", report_key, report_to_json(report))
@@ -363,11 +437,26 @@ class VerificationSession:
         # A mismatch that failed validation still refutes the proof.
         if report.mismatches and not result.bugs:
             result.verified = False
-        result.elapsed_seconds = time.perf_counter() - started
-        result.solver_checks = self.executor.solver.num_checks - checks_before
-        if self.cache is not None:
-            result.cache_stats = self.cache.stats()
-        return result
+
+        # Typed verdict: validated bugs refute; otherwise any solver
+        # give-up or unvalidated mismatch leaves the proof open (UNKNOWN),
+        # never silently dropped.
+        if any(b.validated for b in result.bugs):
+            result.verdict = verdicts_mod.BUG
+        elif report.unknowns or report.mismatches:
+            # Mismatches survive here only unvalidated (a modelless
+            # solver give-up, or a counterexample native re-execution
+            # could not reproduce): the proof is open, not refuted.
+            result.verdict = verdicts_mod.UNKNOWN
+            solverish = report.unknowns or any(
+                b.query is None for b in result.bugs if not b.validated
+            )
+            result.unknown_reason = (
+                verdicts_mod.REASON_SOLVER if solverish
+                else verdicts_mod.REASON_UNVALIDATED
+            )
+        else:
+            result.verdict = verdicts_mod.VERIFIED
 
     # -- counterexample decoding and validation ---------------------------------
 
@@ -447,6 +536,16 @@ class VerificationSession:
         if error is not None:
             return True, error
         return False, "no native crash reproduced"
+
+
+def _exhaustion_reason(exc: OutOfBudgetError) -> str:
+    """Map the executor's own hard limits onto the UNKNOWN taxonomy."""
+    text = str(exc)
+    if "path budget" in text:
+        return verdicts_mod.REASON_PATHS
+    if "call depth" in text:
+        return verdicts_mod.REASON_DEPTH
+    return verdicts_mod.REASON_STEPS
 
 
 # ---------------------------------------------------------------------------

@@ -31,9 +31,10 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.incremental.digest import digest_text
+from repro.resilience import faults
 
 #: Bump when any serialized payload layout changes; keyed into every entry.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -69,6 +70,8 @@ class SummaryCache:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.corrupt = 0
+        self.io_errors = 0
         self._memory: Dict[Tuple[str, str], object] = {}
 
     # -- keys ----------------------------------------------------------------
@@ -92,10 +95,27 @@ class SummaryCache:
             return self._memory[mem_key]
         if not self.memory_only:
             path = self._path(kind, address)
+            entry = None
             try:
+                faults.maybe_raise(faults.SITE_CACHE_READ)
                 with open(path, "r", encoding="utf-8") as handle:
-                    entry = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+                    text = handle.read()
+                if faults.should_fire(faults.SITE_CACHE_CORRUPT):
+                    # Simulated torn write: truncating drives the genuine
+                    # decode-error handling below, not a shortcut.
+                    text = text[: max(1, len(text) // 2)]
+                entry = json.loads(text)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                # Transient or permission IO: a miss, counted; the caller
+                # recomputes and (maybe) republishes.
+                self.io_errors += 1
+            except json.JSONDecodeError:
+                self._evict_corrupt(path)
+            if entry is not None and not isinstance(entry, dict):
+                # Parsed but not an entry object — also corruption.
+                self._evict_corrupt(path)
                 entry = None
             if entry is not None and entry.get("key") == json.loads(
                 _canonical(key_material)
@@ -111,6 +131,15 @@ class SummaryCache:
         self.misses += 1
         return None
 
+    def _evict_corrupt(self, path: Path) -> None:
+        """A corrupted/truncated entry is a miss: count it and remove the
+        file so the next put republishes a clean copy."""
+        self.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def put(self, kind: str, key_material, payload) -> str:
         """Store ``payload`` (JSON-serializable) under its content address;
         returns the address."""
@@ -121,6 +150,7 @@ class SummaryCache:
             return address
         path = self._path(kind, address)
         try:
+            faults.maybe_raise(faults.SITE_CACHE_WRITE)
             path.parent.mkdir(parents=True, exist_ok=True)
             entry = {"key": json.loads(_canonical(key_material)), "value": payload}
             # Atomic publish: readers never observe a half-written entry.
@@ -134,7 +164,7 @@ class SummaryCache:
                     os.unlink(tmp)
             self._evict(path.parent)
         except OSError:
-            pass  # a read-only cache dir degrades to memory-only
+            self.io_errors += 1  # a read-only cache dir degrades to memory-only
         return address
 
     def _evict(self, kind_dir: Path) -> None:
@@ -160,10 +190,13 @@ class SummaryCache:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "io_errors": self.io_errors,
         }
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.puts = self.evictions = 0
+        self.corrupt = self.io_errors = 0
 
     def __repr__(self) -> str:
         where = "memory" if self.memory_only else str(self.cache_dir)

@@ -60,6 +60,7 @@ from repro.incremental.serialize import (
     bug_from_json,
     bug_to_json,
 )
+from repro.resilience import verdicts as verdicts_mod
 from repro.incremental import delta as delta_mod
 
 
@@ -184,9 +185,14 @@ class IncrementalVerifier:
                     continue
             result = self._verify_partition(part)
             verdict = self._verdict_of(result)
-            if verdict is not None:
+            cacheable = verdict is not None and result.verdict in (
+                verdicts_mod.VERIFIED, verdicts_mod.BUG
+            )
+            if cacheable:
+                # UNKNOWN/ERROR verdicts reflect a budget or environment,
+                # not zone content — never pin them in the cache.
                 self.cache.put("partition", key, verdict)
-            else:
+            if verdict is None:
                 verdict = self._verdict_of(result, with_bugs=False)
             recomputed.append(part.key)
             merged.solver_checks += result.solver_checks
@@ -194,6 +200,15 @@ class IncrementalVerifier:
 
         merged.bugs.sort(key=bug_sort_key)
         merged.verified = merged.verified and not merged.bugs
+        if any(bug.validated for bug in merged.bugs):
+            merged.verdict = verdicts_mod.BUG
+        elif merged.unknown_reason is not None:
+            merged.verdict = verdicts_mod.UNKNOWN
+        elif not merged.verified:
+            merged.verdict = verdicts_mod.UNKNOWN
+            merged.unknown_reason = verdicts_mod.REASON_UNVALIDATED
+        else:
+            merged.verdict = verdicts_mod.VERIFIED
         merged.elapsed_seconds = time.perf_counter() - started
         stats.partitions_total = len(reused) + len(recomputed)
         stats.partitions_reused = len(reused)
@@ -255,6 +270,8 @@ class IncrementalVerifier:
         its bugs do not serialize (the run stays live, the cache untouched)."""
         verdict = {
             "verified": result.verified,
+            "verdict": result.verdict,
+            "unknown_reason": result.unknown_reason,
             "solver_checks": result.solver_checks,
             "spurious_mismatches": result.spurious_mismatches,
             "elapsed_seconds": result.elapsed_seconds,
@@ -289,6 +306,11 @@ class IncrementalVerifier:
                bugs: List[BugReport], cached: bool) -> None:
         merged.bugs.extend(bugs)
         merged.verified = merged.verified and verdict["verified"]
+        if (
+            verdict.get("verdict") == verdicts_mod.UNKNOWN
+            and merged.unknown_reason is None
+        ):
+            merged.unknown_reason = verdict.get("unknown_reason")
         merged.spurious_mismatches += verdict.get("spurious_mismatches", 0)
         for layer in verdict.get("layers", ()):
             merged.layers.append(

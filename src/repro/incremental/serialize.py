@@ -394,6 +394,11 @@ def result_to_json(result: VerificationResult, cache_stats: Optional[Dict] = Non
         "elapsed_seconds": result.elapsed_seconds,
         "solver_checks": result.solver_checks,
         "spurious_mismatches": result.spurious_mismatches,
+        "verdict": result.verdict,
+        "unknown_reason": result.unknown_reason,
+        "error_class": result.error_class,
+        "error_detail": result.error_detail,
+        "partial": None if result.partial is None else dict(result.partial),
     }
     if cache_stats is not None:
         payload["cache"] = dict(cache_stats)
@@ -420,4 +425,14 @@ def result_from_json(data: Dict) -> VerificationResult:
         solver_checks=data["solver_checks"],
         spurious_mismatches=data["spurious_mismatches"],
     )
+    # Verdict fields postdate the original format; their absence means a
+    # pre-taxonomy artifact whose verdict is implied by ``verified``.
+    result.verdict = data.get(
+        "verdict", "VERIFIED" if result.verified else "BUG"
+    )
+    result.unknown_reason = data.get("unknown_reason")
+    result.error_class = data.get("error_class")
+    result.error_detail = data.get("error_detail", "")
+    partial = data.get("partial")
+    result.partial = dict(partial) if partial is not None else None
     return result

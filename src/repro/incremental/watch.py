@@ -6,6 +6,19 @@ reparses, diffs against the running snapshot, re-verifies incrementally via
 log line per update (latency, partitions reused/recomputed, solver checks,
 verdict). The CLI front end is ``python -m repro watch --zone ... --version
 ...``; tests drive :meth:`poll_once` directly.
+
+Supervision (the daemon must outlive its environment):
+
+- transient IO on the zone file (``stat``/read races while an editor or
+  zone transfer rewrites it) is retried with exponential backoff plus
+  deterministic jitter (:class:`~repro.resilience.RetryPolicy`);
+- consecutive failing polls trip a circuit breaker
+  (:class:`~repro.resilience.CircuitBreaker`); when it opens the daemon
+  emits a final ``breaker: open`` record and :meth:`run` exits instead of
+  spinning on a permanently broken input;
+- every emitted event carries a ``health`` record (attempt counts,
+  consecutive failures, breaker state) so the JSON stream doubles as a
+  liveness feed.
 """
 
 from __future__ import annotations
@@ -14,12 +27,14 @@ import json
 import os
 import sys
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from repro.dns.zonefile import parse_zone_text
 from repro.incremental.cache import SummaryCache
 from repro.incremental.engine import IncrementalOutcome, IncrementalVerifier
+from repro.resilience import faults
+from repro.resilience.supervise import CircuitBreaker, RetryPolicy, retry_call
 
 
 @dataclass
@@ -31,12 +46,14 @@ class WatchEvent:
     outcome: Optional[IncrementalOutcome]
     error: Optional[str]
     latency_seconds: float
+    health: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         payload = {
             "sequence": self.sequence,
             "reason": self.reason,
             "latency_seconds": round(self.latency_seconds, 6),
+            "health": dict(self.health),
         }
         if self.error is not None:
             payload["error"] = self.error
@@ -45,6 +62,7 @@ class WatchEvent:
         payload.update(
             {
                 "verified": result.verified,
+                "verdict": result.verdict,
                 "bugs": len(result.bugs),
                 "bug_categories": result.bug_categories(),
                 "solver_checks": result.solver_checks,
@@ -64,17 +82,24 @@ class WatchDaemon:
         cache: Optional[SummaryCache] = None,
         interval: float = 1.0,
         log: Optional[Callable[[str], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_failures: int = 5,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.zone_path = os.fspath(zone_path)
         self.version = version
         self.cache = cache if cache is not None else SummaryCache(memory_only=True)
         self.interval = interval
         self.log = log if log is not None else self._default_log
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(max_failures=max_failures)
         self.verifier: Optional[IncrementalVerifier] = None
         self.sequence = 0
+        self._sleep = sleep
         self._last_mtime: Optional[float] = None
         self._last_size: Optional[int] = None
         self._last_stat_error: Optional[str] = None
+        self._last_attempts = 1
 
     @staticmethod
     def _default_log(line: str) -> None:
@@ -83,36 +108,47 @@ class WatchDaemon:
 
     # -- polling ---------------------------------------------------------------
 
-    def _stat(self):
+    def _stat_once(self):
+        faults.maybe_raise(faults.SITE_WATCH_STAT)
         st = os.stat(self.zone_path)
         return st.st_mtime, st.st_size
 
+    def _read_once(self) -> str:
+        faults.maybe_raise(faults.SITE_WATCH_READ)
+        with open(self.zone_path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
     def poll_once(self) -> Optional[WatchEvent]:
-        """Process at most one update; None when the file is unchanged."""
+        """Process at most one update; None when the file is unchanged
+        (or the circuit breaker is open)."""
+        if self.breaker.is_open:
+            return None
+        self._last_attempts = 1
         try:
-            mtime, size = self._stat()
+            (mtime, size), attempts = retry_call(
+                self._stat_once, self.retry, sleep=self._sleep
+            )
+            self._last_attempts = attempts
         except OSError as exc:
-            # Report a vanished file once, not on every poll while absent.
-            error = f"stat failed: {exc}"
-            if error == self._last_stat_error:
-                return None
-            self._last_stat_error = error
-            return self._emit("change", None, error, 0.0)
+            return self._failure(f"stat failed: {exc}", 0.0, dedup=True)
         self._last_stat_error = None
         if (mtime, size) == (self._last_mtime, self._last_size):
+            self.breaker.record_success()
             return None
         self._last_mtime, self._last_size = mtime, size
 
         started = time.perf_counter()
         try:
-            with open(self.zone_path, "r", encoding="utf-8") as handle:
-                zone = parse_zone_text(handle.read())
+            text, read_attempts = retry_call(
+                self._read_once, self.retry, sleep=self._sleep
+            )
+            self._last_attempts += read_attempts - 1
+            zone = parse_zone_text(text)
         except (OSError, ValueError) as exc:
-            return self._emit(
-                "change" if self.verifier else "initial",
-                None,
+            return self._failure(
                 f"zone parse failed: {exc}",
                 time.perf_counter() - started,
+                reason="change" if self.verifier else "initial",
             )
 
         if self.verifier is None:
@@ -122,17 +158,38 @@ class WatchDaemon:
         else:
             outcome = self.verifier.diff_to(zone)
             reason = "change"
+        self.breaker.record_success()
         return self._emit(reason, outcome, None, time.perf_counter() - started)
+
+    def _failure(self, error: str, latency: float, reason: str = "change",
+                 dedup: bool = False) -> Optional[WatchEvent]:
+        self.breaker.record_failure()
+        if dedup and error == self._last_stat_error and not self.breaker.is_open:
+            # A vanished file is reported once, not on every poll while
+            # absent — but the failing polls still feed the breaker.
+            return None
+        if dedup:
+            self._last_stat_error = error
+        return self._emit(reason, None, error, latency)
+
+    def _health(self) -> Dict[str, object]:
+        return {
+            "attempts": self._last_attempts,
+            "consecutive_failures": self.breaker.consecutive_failures,
+            "breaker": self.breaker.state,
+        }
 
     def _emit(self, reason, outcome, error, latency) -> WatchEvent:
         self.sequence += 1
-        event = WatchEvent(self.sequence, reason, outcome, error, latency)
+        event = WatchEvent(
+            self.sequence, reason, outcome, error, latency, self._health()
+        )
         self.log(json.dumps(event.to_json(), sort_keys=True))
         return event
 
     def run(self, max_updates: Optional[int] = None) -> int:
-        """Poll until interrupted (or until ``max_updates`` events were
-        processed); returns the number of events."""
+        """Poll until interrupted, the circuit breaker opens, or
+        ``max_updates`` events were processed; returns the event count."""
         processed = 0
         try:
             while max_updates is None or processed < max_updates:
@@ -141,6 +198,8 @@ class WatchDaemon:
                     processed += 1
                     if max_updates is not None and processed >= max_updates:
                         break
+                if self.breaker.is_open:
+                    break
                 time.sleep(self.interval)
         except KeyboardInterrupt:
             pass

@@ -137,6 +137,15 @@ def check_refinement(
     if not (stop_at_first and not report.verified):
         for spec_out in spec_outcomes:
             if spec_out.is_panic:
+                panic_verdict = solver.check(*spec_out.state.pc)
+                if panic_verdict is SolveResult.UNSAT:
+                    continue
+                if panic_verdict is SolveResult.UNKNOWN:
+                    # A degraded solver cannot prove the panic path
+                    # infeasible: that is an unknown, not a crash.
+                    report.unknowns += 1
+                    report.verified = False
+                    continue
                 raise SymexError(
                     f"specification {spec_name} has a reachable panic: "
                     f"{spec_out.panic}"
@@ -247,6 +256,15 @@ def check_refinement_nested(
         code_value = observe_code(code_out)
         for spec_out in spec_outcomes:
             if spec_out.is_panic:
+                panic_verdict = solver.check(*spec_out.state.pc)
+                if panic_verdict is SolveResult.UNSAT:
+                    continue
+                if panic_verdict is SolveResult.UNKNOWN:
+                    # A degraded solver cannot prove the panic path
+                    # infeasible: that is an unknown, not a crash.
+                    report.unknowns += 1
+                    report.verified = False
+                    continue
                 raise SymexError(
                     f"specification {spec_name} has a reachable panic: "
                     f"{spec_out.panic}"

@@ -1,0 +1,143 @@
+"""Cooperative resource governance for verification runs.
+
+A :class:`Budget` bounds one unit of proof work with a wall-clock deadline
+and/or an integer *step fuel*. It is cooperative: the symbolic executor
+charges one fuel per interpreted instruction and polls the deadline every
+few hundred steps; the solver consults it at check entry and degrades to
+``UNKNOWN`` instead of raising. Exhaustion surfaces as
+:class:`BudgetExhausted`, which the pipeline converts into a typed
+``UNKNOWN(reason)`` verdict carrying the partial-coverage statistics
+accumulated so far — the campaign/partition loop then simply moves on.
+
+One Budget instance is shared by everything inside one verification unit
+(session, executor, solver), so the bound is global to the unit rather
+than per-component.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.resilience.verdicts import REASON_DEADLINE, REASON_FUEL
+
+#: How many executor steps pass between deadline polls (fuel is charged on
+#: every step; ``time.monotonic`` is only consulted this often).
+DEADLINE_POLL_MASK = 0xFF
+
+
+class BudgetExhausted(RuntimeError):
+    """A budget dimension ran out; partial results remain valid."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(detail or reason)
+        self.reason = reason
+        self.detail = detail
+
+
+class Budget:
+    """Wall-clock deadline plus step fuel for one verification unit.
+
+    ``wall_seconds=None`` / ``fuel=None`` leave that dimension unbounded.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        fuel: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if wall_seconds is not None and wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive")
+        if fuel is not None and fuel <= 0:
+            raise ValueError("fuel must be positive")
+        self.wall_seconds = wall_seconds
+        self.initial_fuel = fuel
+        self._fuel = fuel
+        self._clock = clock
+        self._deadline: Optional[float] = None
+        self._started_at: Optional[float] = None
+        self.steps_charged = 0
+        self.solver_consults = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the deadline (idempotent); charging auto-starts too."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+            if self.wall_seconds is not None:
+                self._deadline = self._started_at + self.wall_seconds
+        return self
+
+    # -- charging ----------------------------------------------------------
+
+    def charge(self, steps: int = 1) -> None:
+        """Consume ``steps`` fuel; raise :class:`BudgetExhausted` when the
+        tank is dry or (polled) the deadline has passed."""
+        if self._started_at is None:
+            self.start()
+        self.steps_charged += steps
+        if self._fuel is not None:
+            self._fuel -= steps
+            if self._fuel < 0:
+                raise BudgetExhausted(
+                    REASON_FUEL,
+                    f"step fuel exhausted after {self.steps_charged} steps",
+                )
+        if not (self.steps_charged & DEADLINE_POLL_MASK):
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Raise when the wall-clock deadline has passed."""
+        if self._started_at is None:
+            self.start()
+        if self._deadline is not None and self._clock() > self._deadline:
+            raise BudgetExhausted(
+                REASON_DEADLINE,
+                f"deadline of {self.wall_seconds}s passed",
+            )
+
+    def exhausted(self) -> Optional[str]:
+        """Non-raising probe: the exhaustion reason, or None while solvent.
+
+        This is the solver's entry point — it degrades to ``UNKNOWN``
+        rather than raising out of a check.
+        """
+        self.solver_consults += 1
+        if self._started_at is None:
+            self.start()
+        if self._fuel is not None and self._fuel < 0:
+            return REASON_FUEL
+        if self._deadline is not None and self._clock() > self._deadline:
+            return REASON_DEADLINE
+        return None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def fuel_remaining(self) -> Optional[int]:
+        return self._fuel
+
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def snapshot(self) -> Dict[str, object]:
+        """Partial-coverage statistics for UNKNOWN verdicts and logs."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "elapsed_seconds": round(self.elapsed(), 6),
+            "fuel": self.initial_fuel,
+            "fuel_remaining": self._fuel,
+            "steps_charged": self.steps_charged,
+            "solver_consults": self.solver_consults,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Budget(wall={self.wall_seconds}, fuel={self._fuel}/"
+            f"{self.initial_fuel}, steps={self.steps_charged})"
+        )

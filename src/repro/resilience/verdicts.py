@@ -1,0 +1,92 @@
+"""The typed verdict taxonomy of the fault-tolerant runtime.
+
+Every verification outcome in DNS-V is one of four kinds:
+
+``VERIFIED``
+    the refinement proof closed with no counterexample;
+``BUG``
+    at least one validated divergence (a real counterexample that
+    re-executed natively);
+``UNKNOWN(reason)``
+    the proof neither closed nor refuted — a budget ran out, the solver
+    gave up inside its node limit, or a mismatch could not be validated.
+    The reason string is machine-stable (see the ``REASON_*`` constants);
+``ERROR(taxonomy)``
+    the run itself failed — a compile error, cache IO, an injected fault —
+    classified into the ``ERR_*`` taxonomy below.
+
+The point of the taxonomy is that *degradation is data*: a campaign unit
+that blows its budget or trips over a corrupted cache entry records a
+verdict and the run continues, instead of a stack trace killing hours of
+proof progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+# -- verdict kinds ----------------------------------------------------------
+
+VERIFIED = "VERIFIED"
+BUG = "BUG"
+UNKNOWN = "UNKNOWN"
+ERROR = "ERROR"
+
+KINDS: Tuple[str, ...] = (VERIFIED, BUG, UNKNOWN, ERROR)
+
+# -- UNKNOWN reasons --------------------------------------------------------
+
+REASON_DEADLINE = "wall-clock-deadline"
+REASON_FUEL = "step-fuel"
+REASON_PATHS = "path-budget"
+REASON_STEPS = "step-budget"
+REASON_DEPTH = "call-depth"
+REASON_SOLVER = "solver-unknown"
+REASON_UNVALIDATED = "unvalidated-mismatch"
+
+# -- ERROR taxonomy ---------------------------------------------------------
+
+ERR_COMPILE = "compile"
+ERR_CACHE_IO = "cache-io"
+ERR_ZONE = "zone-parse"
+ERR_IO = "io"
+ERR_INJECTED = "injected"
+ERR_INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A typed outcome: kind plus its qualifying reason/taxonomy."""
+
+    kind: str
+    reason: Optional[str] = None
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown verdict kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.reason:
+            return f"{self.kind}({self.reason})"
+        return self.kind
+
+
+def classify_error(exc: BaseException) -> Tuple[str, str]:
+    """Map an exception to its ``(taxonomy, detail)`` pair.
+
+    Injected faults carry their own taxonomy (the site declares what it
+    simulates) so drills classify identically to the real failure.
+    """
+    detail = f"{type(exc).__name__}: {exc}"
+    taxonomy = getattr(exc, "taxonomy", None)
+    if taxonomy is not None:
+        return taxonomy, detail
+    from repro.frontend.errors import GoPyError
+
+    if isinstance(exc, GoPyError):
+        return ERR_COMPILE, detail
+    if isinstance(exc, OSError):
+        return ERR_IO, detail
+    return ERR_INTERNAL, detail

@@ -78,7 +78,7 @@ class Solver:
     proofs as failures.
     """
 
-    def __init__(self, node_limit: int = 200000):
+    def __init__(self, node_limit: int = 200000, budget=None):
         self._assertions: List[BoolExpr] = []
         self._stack: List[int] = []
         self._cache = sat.TheoryCache()
@@ -86,6 +86,12 @@ class Solver:
         self._model: Optional[Model] = None
         self._result_cache: Dict[frozenset, tuple] = {}
         self.num_checks = 0
+        #: Optional[repro.resilience.Budget] — consulted cooperatively at
+        #: check entry; exhaustion degrades the check to UNKNOWN (the sound
+        #: default everywhere) instead of raising out of the search.
+        self.budget = budget
+        self.budget_unknowns = 0
+        self.injected_unknowns = 0
 
     # -- assertion stack ---------------------------------------------------
 
@@ -113,11 +119,24 @@ class Solver:
     # -- checking ------------------------------------------------------------
 
     def check(self, *extra: Union[BoolExpr, bool]) -> SolveResult:
+        from repro.resilience import faults
+
         formulas = list(self._assertions)
         for formula in extra:
             if isinstance(formula, bool):
                 formula = bool_const(formula)
             formulas.append(formula)
+
+        # Degraded modes come first and are never result-cached: a later
+        # check of the same formulas under a fresh budget must re-solve.
+        if self.budget is not None and self.budget.exhausted() is not None:
+            self.budget_unknowns += 1
+            self._model = None
+            return SolveResult.UNKNOWN
+        if faults.should_fire(faults.SITE_SOLVER):
+            self.injected_unknowns += 1
+            self._model = None
+            return SolveResult.UNKNOWN
 
         key = frozenset(formulas)
         cached = self._result_cache.get(key)

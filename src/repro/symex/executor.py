@@ -120,10 +120,14 @@ class Executor:
         max_paths: int = 60000,
         max_steps: int = 5_000_000,
         max_call_depth: int = 128,
+        budget=None,
     ):
         self.modules = list(modules)
         self.bindings = bindings if bindings is not None else Bindings()
-        self.solver = solver if solver is not None else Solver()
+        self.solver = solver if solver is not None else Solver(budget=budget)
+        self.budget = budget  # Optional[repro.resilience.Budget]
+        if budget is not None and self.solver.budget is None:
+            self.solver.budget = budget
         self.max_paths = max_paths
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
@@ -201,6 +205,7 @@ class Executor:
         }
         results: List[Outcome] = []
         work = [(state, regs, fn.entry_label, 0)]
+        budget = self.budget
 
         while work:
             state, regs, label, start = work.pop()
@@ -212,6 +217,8 @@ class Executor:
                 self.stats.steps += 1
                 if self.stats.steps > self.max_steps:
                     raise OutOfBudgetError(f"step budget exhausted in {fn.name}")
+                if budget is not None:
+                    budget.charge()
                 insn = insns[i]
                 if isinstance(insn, Call):
                     outcomes = self._do_call(state, regs, insn, depth)

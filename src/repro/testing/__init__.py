@@ -13,10 +13,14 @@ from repro.testing.differential import (
     differential_test,
     enumerate_queries,
 )
+from repro.testing.faultdrill import FaultDrillReport, SiteOutcome, fault_drill
 
 __all__ = [
     "DifferentialResult",
     "Divergence",
     "differential_test",
     "enumerate_queries",
+    "FaultDrillReport",
+    "SiteOutcome",
+    "fault_drill",
 ]

@@ -1,0 +1,183 @@
+"""Fault drill: drive every injection site to a typed verdict.
+
+The resilience contract is that each site in
+:data:`repro.resilience.faults.KNOWN_SITES` degrades to a *typed* outcome —
+a :mod:`repro.resilience.verdicts` kind, a counted cache miss, or a watch
+health event — never an uncaught exception. :func:`fault_drill` proves it
+by running one small scenario per site under a scripted
+:class:`~repro.resilience.faults.FaultPlan` and recording what the system
+reported. The CI smoke job runs this via ``python -m repro faultdrill``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.resilience import faults
+from repro.resilience import verdicts as verdicts_mod
+
+
+@dataclass
+class SiteOutcome:
+    """What one injection site degraded to."""
+
+    site: str
+    fired: int
+    verdict: str
+    detail: str
+    typed: bool  # the outcome was a typed verdict, not an escape
+
+    def describe(self) -> str:
+        status = "ok" if self.typed else "ESCAPED"
+        return (
+            f"{self.site:16s} fired={self.fired} -> {self.verdict} "
+            f"[{status}] {self.detail}"
+        )
+
+
+@dataclass
+class FaultDrillReport:
+    """One drill over every known site."""
+
+    version: str
+    outcomes: List[SiteOutcome] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Every site fired at least once and produced a typed outcome."""
+        covered = {o.site for o in self.outcomes}
+        return set(faults.KNOWN_SITES) <= covered and all(
+            o.typed and o.fired > 0 for o in self.outcomes
+        )
+
+    def describe(self) -> str:
+        lines = [f"fault drill ({self.version}): "
+                 f"{'clean' if self.clean else 'FAILURES'}"]
+        lines.extend("  " + o.describe() for o in self.outcomes)
+        return "\n".join(lines)
+
+
+def _drill_compile(version: str) -> SiteOutcome:
+    from repro.core.campaign import Campaign
+    from repro.zonegen import corpus
+
+    plan = faults.FaultPlan.scripted({faults.SITE_COMPILE: 1})
+    with faults.active(plan):
+        report = Campaign(zones=[corpus.minimal_zone()]).run(
+            version, smoke_first=False
+        )
+    unit = report.verdicts[0]
+    return SiteOutcome(
+        faults.SITE_COMPILE,
+        plan.fired.get(faults.SITE_COMPILE, 0),
+        f"{unit.verdict}({unit.error_class})",
+        unit.error_detail,
+        typed=unit.verdict == verdicts_mod.ERROR
+        and unit.error_class == verdicts_mod.ERR_COMPILE,
+    )
+
+
+def _drill_solver(version: str) -> SiteOutcome:
+    from repro.core.pipeline import VerificationSession
+    from repro.zonegen import corpus
+
+    # Every check degrades to UNKNOWN; the pipeline must report an
+    # UNKNOWN verdict instead of claiming a proof.
+    plan = faults.FaultPlan.scripted({faults.SITE_SOLVER: 10_000})
+    with faults.active(plan):
+        result = VerificationSession(corpus.minimal_zone(), version).verify()
+    reason = result.unknown_reason or "-"
+    return SiteOutcome(
+        faults.SITE_SOLVER,
+        plan.fired.get(faults.SITE_SOLVER, 0),
+        f"{result.verdict}({reason})",
+        f"{result.solver_checks} checks degraded",
+        typed=result.verdict == verdicts_mod.UNKNOWN,
+    )
+
+
+def _drill_cache(site: str, version: str) -> SiteOutcome:
+    from repro.core.pipeline import VerificationSession
+    from repro.incremental.cache import SummaryCache
+    from repro.zonegen import corpus
+
+    zone = corpus.minimal_zone()
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SummaryCache(cache_dir=tmp)
+        if site == faults.SITE_CACHE_CORRUPT:
+            # Corruption fires on *disk* reads, so the entries must exist
+            # first — published by a separate cache instance, or the
+            # in-memory layer would satisfy every lookup.
+            VerificationSession(
+                zone, version, cache=SummaryCache(cache_dir=tmp)
+            ).verify()
+        plan = faults.FaultPlan.scripted({site: 2})
+        with faults.active(plan):
+            result = VerificationSession(zone, version, cache=cache).verify()
+        stats = cache.stats()
+    counter = "corrupt" if site == faults.SITE_CACHE_CORRUPT else "io_errors"
+    return SiteOutcome(
+        site,
+        plan.fired.get(site, 0),
+        result.verdict,
+        f"cache {counter}={stats[counter]}",
+        typed=result.verdict == verdicts_mod.VERIFIED and stats[counter] > 0,
+    )
+
+
+def _drill_watch(site: str, version: str) -> SiteOutcome:
+    import os
+
+    from repro.dns.zonefile import zone_to_text
+    from repro.incremental.watch import WatchDaemon
+    from repro.resilience.supervise import RetryPolicy
+    from repro.zonegen import corpus
+
+    retry = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "zone.db")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(zone_to_text(corpus.minimal_zone()))
+        daemon = WatchDaemon(
+            path, version=version, retry=retry, sleep=lambda _delay: None,
+            log=lambda _line: None,
+        )
+        if site == faults.SITE_WATCH_STAT:
+            # Outlast the retry budget: the poll must degrade to a typed
+            # failure event, not an escaped OSError.
+            plan = faults.FaultPlan.scripted({site: 2})
+        else:
+            # One transient read fault: the retry must absorb it and the
+            # poll still verify the zone.
+            plan = faults.FaultPlan.scripted({site: 1})
+        with faults.active(plan):
+            event = daemon.poll_once()
+    fired = plan.fired.get(site, 0)
+    if event is None:
+        return SiteOutcome(site, fired, "no-event", "", typed=False)
+    if event.error is not None:
+        return SiteOutcome(
+            site, fired, f"{verdicts_mod.ERROR}({verdicts_mod.ERR_IO})",
+            event.error, typed=site == faults.SITE_WATCH_STAT,
+        )
+    return SiteOutcome(
+        site, fired, event.outcome.result.verdict,
+        f"recovered after {event.health.get('attempts')} attempt(s)",
+        typed=site == faults.SITE_WATCH_READ
+        and event.outcome.result.verdict == verdicts_mod.VERIFIED,
+    )
+
+
+def fault_drill(version: str = "verified") -> FaultDrillReport:
+    """Exercise every known injection site against ``version``."""
+    report = FaultDrillReport(version)
+    report.outcomes.append(_drill_compile(version))
+    report.outcomes.append(_drill_solver(version))
+    for site in (faults.SITE_CACHE_READ, faults.SITE_CACHE_WRITE,
+                 faults.SITE_CACHE_CORRUPT):
+        report.outcomes.append(_drill_cache(site, version))
+    for site in (faults.SITE_WATCH_STAT, faults.SITE_WATCH_READ):
+        report.outcomes.append(_drill_watch(site, version))
+    return report

@@ -13,7 +13,10 @@ class TestSummaryCache:
         assert cache.get("summary", key) is None
         cache.put("summary", key, {"cases": [1, 2, 3]})
         assert cache.get("summary", key) == {"cases": [1, 2, 3]}
-        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1, "evictions": 0}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "puts": 1, "evictions": 0,
+            "corrupt": 0, "io_errors": 0,
+        }
 
     def test_key_material_differences_miss(self, tmp_path):
         cache = SummaryCache(cache_dir=tmp_path)
@@ -44,6 +47,33 @@ class TestSummaryCache:
         fresh = SummaryCache(cache_dir=tmp_path)
         assert fresh.get("summary", {"k": 1}) is None
         assert fresh.stats()["misses"] == 1
+        # Corruption is counted and the poisoned file evicted, so the
+        # next put republishes a clean entry.
+        assert fresh.stats()["corrupt"] == 1
+        assert not path.exists()
+        fresh.put("summary", {"k": 1}, "v")
+        assert SummaryCache(cache_dir=tmp_path).get("summary", {"k": 1}) == "v"
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        address = cache.put("summary", {"k": 1}, {"cases": list(range(50))})
+        path = tmp_path / "summary" / f"{address}.json"
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+        fresh = SummaryCache(cache_dir=tmp_path)
+        assert fresh.get("summary", {"k": 1}) is None
+        assert fresh.stats()["corrupt"] == 1
+        assert not path.exists()
+
+    def test_non_object_entry_is_corrupt(self, tmp_path):
+        cache = SummaryCache(cache_dir=tmp_path)
+        address = cache.put("summary", {"k": 1}, "v")
+        path = tmp_path / "summary" / f"{address}.json"
+        path.write_text("[1, 2, 3]")  # valid JSON, not an entry object
+        fresh = SummaryCache(cache_dir=tmp_path)
+        assert fresh.get("summary", {"k": 1}) is None
+        assert fresh.stats()["corrupt"] == 1
+        assert not path.exists()
 
     def test_collision_detected_by_stored_key(self, tmp_path):
         cache = SummaryCache(cache_dir=tmp_path)

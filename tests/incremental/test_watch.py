@@ -114,3 +114,85 @@ class TestWatchDaemon:
         processed = daemon.run(max_updates=1)
         assert processed == 1
         assert len(lines) == 1
+
+
+class TestWatchSupervision:
+    def make_supervised(self, zone_file, lines, max_attempts=2, max_failures=3):
+        from repro.resilience.supervise import RetryPolicy
+
+        return WatchDaemon(
+            zone_file,
+            cache=SummaryCache(memory_only=True),
+            interval=0.01,
+            log=lines.append,
+            retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.0,
+                              max_delay=0.0),
+            max_failures=max_failures,
+            sleep=lambda _delay: None,
+        )
+
+    def test_transient_stat_fault_is_retried_to_success(self, zone_file):
+        from repro.resilience import FaultPlan, faults
+
+        lines = []
+        daemon = self.make_supervised(zone_file, lines)
+        plan = FaultPlan.scripted({faults.SITE_WATCH_STAT: 1})
+        with faults.active(plan):
+            event = daemon.poll_once()
+        assert event.error is None
+        assert event.outcome.result.verified
+        assert event.health["attempts"] == 2
+        assert event.health["breaker"] == "closed"
+        assert json.loads(lines[-1])["health"]["attempts"] == 2
+
+    def test_transient_read_fault_is_retried_to_success(self, zone_file):
+        from repro.resilience import FaultPlan, faults
+
+        lines = []
+        daemon = self.make_supervised(zone_file, lines)
+        plan = FaultPlan.scripted({faults.SITE_WATCH_READ: 1})
+        with faults.active(plan):
+            event = daemon.poll_once()
+        assert event.error is None
+        assert event.outcome.result.verified
+
+    def test_exhausted_retries_become_failure_event(self, zone_file):
+        from repro.resilience import FaultPlan, faults
+
+        lines = []
+        daemon = self.make_supervised(zone_file, lines)
+        plan = FaultPlan.scripted({faults.SITE_WATCH_STAT: 2})
+        with faults.active(plan):
+            event = daemon.poll_once()
+        assert event.error is not None and "stat failed" in event.error
+        assert daemon.breaker.consecutive_failures == 1
+        # The next clean poll closes the loop again.
+        event = daemon.poll_once()
+        assert event.error is None
+        assert daemon.breaker.consecutive_failures == 0
+
+    def test_breaker_opens_and_stops_polling(self, tmp_path):
+        lines = []
+        daemon = self.make_supervised(tmp_path / "gone.db", lines,
+                                      max_failures=3)
+        first = daemon.poll_once()
+        assert first is not None and first.error is not None
+        assert daemon.poll_once() is None  # deduped, still counted
+        event = daemon.poll_once()  # third failure trips the breaker
+        assert daemon.breaker.is_open
+        assert event is not None  # the trip itself is reported
+        assert event.health["breaker"] == "open"
+        assert daemon.poll_once() is None  # open breaker: no more work
+        # run() must exit instead of spinning on a dead input.
+        assert daemon.run(max_updates=10) == 0
+
+    def test_jitter_schedule_is_deterministic(self):
+        from repro.resilience.supervise import RetryPolicy
+
+        a = list(RetryPolicy(max_attempts=4, jitter_seed=3).delays())
+        b = list(RetryPolicy(max_attempts=4, jitter_seed=3).delays())
+        c = list(RetryPolicy(max_attempts=4, jitter_seed=4).delays())
+        assert a == b
+        assert a != c
+        assert len(a) == 3
+        assert all(delay >= 0 for delay in a)

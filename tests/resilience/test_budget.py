@@ -1,0 +1,114 @@
+"""Budget: cooperative fuel + deadline accounting."""
+
+import pytest
+
+from repro.resilience import Budget, BudgetExhausted
+from repro.resilience.budget import DEADLINE_POLL_MASK
+from repro.resilience import verdicts
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestFuel:
+    def test_charge_consumes_fuel(self):
+        budget = Budget(fuel=10)
+        for _ in range(10):
+            budget.charge()
+        assert budget.fuel_remaining == 0
+        assert budget.steps_charged == 10
+
+    def test_exhaustion_raises_typed_reason(self):
+        budget = Budget(fuel=3)
+        budget.charge(3)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.charge()
+        assert excinfo.value.reason == verdicts.REASON_FUEL
+        assert "4 steps" in str(excinfo.value)
+
+    def test_unbounded_fuel_never_exhausts(self):
+        budget = Budget(wall_seconds=1000.0)
+        budget.charge(10_000)
+        assert budget.fuel_remaining is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Budget(fuel=0)
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-1.0)
+
+
+class TestDeadline:
+    def test_deadline_polled_not_per_step(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=5.0, clock=clock).start()
+        clock.now = 100.0  # way past the deadline
+        # No poll happens until steps_charged crosses the mask boundary.
+        budget.charge(DEADLINE_POLL_MASK)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.charge()  # step count hits the poll boundary
+        assert excinfo.value.reason == verdicts.REASON_DEADLINE
+
+    def test_check_deadline_is_immediate(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock).start()
+        budget.check_deadline()  # still inside
+        clock.now = 2.0
+        with pytest.raises(BudgetExhausted):
+            budget.check_deadline()
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock).start()
+        clock.now = 0.5
+        budget.start()  # must not re-arm the deadline
+        clock.now = 1.2
+        with pytest.raises(BudgetExhausted):
+            budget.check_deadline()
+
+
+class TestNonRaisingProbe:
+    def test_exhausted_is_none_while_solvent(self):
+        budget = Budget(fuel=5, wall_seconds=100.0)
+        assert budget.exhausted() is None
+        assert budget.solver_consults == 1
+
+    def test_exhausted_reports_fuel(self):
+        budget = Budget(fuel=1)
+        with pytest.raises(BudgetExhausted):
+            budget.charge(2)
+        assert budget.exhausted() == verdicts.REASON_FUEL
+
+    def test_exhausted_reports_deadline(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock).start()
+        clock.now = 5.0
+        assert budget.exhausted() == verdicts.REASON_DEADLINE
+
+    def test_exhausted_never_raises(self):
+        clock = FakeClock()
+        budget = Budget(fuel=1, wall_seconds=1.0, clock=clock).start()
+        clock.now = 99.0
+        with pytest.raises(BudgetExhausted):
+            budget.charge(5)
+        for _ in range(3):
+            assert budget.exhausted() is not None
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        clock = FakeClock()
+        budget = Budget(fuel=10, wall_seconds=4.0, clock=clock).start()
+        clock.now = 1.5
+        budget.charge(3)
+        snap = budget.snapshot()
+        assert snap["fuel"] == 10
+        assert snap["fuel_remaining"] == 7
+        assert snap["steps_charged"] == 3
+        assert snap["wall_seconds"] == 4.0
+        assert snap["elapsed_seconds"] == 1.5

@@ -1,0 +1,129 @@
+"""Typed UNKNOWN verdicts end-to-end through VerificationSession.verify."""
+
+import pytest
+
+from repro.core.pipeline import VerificationSession
+from repro.incremental.serialize import result_from_json, result_to_json
+from repro.resilience import Budget, verdicts
+from repro.solver.solver import Solver
+from repro.solver.terms import bvar, not_, or_
+from repro.zonegen import corpus
+
+
+def hard_disjunctive_chain(n=12):
+    """A formula cycle the SAT search must actually split on: conjoined
+    onto the preconditions it forces ``node_limit`` exhaustion."""
+    vars_ = [bvar(f"fz{i}") for i in range(n)]
+    chain = [or_(a, not_(b)) for a, b in zip(vars_, vars_[1:])]
+    chain.append(or_(vars_[-1], vars_[0]))
+    return chain
+
+
+class TestSolverExhaustionUnknown:
+    def test_node_limit_yields_unknown_verdict(self):
+        """Satellite: an engineered query space whose constraints exhaust
+        the solver's node limit must surface UNKNOWN(solver-unknown), not a
+        claimed proof and not a crash."""
+        session = VerificationSession(
+            corpus.minimal_zone(), "verified", solver=Solver(node_limit=3)
+        )
+        session.restrict(hard_disjunctive_chain())
+        result = session.verify()
+
+        assert result.verdict == verdicts.UNKNOWN
+        assert result.unknown_reason == verdicts.REASON_SOLVER
+        assert result.verified is False
+        assert "UNKNOWN (solver-unknown)" in result.describe()
+
+    def test_roomier_limit_closes_the_same_proof(self):
+        session = VerificationSession(
+            corpus.minimal_zone(), "verified", solver=Solver(node_limit=200000)
+        )
+        session.restrict(hard_disjunctive_chain())
+        result = session.verify()
+        assert result.verdict == verdicts.VERIFIED
+
+
+class TestBudgetUnknown:
+    def test_fuel_exhaustion_yields_partial_coverage(self):
+        budget = Budget(fuel=2000)
+        result = VerificationSession(
+            corpus.minimal_zone(), "verified", budget=budget
+        ).verify()
+
+        assert result.verdict == verdicts.UNKNOWN
+        assert result.unknown_reason == verdicts.REASON_FUEL
+        assert result.partial is not None
+        assert result.partial["steps"] >= 2000
+        assert result.partial["budget"]["fuel"] == 2000
+        described = result.describe()
+        assert "UNKNOWN (step-fuel)" in described
+        assert "partial coverage" in described
+
+    def test_deadline_exhaustion_reports_reason(self):
+        clock_values = iter([0.0] + [10.0] * 10_000_000)
+        budget = Budget(wall_seconds=1.0, clock=lambda: next(clock_values))
+        result = VerificationSession(
+            corpus.minimal_zone(), "verified", budget=budget
+        ).verify()
+        assert result.verdict == verdicts.UNKNOWN
+        assert result.unknown_reason == verdicts.REASON_DEADLINE
+
+    def test_unbudgeted_run_still_verifies(self):
+        result = VerificationSession(corpus.minimal_zone(), "verified").verify()
+        assert result.verdict == verdicts.VERIFIED
+        assert result.unknown_reason is None
+        assert result.partial is None
+
+
+class TestVerdictSerialization:
+    def test_unknown_round_trips_through_json(self):
+        budget = Budget(fuel=2000)
+        result = VerificationSession(
+            corpus.minimal_zone(), "verified", budget=budget
+        ).verify()
+        loaded = result_from_json(result_to_json(result))
+        assert loaded.verdict == verdicts.UNKNOWN
+        assert loaded.unknown_reason == result.unknown_reason
+        assert loaded.partial == result.partial
+
+    def test_legacy_payload_defaults(self):
+        result = VerificationSession(corpus.minimal_zone(), "verified").verify()
+        payload = result_to_json(result)
+        for key in ("verdict", "unknown_reason", "error_class",
+                    "error_detail", "partial"):
+            payload.pop(key)
+        loaded = result_from_json(payload)
+        assert loaded.verdict == verdicts.VERIFIED
+        assert loaded.unknown_reason is None
+
+
+class TestClassifyError:
+    def test_taxonomy_attribute_wins(self):
+        class Tagged(Exception):
+            taxonomy = verdicts.ERR_CACHE_IO
+
+        taxonomy, detail = verdicts.classify_error(Tagged("boom"))
+        assert taxonomy == verdicts.ERR_CACHE_IO
+        assert "boom" in detail
+
+    def test_oserror_is_io(self):
+        assert verdicts.classify_error(OSError("x"))[0] == verdicts.ERR_IO
+
+    def test_gopy_error_is_compile(self):
+        from repro.frontend.errors import GoPyError
+
+        assert (
+            verdicts.classify_error(GoPyError("bad module"))[0]
+            == verdicts.ERR_COMPILE
+        )
+
+    def test_everything_else_is_internal(self):
+        assert (
+            verdicts.classify_error(RuntimeError("x"))[0]
+            == verdicts.ERR_INTERNAL
+        )
+
+    def test_verdict_kind_validated(self):
+        with pytest.raises(ValueError):
+            verdicts.Verdict("MAYBE")
