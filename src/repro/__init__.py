@@ -3,6 +3,14 @@
 Reproduction of the SOSP 2023 paper "Automated Verification of an
 In-Production DNS Authoritative Engine" (Zheng, Liu, et al.).
 
+The top-level package re-exports the session facade — the recommended
+programmatic entry point (see ``docs/api.md``)::
+
+    from repro import Session
+
+    session = Session(workers=4, budget=30.0)
+    result = session.verify("zones/prod.zone", "v2.0")
+
 The package is organised bottom-up:
 
 - :mod:`repro.dns` — DNS domain model (names, records, zones, messages).
@@ -21,6 +29,10 @@ The package is organised bottom-up:
   several versions, with the paper's Table-2 bugs seeded (section 6).
 - :mod:`repro.zonegen` — randomized zone-configuration generator (6.5/9).
 - :mod:`repro.core` — the DNS-V pipeline tying everything together.
+- :mod:`repro.parallel` — process-pool executor for campaigns and
+  partitioned verifies, deterministic across worker counts.
+- :mod:`repro.resilience` — typed verdicts, budgets, checkpoints, faults.
+- :mod:`repro.incremental` — zone deltas, summary cache, watch daemon.
 - :mod:`repro.testing` — SCALE-style differential tester used to validate
   counterexamples.
 - :mod:`repro.reporting` — regeneration of the paper's tables and figures.
@@ -28,4 +40,29 @@ The package is organised bottom-up:
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+# Everything here pulls in the whole pipeline; exported lazily so
+# ``import repro`` stays cheap for subpackage users (and fork-safe for
+# pool workers that only need one module).
+_LAZY = {
+    "Session": ("repro.api", "Session"),
+    "load_zone": ("repro.api", "load_zone"),
+    "VerifyOptions": ("repro.core.options", "VerifyOptions"),
+    "verify_engine": ("repro.core.pipeline", "verify_engine"),
+    "VerificationResult": ("repro.core.pipeline", "VerificationResult"),
+    "run_campaign": ("repro.core.campaign", "run_campaign"),
+    "CampaignReport": ("repro.core.campaign", "CampaignReport"),
+    "ZoneVerdict": ("repro.core.campaign", "ZoneVerdict"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+__all__ = ["__version__", *_LAZY]

@@ -22,21 +22,9 @@ from repro.engine import control
 
 
 def _load_zone(args):
-    from repro.dns.zonefile import parse_zone_text
-    from repro.zonegen import corpus
+    from repro.api import load_zone
 
-    if args.zone == "-":
-        return parse_zone_text(sys.stdin.read(), origin=args.origin)
-    builtin = {
-        "evaluation": corpus.evaluation_zone,
-        "minimal": corpus.minimal_zone,
-        "paper": corpus.paper_example_zone,
-        "chain": corpus.chain_zone,
-    }
-    if args.zone in builtin:
-        return builtin[args.zone]()
-    with open(args.zone) as handle:
-        return parse_zone_text(handle.read(), origin=args.origin)
+    return load_zone(args.zone, origin=getattr(args, "origin", None))
 
 
 def _add_zone_arguments(parser):
@@ -49,15 +37,31 @@ def _add_zone_arguments(parser):
     parser.add_argument("--origin", default=None, help="origin for relative zone files")
 
 
-def _add_budget_arguments(parser):
-    parser.add_argument("--budget-seconds", type=float, default=None,
-                        help="cooperative wall-clock deadline; exhaustion "
-                        "yields an UNKNOWN verdict, not a kill")
-    parser.add_argument("--fuel", type=int, default=None,
-                        help="symbolic step budget; exhaustion yields UNKNOWN")
-    parser.add_argument("--faults", default=None, metavar="SPEC",
-                        help="fault plan: 'seed:<N>[:<rate>]' or "
-                        "'site=count,...' (see repro.resilience.faults)")
+def _runtime_parent() -> argparse.ArgumentParser:
+    """The shared runtime flags every long-running subcommand takes
+    (``verify``/``campaign``/``watch``), declared once so names, types
+    and help text cannot drift between subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("runtime")
+    group.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan out across N worker processes; the canonical "
+                       "report is bit-identical for any N (default: in-process "
+                       "sequential)")
+    group.add_argument("--budget-seconds", type=float, default=None,
+                       help="cooperative wall-clock deadline per unit; "
+                       "exhaustion yields an UNKNOWN verdict, not a kill")
+    group.add_argument("--fuel", type=int, default=None,
+                       help="symbolic step budget; exhaustion yields UNKNOWN")
+    group.add_argument("--cache", default=None, metavar="DIR",
+                       help="persistent summary/refinement cache directory "
+                       "(safe to share between concurrent workers)")
+    group.add_argument("--json", action="store_true",
+                       help="machine-readable output (verdicts, layer/phase "
+                       "timings, cache and perf counters)")
+    group.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault plan: 'seed:<N>[:<rate>]' or "
+                       "'site=count,...' (see repro.resilience.faults)")
+    return parent
 
 
 def _make_cache(args):
@@ -79,22 +83,11 @@ def _make_budget(args):
 
 
 def _parse_faults(spec: Optional[str]):
-    """``seed:<N>[:<rate>]`` for a seeded plan, or ``site=count,...`` for a
-    scripted one (e.g. ``cache.read=2,solver.exhaust=10``)."""
     if spec is None:
         return None
-    from repro.resilience import FaultPlan
+    from repro.resilience.faults import parse_spec
 
-    if spec.startswith("seed:"):
-        parts = spec.split(":")
-        seed = int(parts[1])
-        rate = float(parts[2]) if len(parts) > 2 else 0.1
-        return FaultPlan.seeded(seed, rate=rate)
-    script = {}
-    for item in spec.split(","):
-        site, _, count = item.partition("=")
-        script[site.strip()] = int(count) if count else 1
-    return FaultPlan.scripted(script)
+    return parse_spec(spec)
 
 
 def _exit_code(verdict: str) -> int:
@@ -112,19 +105,21 @@ def _exit_code(verdict: str) -> int:
 def cmd_verify(args) -> int:
     import json
 
-    from repro.core import verify_engine
+    from repro.core import VerifyOptions, verify_engine
     from repro.resilience import faults, verdicts
 
     zone = _load_zone(args)
+    options = VerifyOptions.from_args(args)
     cache = _make_cache(args)
-    plan = _parse_faults(args.faults)
+    # Sequential runs install the fault plan globally; pooled runs
+    # (--workers) instead derive one deterministic plan per unit inside
+    # each worker, so the parent installs nothing.
+    plan = None if options.workers is not None else _parse_faults(args.faults)
     try:
         if plan is not None:
             faults.install(plan)
         try:
-            result = verify_engine(
-                zone, args.version, cache=cache, budget=_make_budget(args)
-            )
+            result = verify_engine(zone, args.version, options=options, cache=cache)
         finally:
             if plan is not None:
                 faults.clear()
@@ -145,11 +140,14 @@ def cmd_verify(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    import json
+
     from repro.core import run_campaign
     from repro.resilience import faults, verdicts
 
     cache = _make_cache(args)
-    plan = _parse_faults(args.faults)
+    workers = args.workers
+    plan = None if workers is not None else _parse_faults(args.faults)
     if plan is not None:
         faults.install(plan)
     try:
@@ -162,13 +160,18 @@ def cmd_campaign(args) -> int:
             budget_fuel=args.fuel,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            workers=workers,
+            faults=args.faults if workers is not None else None,
         )
     finally:
         if plan is not None:
             faults.clear()
-    print(report.describe())
-    if cache is not None:
-        print(f"cache: {cache!r}")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+        if cache is not None:
+            print(f"cache: {cache!r}")
     if any(v.verdict == verdicts.BUG for v in report.verdicts):
         return 1
     if report.zones_unknown or report.zones_errored:
@@ -177,15 +180,19 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_watch(args) -> int:
+    from repro.core import VerifyOptions
     from repro.incremental import SummaryCache, WatchDaemon
 
     cache = _make_cache(args)
+    options = VerifyOptions.from_args(args)
     daemon = WatchDaemon(
         args.zone,
         version=args.version,
         cache=cache if cache is not None else SummaryCache(memory_only=True),
         interval=args.interval,
         max_failures=args.max_failures,
+        workers=options.workers,
+        options=options,
     )
     daemon.run(max_updates=args.max_updates)
     return 2 if daemon.breaker.is_open else 0
@@ -279,24 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     versions = sorted(control.ENGINE_VERSIONS)
+    runtime = _runtime_parent()
 
-    p = sub.add_parser("verify", help="verify an engine version on a zone")
+    p = sub.add_parser("verify", help="verify an engine version on a zone",
+                       parents=[runtime])
     _add_zone_arguments(p)
     p.add_argument("--version", default="verified", choices=versions)
-    p.add_argument("--json", action="store_true",
-                   help="machine-readable result (bugs, layer timings, cache stats)")
-    p.add_argument("--cache", default=None, metavar="DIR",
-                   help="persistent summary/refinement cache directory")
-    _add_budget_arguments(p)
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("campaign", help="verify across N random zones")
+    p = sub.add_parser("campaign", help="verify across N random zones",
+                       parents=[runtime])
     p.add_argument("--version", default="verified", choices=versions)
     p.add_argument("--zones", type=int, default=5)
     p.add_argument("--seed", type=int, default=2023)
-    p.add_argument("--cache", default=None, metavar="DIR",
-                   help="cache directory shared across the campaign's zones")
-    _add_budget_arguments(p)
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="JSONL checkpoint: one atomic record per finished zone")
     p.add_argument("--resume", action="store_true",
@@ -331,12 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
-        "watch", help="re-verify a zone file whenever it changes (mtime polling)"
+        "watch", help="re-verify a zone file whenever it changes (mtime polling)",
+        parents=[runtime],
     )
     p.add_argument("--zone", required=True, help="zone file path to tail")
     p.add_argument("--version", default="verified", choices=versions)
-    p.add_argument("--cache", default=None, metavar="DIR",
-                   help="persistent cache directory (default: in-memory)")
     p.add_argument("--interval", type=float, default=1.0,
                    help="poll interval in seconds")
     p.add_argument("--max-updates", type=int, default=None,

@@ -10,8 +10,16 @@ Public API:
 - :mod:`repro.core.porting` — the Table-3 porting-cost analysis.
 """
 
-from repro.core.campaign import Campaign, CampaignReport, ZoneVerdict, run_campaign
+from repro.core.campaign import (
+    Campaign,
+    CampaignReport,
+    UNIT_ERRORS,
+    ZoneVerdict,
+    run_campaign,
+    run_unit,
+)
 from repro.core.encoding import QueryEncoding
+from repro.core.options import VerifyOptions
 from repro.core.layers import LayerConfig, library_layers, resolution_layers, toplevel_layer
 from repro.core.pipeline import (
     BugReport,
@@ -33,9 +41,12 @@ from repro.core.pipeline import (
 __all__ = [
     "Campaign",
     "CampaignReport",
+    "UNIT_ERRORS",
     "ZoneVerdict",
     "run_campaign",
+    "run_unit",
     "QueryEncoding",
+    "VerifyOptions",
     "LayerConfig",
     "library_layers",
     "resolution_layers",

@@ -96,6 +96,9 @@ class CampaignReport:
     version: str
     verdicts: List[ZoneVerdict] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Per-phase perf counters (parallel executor): timings, cache hit
+    #: rate, units/sec. Timing-only — excluded from ``canonical_json``.
+    perf: Optional[Dict] = None
 
     @property
     def zones_run(self) -> int:
@@ -132,6 +135,22 @@ class CampaignReport:
             separators=(",", ":"),
         )
 
+    def to_json(self) -> Dict:
+        """Machine-readable report (the campaign ``--json`` contract):
+        the canonical identity fields plus timings and perf counters."""
+        return {
+            "version": self.version,
+            "zones_run": self.zones_run,
+            "zones_verified": self.zones_verified,
+            "zones_refuted": self.zones_refuted,
+            "zones_unknown": self.zones_unknown,
+            "zones_errored": self.zones_errored,
+            "elapsed_seconds": self.elapsed_seconds,
+            "verdicts": [verdict.to_json() for verdict in self.verdicts],
+            "category_histogram": self.category_histogram(),
+            "perf": None if self.perf is None else dict(self.perf),
+        }
+
     def category_histogram(self) -> Dict[str, int]:
         histogram: Dict[str, int] = {}
         for verdict in self.verdicts:
@@ -164,6 +183,88 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+#: Exceptions a unit may die of without aborting the campaign; the plain
+#: RuntimeError of the unsoundness cross-check deliberately is NOT among
+#: them.
+UNIT_ERRORS = (GoPyError, SymexError, InjectedFault, OSError)
+
+
+def run_unit(
+    index: int,
+    zone: Zone,
+    version: str,
+    smoke_first: bool = True,
+    cache=None,
+    budget_seconds: Optional[float] = None,
+    budget_fuel: Optional[int] = None,
+) -> Tuple[ZoneVerdict, Optional[VerificationResult]]:
+    """Verify one (zone, version) campaign unit.
+
+    This is THE unit of work — the sequential :class:`Campaign` loop and
+    the :mod:`repro.parallel` pool workers both call it, which is what
+    makes a parallel campaign's verdicts bit-identical to a sequential
+    one's. Returns the typed verdict plus the underlying
+    :class:`VerificationResult` (None when the unit died of a typed
+    error) so callers can harvest perf/phase statistics.
+    """
+    budget = None
+    if budget_seconds is not None or budget_fuel is not None:
+        budget = Budget(wall_seconds=budget_seconds, fuel=budget_fuel)
+    started = time.perf_counter()
+    divergences = 0
+    try:
+        if smoke_first:
+            smoke = differential_test(zone, version, check_reference=False)
+            divergences = len(smoke.divergences)
+        result = VerificationSession(
+            zone, version, cache=cache, budget=budget
+        ).verify()
+    except UNIT_ERRORS as exc:
+        error_class, detail = verdicts_mod.classify_error(exc)
+        return (
+            ZoneVerdict(
+                zone_index=index,
+                zone_origin=zone.origin.to_text(),
+                records=len(zone),
+                verified=False,
+                bug_categories=(),
+                elapsed_seconds=time.perf_counter() - started,
+                solver_checks=0,
+                differential_divergences=divergences,
+                verdict=verdicts_mod.ERROR,
+                error_class=error_class,
+                error_detail=detail,
+            ),
+            None,
+        )
+    if (
+        divergences
+        and result.verified
+        and result.verdict == verdicts_mod.VERIFIED
+    ):
+        raise RuntimeError(
+            f"unsound: differential refuted zone {index} but the "
+            f"proof passed ({version})"
+        )
+    return (
+        ZoneVerdict(
+            zone_index=index,
+            zone_origin=zone.origin.to_text(),
+            records=len(zone),
+            verified=result.verified,
+            bug_categories=tuple(result.bug_categories()),
+            elapsed_seconds=result.elapsed_seconds,
+            solver_checks=result.solver_checks,
+            differential_divergences=divergences,
+            verdict=result.verdict,
+            unknown_reason=result.unknown_reason,
+            error_class=result.error_class,
+            error_detail=result.error_detail,
+        ),
+        result,
+    )
+
+
 class Campaign:
     """Run the pipeline over a stream of zones."""
 
@@ -186,10 +287,9 @@ class Campaign:
     def zones(self) -> List[Zone]:
         return list(self._zones)
 
-    #: Exceptions a unit may die of without aborting the campaign; the
-    #: plain RuntimeError of the unsoundness cross-check deliberately is
-    #: NOT among them.
-    _UNIT_ERRORS = (GoPyError, SymexError, InjectedFault, OSError)
+    #: Kept as an alias for backward compatibility (see module-level
+    #: :data:`UNIT_ERRORS`).
+    _UNIT_ERRORS = UNIT_ERRORS
 
     def run(
         self,
@@ -260,56 +360,11 @@ class Campaign:
         budget_seconds: Optional[float],
         budget_fuel: Optional[int],
     ) -> ZoneVerdict:
-        budget = None
-        if budget_seconds is not None or budget_fuel is not None:
-            budget = Budget(wall_seconds=budget_seconds, fuel=budget_fuel)
-        started = time.perf_counter()
-        divergences = 0
-        try:
-            if smoke_first:
-                smoke = differential_test(zone, version, check_reference=False)
-                divergences = len(smoke.divergences)
-            result = VerificationSession(
-                zone, version, cache=cache, budget=budget
-            ).verify()
-        except self._UNIT_ERRORS as exc:
-            error_class, detail = verdicts_mod.classify_error(exc)
-            return ZoneVerdict(
-                zone_index=index,
-                zone_origin=zone.origin.to_text(),
-                records=len(zone),
-                verified=False,
-                bug_categories=(),
-                elapsed_seconds=time.perf_counter() - started,
-                solver_checks=0,
-                differential_divergences=divergences,
-                verdict=verdicts_mod.ERROR,
-                error_class=error_class,
-                error_detail=detail,
-            )
-        if (
-            divergences
-            and result.verified
-            and result.verdict == verdicts_mod.VERIFIED
-        ):
-            raise RuntimeError(
-                f"unsound: differential refuted zone {index} but the "
-                f"proof passed ({version})"
-            )
-        return ZoneVerdict(
-            zone_index=index,
-            zone_origin=zone.origin.to_text(),
-            records=len(zone),
-            verified=result.verified,
-            bug_categories=tuple(result.bug_categories()),
-            elapsed_seconds=result.elapsed_seconds,
-            solver_checks=result.solver_checks,
-            differential_divergences=divergences,
-            verdict=result.verdict,
-            unknown_reason=result.unknown_reason,
-            error_class=result.error_class,
-            error_detail=result.error_detail,
+        verdict, _result = run_unit(
+            index, zone, version, smoke_first, cache,
+            budget_seconds, budget_fuel,
         )
+        return verdict
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -350,11 +405,43 @@ def run_campaign(
     budget_fuel: Optional[int] = None,
     checkpoint=None,
     resume: bool = False,
+    workers: Optional[int] = None,
+    faults: Optional[str] = None,
     **config_overrides,
 ) -> CampaignReport:
     """Convenience API: generate ``num_zones`` zones and verify ``version``
     on each; ``cache`` is shared by every zone. Budget and checkpoint
-    arguments are forwarded to :meth:`Campaign.run`."""
+    arguments are forwarded to :meth:`Campaign.run`.
+
+    ``workers`` (any integer, including 1) routes the campaign through
+    the :mod:`repro.parallel` pooled executor; its canonical report is
+    bit-identical across worker counts. ``faults`` (a spec string) is
+    only honoured on that path, where it derives one deterministic plan
+    per unit id; sequential callers install a plan globally instead.
+    """
+    if workers is not None:
+        from repro.core.options import VerifyOptions
+        from repro.parallel import run_campaign_parallel
+
+        cache_dir = None
+        if cache is not None and not getattr(cache, "memory_only", False):
+            cache_dir = str(cache.cache_dir)
+        options = VerifyOptions(
+            budget_seconds=budget_seconds,
+            fuel=budget_fuel,
+            workers=workers,
+            faults=faults,
+            cache_dir=cache_dir,
+        )
+        return run_campaign_parallel(
+            version,
+            num_zones=num_zones,
+            seed=seed,
+            options=options,
+            checkpoint=checkpoint,
+            resume=resume,
+            **config_overrides,
+        )
     config = GeneratorConfig(seed=seed, **config_overrides)
     campaign = Campaign(generator_config=config, num_zones=num_zones)
     return campaign.run(

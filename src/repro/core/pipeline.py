@@ -163,6 +163,10 @@ class VerificationResult:
     error_class: Optional[str] = None
     error_detail: str = ""
     partial: Optional[Dict[str, object]] = None
+    #: Per-phase wall time (``compile``/``summarize``/``solve``) — feeds
+    #: the parallel executor's perf counters and the ``--json`` output.
+    #: Timing-only: never part of any canonical/deterministic projection.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def bug_categories(self) -> List[str]:
         seen = []
@@ -230,8 +234,11 @@ class VerificationSession:
         self.encoder = ZoneEncoder(zone)
         self.tree_go = control.build_domain_tree(self.encoder)
         self.flat_go = control.build_flat_zone(self.encoder)
+        compile_started = time.perf_counter()
+        modules = compile_engine_modules(version)
+        self.compile_seconds = time.perf_counter() - compile_started
         self.executor = Executor(
-            compile_engine_modules(version),
+            modules,
             solver=solver,
             max_paths=max_paths,
             max_steps=max_steps,
@@ -332,6 +339,17 @@ class VerificationSession:
             self._mark_unknown(result, _exhaustion_reason(exc), str(exc))
         result.elapsed_seconds = time.perf_counter() - started
         result.solver_checks = self.executor.solver.num_checks - checks_before
+        result.phase_seconds = {
+            "compile": round(self.compile_seconds, 6),
+            "summarize": round(
+                sum(l.elapsed_seconds for l in result.layers
+                    if l.name != "Resolve"), 6,
+            ),
+            "solve": round(
+                sum(l.elapsed_seconds for l in result.layers
+                    if l.name == "Resolve"), 6,
+            ),
+        }
         if self.cache is not None:
             result.cache_stats = self.cache.stats()
         return result
@@ -590,6 +608,71 @@ def _summarise_response(resp) -> str:
     )
 
 
-def verify_engine(zone: Zone, version: str, **kwargs) -> VerificationResult:
-    """One-call convenience API: verify ``version`` on ``zone``."""
-    return VerificationSession(zone, version, **kwargs).verify()
+#: Legacy kwargs-bag keys verify_engine still maps onto VerifyOptions.
+_LEGACY_OPTION_KWARGS = frozenset({"depth", "max_paths", "max_steps"})
+_legacy_kwargs_warned = False
+
+
+def verify_engine(
+    zone: Zone,
+    version: str = "verified",
+    options=None,
+    *,
+    cache=None,
+    budget: Optional[Budget] = None,
+    solver: Optional[Solver] = None,
+    **legacy_kwargs,
+) -> VerificationResult:
+    """One-call convenience API: verify ``version`` on ``zone``.
+
+    Configuration travels in ``options``
+    (:class:`repro.core.options.VerifyOptions`); live objects — an open
+    ``cache``, a running ``budget``, a custom ``solver`` — stay explicit
+    keyword arguments. When ``options.workers`` is set the run goes
+    through the partitioned pooled executor (:mod:`repro.parallel`),
+    whose merged result is deterministic across worker counts.
+
+    The pre-``VerifyOptions`` kwargs-bag (``depth=``/``max_paths=``/
+    ``max_steps=`` passed directly) still works but warns once per
+    process; pass ``options=VerifyOptions(...)`` instead.
+    """
+    from repro.core.options import VerifyOptions
+
+    global _legacy_kwargs_warned
+    if legacy_kwargs:
+        unknown = set(legacy_kwargs) - _LEGACY_OPTION_KWARGS
+        if unknown:
+            raise TypeError(
+                f"verify_engine() got unexpected keyword argument(s) "
+                f"{sorted(unknown)}; pass options=VerifyOptions(...)"
+            )
+        if not _legacy_kwargs_warned:
+            import warnings
+
+            warnings.warn(
+                "passing verification knobs as **kwargs is deprecated; "
+                "use verify_engine(zone, version, options=VerifyOptions(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _legacy_kwargs_warned = True
+        options = (options or VerifyOptions()).with_(**legacy_kwargs)
+    if options is None:
+        options = VerifyOptions()
+    if cache is None:
+        cache = options.make_cache()
+    if options.workers is not None:
+        from repro.parallel import verify_partitioned
+
+        return verify_partitioned(zone, version, options=options, cache=cache)
+    if budget is None:
+        budget = options.make_budget()
+    session = VerificationSession(
+        zone,
+        version,
+        solver=solver,
+        cache=cache,
+        budget=budget,
+        **options.session_kwargs(),
+    )
+    return session.verify(use_summaries=options.use_summaries)

@@ -168,17 +168,27 @@ class SummaryCache:
         return address
 
     def _evict(self, kind_dir: Path) -> None:
+        # Concurrent writers (parallel workers share one cache directory)
+        # may publish or evict between our glob and each stat/unlink, so
+        # every per-file operation tolerates the file vanishing.
+        stamped = []
         try:
-            files = sorted(
-                kind_dir.glob("*.json"), key=lambda p: p.stat().st_mtime
-            )
+            entries = list(kind_dir.glob("*.json"))
         except OSError:
             return
-        while len(files) > self.max_entries:
-            victim = files.pop(0)
+        for path in entries:
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # evicted by a sibling; already gone
+        stamped.sort(key=lambda pair: pair[0])
+        excess = len(stamped) - self.max_entries
+        for _, victim in stamped[:max(0, excess)]:
             try:
                 victim.unlink()
                 self.evictions += 1
+            except FileNotFoundError:
+                continue  # a sibling won the race; the entry is gone either way
             except OSError:
                 break
 

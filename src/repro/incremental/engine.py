@@ -76,6 +76,109 @@ def bug_sort_key(bug: BugReport) -> Tuple:
     )
 
 
+# ---------------------------------------------------------------------------
+# Partition verdicts: the serializable unit the cache stores and the
+# parallel workers ship. Module-level so pool workers can build and the
+# parent can merge them without instantiating a verifier.
+# ---------------------------------------------------------------------------
+
+
+def verdict_of(result: VerificationResult,
+               with_bugs: bool = True) -> Optional[Dict]:
+    """The JSON-safe cacheable form of a partition result, or None when
+    its bugs do not serialize (the run stays live, the cache untouched)."""
+    verdict = {
+        "verified": result.verified,
+        "verdict": result.verdict,
+        "unknown_reason": result.unknown_reason,
+        "solver_checks": result.solver_checks,
+        "spurious_mismatches": result.spurious_mismatches,
+        "elapsed_seconds": result.elapsed_seconds,
+        "layers": [
+            {
+                "name": layer.name,
+                "route": layer.route,
+                "elapsed_seconds": layer.elapsed_seconds,
+                "paths": layer.paths,
+                "cases": layer.cases,
+                "verified": layer.verified,
+            }
+            for layer in result.layers
+        ],
+        "bugs": [],
+    }
+    if with_bugs:
+        try:
+            verdict["bugs"] = [bug_to_json(b) for b in result.bugs]
+        except SerializationError:
+            return None
+    return verdict
+
+
+def replay_bugs(verdict: Dict) -> Optional[List[BugReport]]:
+    try:
+        return [bug_from_json(b) for b in verdict["bugs"]]
+    except (SerializationError, KeyError, TypeError, ValueError):
+        return None
+
+
+def merge_partition(merged: VerificationResult, part_key: str, verdict: Dict,
+                    bugs: List[BugReport], cached: bool) -> None:
+    """Fold one partition verdict into the merged result. Called in the
+    stable :meth:`IncrementalVerifier._partitions` order regardless of
+    how (or where) the verdicts were computed."""
+    merged.bugs.extend(bugs)
+    merged.verified = merged.verified and verdict["verified"]
+    if (
+        verdict.get("verdict") == verdicts_mod.UNKNOWN
+        and merged.unknown_reason is None
+    ):
+        merged.unknown_reason = verdict.get("unknown_reason")
+    merged.spurious_mismatches += verdict.get("spurious_mismatches", 0)
+    for layer in verdict.get("layers", ()):
+        merged.layers.append(
+            LayerResult(
+                f"{part_key}:{layer['name']}",
+                "replay" if cached else layer["route"],
+                0.0 if cached else layer["elapsed_seconds"],
+                layer["paths"],
+                layer["cases"],
+                layer["verified"],
+            )
+        )
+
+
+def finalize_merged(merged: VerificationResult) -> None:
+    """Canonical bug order and the overall typed verdict of a merged
+    (partitioned) result."""
+    merged.bugs.sort(key=bug_sort_key)
+    merged.verified = merged.verified and not merged.bugs
+    if any(bug.validated for bug in merged.bugs):
+        merged.verdict = verdicts_mod.BUG
+    elif merged.unknown_reason is not None:
+        merged.verdict = verdicts_mod.UNKNOWN
+    elif not merged.verified:
+        merged.verdict = verdicts_mod.UNKNOWN
+        merged.unknown_reason = verdicts_mod.REASON_UNVALIDATED
+    else:
+        merged.verdict = verdicts_mod.VERIFIED
+
+
+def deadline_verdict() -> Dict:
+    """The synthetic verdict of a partition whose worker stalled past the
+    pool's grace period: coverage lost, typed as UNKNOWN — never cached."""
+    return {
+        "verified": False,
+        "verdict": verdicts_mod.UNKNOWN,
+        "unknown_reason": verdicts_mod.REASON_DEADLINE,
+        "solver_checks": 0,
+        "spurious_mismatches": 0,
+        "elapsed_seconds": 0.0,
+        "layers": [],
+        "bugs": [],
+    }
+
+
 @dataclass
 class ReuseStats:
     """How much of one incremental run was replayed from the cache."""
@@ -138,12 +241,24 @@ class IncrementalVerifier:
         version: str = "verified",
         cache: Optional[SummaryCache] = None,
         depth: Optional[int] = None,
+        workers: Optional[int] = None,
+        options=None,
         **session_kwargs,
     ) -> None:
         self.zone = zone
         self.version = version
         self.cache = cache if cache is not None else SummaryCache(memory_only=True)
         self.depth = depth
+        #: None = recompute misses sequentially with live sessions (the
+        #: historical path). Any integer routes misses through the
+        #: :mod:`repro.parallel` pool — including 1, so worker counts are
+        #: interchangeable (they all run the same worker code and the same
+        #: JSON round-trip).
+        self.workers = workers
+        #: Plain-data knobs shipped to pool workers (live ``session_kwargs``
+        #: objects such as a custom solver cannot cross the boundary and are
+        #: only honoured on the sequential path).
+        self.options = options
         self.session_kwargs = session_kwargs
 
     # -- the delta entry point -----------------------------------------------
@@ -172,44 +287,47 @@ class IncrementalVerifier:
         reused: List[str] = []
         recomputed: List[str] = []
 
-        for part in self._partitions():
-            key = self._verdict_key(part)
+        # Plan first: partitions in stable order, each with its cache
+        # verdict (when replayable). Misses are then recomputed — live and
+        # in order on the sequential path, pooled when ``workers`` is set —
+        # and everything merges back in plan order, so the merged result
+        # is independent of where or in what order misses were computed.
+        plan = [(part, self._verdict_key(part)) for part in self._partitions()]
+        cached: Dict[int, Tuple[Dict, List[BugReport]]] = {}
+        for position, (part, key) in enumerate(plan):
             verdict = self.cache.get("partition", key)
             if verdict is not None:
-                replayed_bugs = self._replay_bugs(verdict)
-                if replayed_bugs is not None:
-                    reused.append(part.key)
-                    stats.reused_checks += verdict.get("solver_checks", 0)
-                    self._merge(merged, part.key, verdict, replayed_bugs,
-                                cached=True)
-                    continue
-            result = self._verify_partition(part)
-            verdict = self._verdict_of(result)
-            cacheable = verdict is not None and result.verdict in (
-                verdicts_mod.VERIFIED, verdicts_mod.BUG
-            )
-            if cacheable:
-                # UNKNOWN/ERROR verdicts reflect a budget or environment,
-                # not zone content — never pin them in the cache.
-                self.cache.put("partition", key, verdict)
-            if verdict is None:
-                verdict = self._verdict_of(result, with_bugs=False)
-            recomputed.append(part.key)
-            merged.solver_checks += result.solver_checks
-            self._merge(merged, part.key, verdict, result.bugs, cached=False)
-
-        merged.bugs.sort(key=bug_sort_key)
-        merged.verified = merged.verified and not merged.bugs
-        if any(bug.validated for bug in merged.bugs):
-            merged.verdict = verdicts_mod.BUG
-        elif merged.unknown_reason is not None:
-            merged.verdict = verdicts_mod.UNKNOWN
-        elif not merged.verified:
-            merged.verdict = verdicts_mod.UNKNOWN
-            merged.unknown_reason = verdicts_mod.REASON_UNVALIDATED
+                replayed = replay_bugs(verdict)
+                if replayed is not None:
+                    cached[position] = (verdict, replayed)
+        misses = [p for p in range(len(plan)) if p not in cached]
+        if self.workers is None:
+            fresh = {p: self._recompute_live(*plan[p]) for p in misses}
         else:
-            merged.verdict = verdicts_mod.VERIFIED
+            fresh = self._recompute_pooled(plan, misses)
+
+        phase_totals: Dict[str, float] = {}
+        for position, (part, key) in enumerate(plan):
+            if position in cached:
+                verdict, bugs = cached[position]
+                reused.append(part.key)
+                stats.reused_checks += verdict.get("solver_checks", 0)
+                merge_partition(merged, part.key, verdict, bugs, cached=True)
+                continue
+            verdict, bugs, checks, phases = fresh[position]
+            recomputed.append(part.key)
+            merged.solver_checks += checks
+            for phase, seconds in (phases or {}).items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+            merge_partition(merged, part.key, verdict, bugs, cached=False)
+
+        finalize_merged(merged)
         merged.elapsed_seconds = time.perf_counter() - started
+        if phase_totals:
+            merged.phase_seconds = {
+                phase: round(seconds, 6)
+                for phase, seconds in sorted(phase_totals.items())
+            }
         stats.partitions_total = len(reused) + len(recomputed)
         stats.partitions_reused = len(reused)
         stats.partitions_recomputed = len(recomputed)
@@ -218,6 +336,102 @@ class IncrementalVerifier:
         stats.fresh_checks = merged.solver_checks
         stats.cache = self.cache.stats()
         return IncrementalOutcome(merged, stats)
+
+    # -- miss recomputation ----------------------------------------------------
+
+    def _recompute_live(
+        self, part: Partition, key: Dict
+    ) -> Tuple[Dict, List[BugReport], int, Dict[str, float]]:
+        """One cache miss, computed in-process with a live session (the
+        sequential path; also the fallback when a pool worker's bugs do
+        not serialize — live objects never cross a process boundary)."""
+        result = self._verify_partition(part)
+        verdict = verdict_of(result)
+        cacheable = verdict is not None and result.verdict in (
+            verdicts_mod.VERIFIED, verdicts_mod.BUG
+        )
+        if cacheable:
+            # UNKNOWN/ERROR verdicts reflect a budget or environment,
+            # not zone content — never pin them in the cache.
+            self.cache.put("partition", key, verdict)
+        if verdict is None:
+            verdict = verdict_of(result, with_bugs=False)
+        return verdict, result.bugs, result.solver_checks, result.phase_seconds
+
+    def _recompute_pooled(
+        self, plan: List[Tuple[Partition, Dict]], misses: List[int]
+    ) -> Dict[int, Tuple[Dict, List[BugReport], int, Dict[str, float]]]:
+        """Cache misses through the process pool (``workers`` set).
+
+        Cache writes stay in the parent (one writer per run; workers only
+        write summary/refinement entries through their own handles). A
+        worker death falls back to a live in-parent recompute — same
+        inputs, same deterministic outcome; a stall degrades the
+        partition to ``UNKNOWN(wall-clock-deadline)``.
+        """
+        import pickle
+
+        from repro.parallel.counters import perf_phases
+        from repro.parallel.pool import OK, TIMEOUT, run_units
+        from repro.parallel.worker import partition_worker
+
+        options = self._worker_options()
+        zone_blob = pickle.dumps(self.zone)
+        payloads = [
+            {
+                "index": p,  # stable plan position → deterministic fault plan
+                "zone_pickle": zone_blob,
+                "part_key": plan[p][0].key,
+                "version": self.version,
+                "options": options.to_json(),
+            }
+            for p in misses
+        ]
+        grace = None
+        if options.budget_seconds is not None:
+            grace = 3.0 * options.budget_seconds + 30.0
+        fresh: Dict[int, Tuple[Dict, List[BugReport], int, Dict[str, float]]] = {}
+        for pos, status, value in run_units(
+            partition_worker, payloads, self.workers, grace
+        ):
+            position = misses[pos]
+            part, key = plan[position]
+            if status == OK and value is not None and value["verdict"] is not None:
+                verdict = value["verdict"]
+                bugs = replay_bugs(verdict)
+                if bugs is not None:
+                    if verdict.get("verdict") in (
+                        verdicts_mod.VERIFIED, verdicts_mod.BUG
+                    ):
+                        self.cache.put("partition", key, verdict)
+                    fresh[position] = (
+                        verdict,
+                        bugs,
+                        verdict.get("solver_checks", 0),
+                        perf_phases(value.get("perf")),
+                    )
+                    continue
+            if status == TIMEOUT:
+                fresh[position] = (deadline_verdict(), [], 0, {})
+                continue
+            # Worker died, its bugs did not serialize, or the replay
+            # failed: recompute live in the parent.
+            fresh[position] = self._recompute_live(part, key)
+        return fresh
+
+    def _worker_options(self):
+        """The plain-data options shipped to partition workers."""
+        from repro.core.options import VerifyOptions
+
+        base = self.options if self.options is not None else VerifyOptions()
+        cache_dir = None
+        if not self.cache.memory_only:
+            cache_dir = str(self.cache.cache_dir)
+        changes: Dict[str, object] = {"depth": self.depth, "cache_dir": cache_dir}
+        for knob in ("max_paths", "max_steps"):
+            if knob in self.session_kwargs:
+                changes[knob] = self.session_kwargs[knob]
+        return base.with_(**changes)
 
     # -- internals -------------------------------------------------------------
 
@@ -252,74 +466,30 @@ class IncrementalVerifier:
         }
 
     def _verify_partition(self, part: Partition) -> VerificationResult:
+        kwargs = dict(self.session_kwargs)
+        if self.options is not None and "budget" not in kwargs:
+            # Same rule as the pool workers: a fresh budget per partition,
+            # so the in-parent fallback is indistinguishable from a worker.
+            kwargs["budget"] = self.options.make_budget()
         session = VerificationSession(
             self.zone,
             self.version,
             depth=self.depth,
             cache=self.cache,
-            **self.session_kwargs,
+            **kwargs,
         )
         if part.key != "full":
             session.restrict(part.preconditions(session.query_encoding))
-        return session.verify()
+        use_summaries = True
+        if self.options is not None:
+            use_summaries = self.options.use_summaries
+        return session.verify(use_summaries=use_summaries)
 
-    @staticmethod
-    def _verdict_of(result: VerificationResult,
-                    with_bugs: bool = True) -> Optional[Dict]:
-        """The JSON-safe cacheable form of a partition result, or None when
-        its bugs do not serialize (the run stays live, the cache untouched)."""
-        verdict = {
-            "verified": result.verified,
-            "verdict": result.verdict,
-            "unknown_reason": result.unknown_reason,
-            "solver_checks": result.solver_checks,
-            "spurious_mismatches": result.spurious_mismatches,
-            "elapsed_seconds": result.elapsed_seconds,
-            "layers": [
-                {
-                    "name": layer.name,
-                    "route": layer.route,
-                    "elapsed_seconds": layer.elapsed_seconds,
-                    "paths": layer.paths,
-                    "cases": layer.cases,
-                    "verified": layer.verified,
-                }
-                for layer in result.layers
-            ],
-            "bugs": [],
-        }
-        if with_bugs:
-            try:
-                verdict["bugs"] = [bug_to_json(b) for b in result.bugs]
-            except SerializationError:
-                return None
-        return verdict
-
-    @staticmethod
-    def _replay_bugs(verdict: Dict) -> Optional[List[BugReport]]:
-        try:
-            return [bug_from_json(b) for b in verdict["bugs"]]
-        except (SerializationError, KeyError, TypeError, ValueError):
-            return None
+    # Kept as aliases for backward compatibility; the logic moved to the
+    # module level so pool workers can share it.
+    _verdict_of = staticmethod(verdict_of)
+    _replay_bugs = staticmethod(replay_bugs)
 
     def _merge(self, merged: VerificationResult, part_key: str, verdict: Dict,
                bugs: List[BugReport], cached: bool) -> None:
-        merged.bugs.extend(bugs)
-        merged.verified = merged.verified and verdict["verified"]
-        if (
-            verdict.get("verdict") == verdicts_mod.UNKNOWN
-            and merged.unknown_reason is None
-        ):
-            merged.unknown_reason = verdict.get("unknown_reason")
-        merged.spurious_mismatches += verdict.get("spurious_mismatches", 0)
-        for layer in verdict.get("layers", ()):
-            merged.layers.append(
-                LayerResult(
-                    f"{part_key}:{layer['name']}",
-                    "replay" if cached else layer["route"],
-                    0.0 if cached else layer["elapsed_seconds"],
-                    layer["paths"],
-                    layer["cases"],
-                    layer["verified"],
-                )
-            )
+        merge_partition(merged, part_key, verdict, bugs, cached)

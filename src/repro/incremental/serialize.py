@@ -399,6 +399,7 @@ def result_to_json(result: VerificationResult, cache_stats: Optional[Dict] = Non
         "error_class": result.error_class,
         "error_detail": result.error_detail,
         "partial": None if result.partial is None else dict(result.partial),
+        "phase_seconds": dict(result.phase_seconds),
     }
     if cache_stats is not None:
         payload["cache"] = dict(cache_stats)
@@ -435,4 +436,5 @@ def result_from_json(data: Dict) -> VerificationResult:
     result.error_detail = data.get("error_detail", "")
     partial = data.get("partial")
     result.partial = dict(partial) if partial is not None else None
+    result.phase_seconds = dict(data.get("phase_seconds") or {})
     return result

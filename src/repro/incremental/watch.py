@@ -85,10 +85,18 @@ class WatchDaemon:
         retry: Optional[RetryPolicy] = None,
         max_failures: int = 5,
         sleep: Callable[[float], None] = time.sleep,
+        workers: Optional[int] = None,
+        options=None,
     ) -> None:
         self.zone_path = os.fspath(zone_path)
         self.version = version
         self.cache = cache if cache is not None else SummaryCache(memory_only=True)
+        #: Forwarded to :class:`IncrementalVerifier`: ``workers`` routes
+        #: partition recomputes through the process pool, ``options``
+        #: (a :class:`~repro.core.options.VerifyOptions`) carries the
+        #: per-partition budget and executor knobs.
+        self.workers = workers
+        self.options = options
         self.interval = interval
         self.log = log if log is not None else self._default_log
         self.retry = retry if retry is not None else RetryPolicy()
@@ -152,7 +160,10 @@ class WatchDaemon:
             )
 
         if self.verifier is None:
-            self.verifier = IncrementalVerifier(zone, self.version, cache=self.cache)
+            self.verifier = IncrementalVerifier(
+                zone, self.version, cache=self.cache,
+                workers=self.workers, options=self.options,
+            )
             outcome = self.verifier.verify_current()
             reason = "initial"
         else:

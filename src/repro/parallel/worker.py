@@ -1,0 +1,120 @@
+"""Top-level worker functions the process pool executes.
+
+Both workers take one JSON/pickle-safe payload dict and return a
+JSON-safe dict — the contract :func:`repro.parallel.pool.run_units`
+needs for any start method. They are deliberately thin: each one
+reconstructs its inputs, delegates to the *same* code the sequential
+paths run (:func:`repro.core.campaign.run_unit` for campaign units, a
+restricted :class:`~repro.core.pipeline.VerificationSession` for
+query-space partitions), and serializes the outcome. Determinism across
+worker counts follows from that sharing plus three per-unit rules:
+
+- every unit builds a **fresh budget** from the options (the bound is
+  per unit, not per run, so completion order cannot move a deadline);
+- every unit derives its **own fault plan** from the spec and its stable
+  unit id (:func:`repro.resilience.faults.unit_plan`) — global consult
+  order would be scheduler-dependent;
+- every unit opens its **own cache handle** on the shared directory
+  (entry publication is atomic; keys of distinct units are disjoint).
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import nullcontext
+from typing import Dict
+
+from repro.resilience import faults as faults_mod
+
+
+def _options_of(payload: Dict):
+    from repro.core.options import VerifyOptions
+
+    return VerifyOptions.from_json(payload["options"])
+
+
+def campaign_unit_worker(payload: Dict) -> Dict:
+    """Verify one campaign unit (zone × version) and ship its verdict.
+
+    Payload: ``index`` (stable unit id), ``zone_pickle`` (the parent
+    already generated/loaded the zone — workers never re-generate, so
+    explicit zone lists and generated streams behave identically),
+    ``version``, ``options`` (:meth:`VerifyOptions.to_json`).
+
+    The unsoundness cross-check (differential refutes, proof passes)
+    raises here exactly as it does sequentially; the pool propagates it
+    to the parent, which aborts the campaign.
+    """
+    from repro.core.campaign import run_unit
+    from repro.parallel.counters import unit_perf
+
+    index = payload["index"]
+    zone = pickle.loads(payload["zone_pickle"])
+    options = _options_of(payload)
+    cache = options.make_cache()
+    plan = faults_mod.unit_plan(options.faults, index)
+    scope = faults_mod.active(plan) if plan is not None else nullcontext()
+    with scope:
+        verdict, result = run_unit(
+            index,
+            zone,
+            payload["version"],
+            smoke_first=options.smoke_first,
+            cache=cache,
+            budget_seconds=options.budget_seconds,
+            budget_fuel=options.fuel,
+        )
+    return {
+        "index": index,
+        "verdict": verdict.to_json(),
+        "perf": unit_perf(result, cache),
+    }
+
+
+def partition_worker(payload: Dict) -> Dict:
+    """Verify one query-space partition of one zone.
+
+    Payload: ``zone_pickle``, ``part_key`` (a
+    :class:`~repro.incremental.delta.Partition` key string — the
+    partition is reconstructed from it alone), ``version``, ``options``,
+    and optionally ``index`` (the partition's stable plan position,
+    seeding its per-unit fault plan).
+
+    Returns the partition's cacheable verdict dict (the same shape
+    :class:`~repro.incremental.engine.IncrementalVerifier` stores) plus
+    perf. ``verdict`` is None when the partition's bugs do not
+    serialize; the parent then recomputes that partition in-process to
+    keep the live bug objects, exactly as the sequential path would.
+    """
+    from repro.core.pipeline import VerificationSession
+    from repro.incremental.delta import Partition
+    from repro.incremental.engine import verdict_of
+    from repro.parallel.counters import unit_perf
+
+    zone = pickle.loads(payload["zone_pickle"])
+    part = Partition(payload["part_key"])
+    options = _options_of(payload)
+    cache = options.make_cache()
+    if cache is None:
+        from repro.incremental.cache import SummaryCache
+
+        cache = SummaryCache(memory_only=True)
+    plan = faults_mod.unit_plan(options.faults, payload.get("index", 0))
+    scope = faults_mod.active(plan) if plan is not None else nullcontext()
+    with scope:
+        session = VerificationSession(
+            zone,
+            payload["version"],
+            cache=cache,
+            budget=options.make_budget(),
+            **options.session_kwargs(),
+        )
+        if part.key != "full":
+            session.restrict(part.preconditions(session.query_encoding))
+        result = session.verify(use_summaries=options.use_summaries)
+    return {
+        "part_key": part.key,
+        "verdict": verdict_of(result),
+        "solver_checks": result.solver_checks,
+        "perf": unit_perf(result, cache),
+    }

@@ -133,6 +133,52 @@ class FaultPlan:
         return {"consults": dict(self.consults), "fired": dict(self.fired)}
 
 
+# -- spec strings ------------------------------------------------------------
+
+#: Mixes a unit id into a seeded spec's seed; any odd constant works, it
+#: only needs to be stable so ``workers=1`` and ``workers=8`` agree.
+_UNIT_SEED_STRIDE = 1_000_003
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse the CLI/facade fault-spec string.
+
+    ``seed:<N>[:<rate>]`` builds a seeded plan; ``site=count,...`` (e.g.
+    ``cache.read=2,solver.exhaust=10``) builds a scripted one.
+    """
+    if spec.startswith("seed:"):
+        parts = spec.split(":")
+        seed = int(parts[1])
+        rate = float(parts[2]) if len(parts) > 2 else 0.1
+        return FaultPlan.seeded(seed, rate=rate)
+    script: Dict[str, int] = {}
+    for item in spec.split(","):
+        site, _, count = item.partition("=")
+        script[site.strip()] = int(count) if count else 1
+    return FaultPlan.scripted(script)
+
+
+def unit_plan(spec: Optional[str], unit_id: int) -> Optional[FaultPlan]:
+    """A fresh plan for one parallel unit, deterministic in ``unit_id``.
+
+    A whole-run plan consults sites in global order, which worker
+    scheduling would scramble; instead every unit derives its own plan
+    from the spec and its stable id. Seeded specs fold the id into the
+    seed (each unit draws an independent but reproducible stream);
+    scripted specs are re-instantiated per unit (the script fires the same
+    way in every unit). Either way the injection a unit sees depends only
+    on ``(spec, unit_id)`` — never on worker count or completion order.
+    """
+    if spec is None:
+        return None
+    if spec.startswith("seed:"):
+        parts = spec.split(":")
+        seed = int(parts[1])
+        rate = float(parts[2]) if len(parts) > 2 else 0.1
+        return FaultPlan.seeded(seed * _UNIT_SEED_STRIDE + unit_id, rate=rate)
+    return parse_spec(spec)
+
+
 # -- process-global plan registry -------------------------------------------
 
 _active_plan: Optional[FaultPlan] = None
