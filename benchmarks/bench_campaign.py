@@ -67,6 +67,8 @@ def run_worker_curve(num_zones, worker_counts):
             "compile_seconds": perf["compile_seconds"],
             "summarize_seconds": perf["summarize_seconds"],
             "solve_seconds": perf["solve_seconds"],
+            "solver_checks_avoided": perf.get("solver_checks_avoided", 0),
+            "guards_pruned": perf.get("guards_pruned", 0),
         })
     base = rows[0]["wall_seconds"]
     for row in rows:

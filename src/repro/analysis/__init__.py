@@ -1,0 +1,61 @@
+"""Static analysis over AbsLLVM: CFGs, dataflow, panic pruning, linting.
+
+Two consumers:
+
+- the verification pipeline runs :func:`repro.analysis.prune.prune_module`
+  between compilation and symbolic execution, discharging panic guards the
+  abstract domains prove dead so the executor skips their solver queries;
+- ``repro lint`` runs :mod:`repro.analysis.lint` over engine sources,
+  reporting restricted-subset violations, dead code, use-before-def, and
+  the anti-modularity smells (section 7's lessons) with stable rule ids.
+"""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import DataflowResult, Domain, analyze
+from repro.analysis.domains import (
+    DiffBounds,
+    GuardDomain,
+    Interval,
+    interval_of,
+    nullness_of,
+)
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    lint_module,
+    lint_version,
+    lint_versions,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from repro.analysis.prune import (
+    FunctionPruneReport,
+    PruneReport,
+    prune_function,
+    prune_module,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_module",
+    "lint_version",
+    "lint_versions",
+    "load_baseline",
+    "new_findings",
+    "save_baseline",
+    "CFG",
+    "DataflowResult",
+    "Domain",
+    "analyze",
+    "DiffBounds",
+    "GuardDomain",
+    "Interval",
+    "interval_of",
+    "nullness_of",
+    "FunctionPruneReport",
+    "PruneReport",
+    "prune_function",
+    "prune_module",
+]

@@ -1,0 +1,127 @@
+"""Control-flow graphs and dominator trees over AbsLLVM functions.
+
+The CFG is the substrate every static analysis in this package shares:
+successor/predecessor maps, entry-reachability, a reverse postorder
+(the canonical worklist order for forward dataflow), and the immediate
+dominator tree computed with the Cooper–Harvey–Kennedy iterative
+algorithm ("A Simple, Fast Dominance Algorithm"). Everything is derived
+once from the function's terminators and never mutates the function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Successors, predecessors, reachability, RPO and dominators of one
+    function. Construction is O(blocks + edges) plus the dominator
+    fixpoint (linear in practice on reducible frontend CFGs)."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.entry = function.entry_label
+        self.succs: Dict[str, Tuple[str, ...]] = {}
+        self.preds: Dict[str, List[str]] = {label: [] for label in function.blocks}
+        for label, block in function.blocks.items():
+            targets = ()
+            if block.terminator is not None:
+                targets = tuple(
+                    t for t in block.terminator.successors() if t in function.blocks
+                )
+            self.succs[label] = targets
+            for target in targets:
+                self.preds[target].append(label)
+        self.rpo: List[str] = self._reverse_postorder()
+        self.rpo_index: Dict[str, int] = {
+            label: i for i, label in enumerate(self.rpo)
+        }
+        self.reachable = frozenset(self.rpo)
+        self.idom: Dict[str, Optional[str]] = self._dominators()
+
+    # -- orders and reachability -------------------------------------------
+
+    def _reverse_postorder(self) -> List[str]:
+        order: List[str] = []
+        seen = set()
+        # Iterative DFS with an explicit "exit" marker so deep CFGs cannot
+        # hit the recursion limit.
+        stack: List[Tuple[str, bool]] = [(self.entry, False)] if self.entry else []
+        while stack:
+            label, done = stack.pop()
+            if done:
+                order.append(label)
+                continue
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.append((label, True))
+            for succ in reversed(self.succs[label]):
+                if succ not in seen:
+                    stack.append((succ, False))
+        order.reverse()
+        return order
+
+    def unreachable(self) -> List[str]:
+        """Blocks no path from entry reaches, in insertion order."""
+        return [l for l in self.function.blocks if l not in self.reachable]
+
+    # -- dominators ---------------------------------------------------------
+
+    def _dominators(self) -> Dict[str, Optional[str]]:
+        idom: Dict[str, Optional[str]] = {label: None for label in self.rpo}
+        if not self.rpo:
+            return idom
+        entry = self.rpo[0]
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for label in self.rpo[1:]:
+                candidates = [
+                    p for p in self.preds[label]
+                    if p in idom and idom[p] is not None
+                ]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for other in candidates[1:]:
+                    new = self._intersect(new, other, idom)
+                if idom[label] != new:
+                    idom[label] = new
+                    changed = True
+        idom[entry] = None  # the entry has no immediate dominator
+        return idom
+
+    def _intersect(self, a: str, b: str, idom) -> str:
+        # During the fixpoint idom[entry] == entry, so the two-finger walk
+        # always meets (at entry in the worst case).
+        index = self.rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when every entry→``b`` path passes through ``a``."""
+        if a not in self.reachable or b not in self.reachable:
+            return False
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def dominator_tree(self) -> Dict[str, List[str]]:
+        """Children lists keyed by parent label (RPO-ordered)."""
+        tree: Dict[str, List[str]] = {label: [] for label in self.rpo}
+        for label in self.rpo:
+            parent = self.idom[label]
+            if parent is not None:
+                tree[parent].append(label)
+        return tree

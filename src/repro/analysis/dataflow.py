@@ -1,0 +1,131 @@
+"""A generic forward worklist dataflow engine over AbsLLVM CFGs.
+
+A :class:`Domain` supplies the lattice (``join``/``equal``/``widen``),
+the transfer function over straight-line instructions, and an optional
+*edge refinement* that sharpens (or kills, by returning ``None``) the
+state flowing along a specific CFG edge — how branch conditions become
+facts. :func:`analyze` drives the classic worklist-to-fixpoint loop in
+reverse postorder and returns the state at every reachable block entry.
+
+Termination: the engine counts visits per block and switches the join to
+``domain.widen`` once a block has been visited ``widen_after`` times, so
+infinite-ascending-chain domains (intervals, difference bounds) still
+converge. Determinism: blocks leave the worklist in reverse postorder
+and domains are required to name any fresh abstract values after stable
+program points (register names, block labels), never after iteration
+counts — the fixpoint is then a pure function of the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import BasicBlock, Function
+
+
+class Domain:
+    """Interface a dataflow domain implements. States are opaque to the
+    engine; only the domain ever looks inside them."""
+
+    def entry_state(self, function: Function):
+        raise NotImplementedError
+
+    def copy(self, state):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+    def equal(self, a, b) -> bool:
+        raise NotImplementedError
+
+    def widen(self, old, new):
+        """Accelerated join applied after ``widen_after`` visits; the
+        default is plain join (fine for finite-height domains)."""
+        return self.join(old, new)
+
+    def transfer(self, state, insn, label: str, index: int):
+        """State after ``insn``; may mutate and return ``state``."""
+        raise NotImplementedError
+
+    def edge(self, state, block: BasicBlock, succ: str):
+        """Refine ``state`` along the edge ``block → succ``; return None
+        to declare the edge infeasible. Default: pass through."""
+        return state
+
+
+class DataflowResult:
+    """The fixpoint: state at each reachable block entry, plus enough
+    context to replay states at arbitrary program points."""
+
+    def __init__(self, function: Function, cfg: CFG, domain: Domain,
+                 block_in: Dict[str, object], visits: Dict[str, int]):
+        self.function = function
+        self.cfg = cfg
+        self.domain = domain
+        self.block_in = block_in
+        self.visits = visits
+
+    def state_at_terminator(self, label: str):
+        """The abstract state just before ``label``'s terminator, or None
+        when the block is unreachable."""
+        entry = self.block_in.get(label)
+        if entry is None:
+            return None
+        state = self.domain.copy(entry)
+        block = self.function.blocks[label]
+        for index, insn in enumerate(block.instructions):
+            state = self.domain.transfer(state, insn, label, index)
+        return state
+
+
+def analyze(function: Function, domain: Domain, cfg: Optional[CFG] = None,
+            widen_after: int = 12, max_visits: int = 200) -> DataflowResult:
+    """Run ``domain`` to fixpoint over ``function``.
+
+    ``widen_after`` bounds how many precise joins a block gets before
+    widening kicks in; ``max_visits`` is a hard safety valve — exceeding
+    it means the domain's widening is broken, and raises.
+    """
+    if cfg is None:
+        cfg = CFG(function)
+    block_in: Dict[str, object] = {}
+    visits: Dict[str, int] = {label: 0 for label in function.blocks}
+    if cfg.entry is None:
+        return DataflowResult(function, cfg, domain, block_in, visits)
+
+    block_in[cfg.entry] = domain.entry_state(function)
+    # Worklist keyed by RPO position: pop the earliest pending block so
+    # loop bodies stabilise before their exits are processed.
+    pending = {cfg.entry}
+    while pending:
+        label = min(pending, key=lambda l: cfg.rpo_index[l])
+        pending.discard(label)
+        visits[label] += 1
+        if visits[label] > max_visits:
+            raise RuntimeError(
+                f"dataflow did not converge at {function.name}:{label} "
+                f"after {max_visits} visits (widening bug?)"
+            )
+        state = domain.copy(block_in[label])
+        block = function.blocks[label]
+        for index, insn in enumerate(block.instructions):
+            state = domain.transfer(state, insn, label, index)
+        for succ in cfg.succs[label]:
+            out = domain.edge(domain.copy(state), block, succ)
+            if out is None:
+                continue  # proved infeasible: contributes nothing
+            old = block_in.get(succ)
+            if old is None:
+                block_in[succ] = out
+                pending.add(succ)
+                continue
+            if visits[succ] >= widen_after:
+                new = domain.widen(old, out)
+            else:
+                new = domain.join(old, out)
+            if not domain.equal(old, new):
+                block_in[succ] = new
+                pending.add(succ)
+    return DataflowResult(function, cfg, domain, block_in, visits)

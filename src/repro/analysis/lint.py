@@ -1,0 +1,574 @@
+"""The GoPy anti-modularity linter.
+
+The paper's Figure 3 observation — production Go engine code communicates
+through exposed struct fields and boolean control flags rather than
+interfaces — is what made layer boundaries hard to draw and summaries hard
+to name. This linter walks the frontend AST and the compiled IR of GoPy
+modules and reports exactly those smells, plus the mechanical hygiene the
+restricted subset demands, with stable rule ids and ``file:line:col``
+diagnostics (:func:`repro.frontend.errors.format_diagnostic`).
+
+Rule catalog (GP1xx subset, GP2xx dead code, GP3xx anti-modularity):
+
+========  ==================================================================
+GP101     construct outside the GoPy restricted subset (compiler rejection)
+GP201     IR basic block unreachable from the function entry
+GP202     slot possibly read before any store reaches it
+GP203     statement can never execute (follows return/break/continue)
+GP301     exposed struct field written across a layer boundary
+GP302     boolean control-flag parameter steers branches in the callee
+GP303     struct field read directly, bypassing the owner's accessors
+========  ==================================================================
+
+Layer boundaries come from :mod:`repro.core.layers` (the structs named as
+``ResultStruct`` in the interface config cross layer interfaces); accessor
+ownership is inferred from the GoPy library modules themselves — a module
+that defines two or more functions taking a struct as first parameter owns
+that struct (``nodestack`` owns ``NodeStack``). Baselines make the linter
+adoptable on a codebase that already exhibits the smells: findings are
+keyed *without* line numbers, so CI fails only on new findings, not on
+existing code drifting a few lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.frontend.errors import GoPyError, format_diagnostic
+
+#: Rule id -> one-line description (the catalog in docs/api.md mirrors this).
+RULES: Dict[str, str] = {
+    "GP101": "construct outside the GoPy restricted subset",
+    "GP201": "unreachable basic block",
+    "GP202": "possible use before assignment",
+    "GP203": "statement can never execute",
+    "GP301": "exposed struct field written across a layer boundary",
+    "GP302": "boolean control-flag parameter",
+    "GP303": "struct field read bypassing the owner module's accessors",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic.
+
+    ``detail`` is the line-number-free discriminator used in baseline keys
+    (a field name, a slot name, a block label) so findings stay stable as
+    unrelated code moves.
+    """
+
+    rule: str
+    path: str
+    line: Optional[int]
+    col: Optional[int]
+    module: str
+    function: str
+    message: str
+    detail: str = ""
+
+    def format(self) -> str:
+        return format_diagnostic(self.path, self.line, self.col,
+                                 self.rule, self.message)
+
+    def baseline_key(self) -> str:
+        return f"{self.module}:{self.function}:{self.rule}:{self.detail}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "module": self.module,
+            "function": self.function,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line or 0, finding.col or 0,
+            finding.rule, finding.detail)
+
+
+# ---------------------------------------------------------------------------
+# Boundary discovery
+# ---------------------------------------------------------------------------
+
+
+class _AnySession:
+    """Attribute sink so layer param builders run without a live session."""
+
+    def __getattr__(self, name):
+        return None
+
+
+def interface_structs() -> Set[str]:
+    """Struct types that cross a summarized-layer interface.
+
+    Read from the interface config (:mod:`repro.core.layers`) rather than
+    hard-coded, so redrawing a layer boundary retargets the linter too.
+    """
+    from repro.core.layers import resolution_layers
+    from repro.summary.params import ResultStruct
+
+    structs: Set[str] = set()
+    for layer in resolution_layers():
+        if layer.params is None:
+            continue
+        for spec in layer.params(_AnySession()):
+            if isinstance(spec, ResultStruct):
+                structs.add(spec.struct_name)
+    return structs
+
+
+def accessor_owners(
+    library_modules: Optional[Sequence[object]] = None,
+) -> Dict[str, str]:
+    """Struct name -> owning GoPy library module name.
+
+    A library module *owns* a struct when it defines at least two functions
+    taking that struct as their first annotated parameter — the accessor
+    set (``stack_push``/``stack_top``/``stack_is_empty`` make ``nodestack``
+    the owner of ``NodeStack``). Reads and writes of owned structs' fields
+    outside the owner are the Figure 3 anti-pattern.
+    """
+    if library_modules is None:
+        from repro.engine.gopy import nameops, nodestack, rawname
+
+        library_modules = (nameops, nodestack, rawname)
+    owners: Dict[str, str] = {}
+    for module in library_modules:
+        tree = _module_ast(module)
+        counts: Dict[str, int] = {}
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef) or not node.args.args:
+                continue
+            first = node.args.args[0].annotation
+            if isinstance(first, ast.Name):
+                counts[first.id] = counts.get(first.id, 0) + 1
+        for struct, count in counts.items():
+            if count >= 2:
+                owners[struct] = _module_name(module)
+    return owners
+
+
+def library_signatures(
+    library_modules: Optional[Sequence[object]] = None,
+) -> Dict[str, str]:
+    """Library function name -> returned struct type name.
+
+    Lets the linter type locals like ``stack = stack_new()`` so direct
+    field reads on them (the actual Figure 3 pattern — production code
+    builds the stack through the accessor, then indexes it by hand) are
+    caught, not just reads on annotated parameters.
+    """
+    if library_modules is None:
+        from repro.engine.gopy import nameops, nodestack, rawname
+
+        library_modules = (nameops, nodestack, rawname)
+    returns: Dict[str, str] = {}
+    for module in library_modules:
+        for node in _module_ast(module).body:
+            if (isinstance(node, ast.FunctionDef)
+                    and isinstance(node.returns, ast.Name)
+                    and node.returns.id[:1].isupper()):
+                returns[node.name] = node.returns.id
+    return returns
+
+
+# ---------------------------------------------------------------------------
+# AST rules
+# ---------------------------------------------------------------------------
+
+
+def _module_name(py_module) -> str:
+    return py_module.__name__.rsplit(".", 1)[-1]
+
+
+def _module_path(py_module) -> str:
+    return getattr(py_module, "__file__", None) or f"<{_module_name(py_module)}>"
+
+
+def _module_ast(py_module) -> ast.Module:
+    return ast.parse(textwrap.dedent(inspect.getsource(py_module)))
+
+
+def _param_struct_types(fdef: ast.FunctionDef) -> Dict[str, str]:
+    """Parameter name -> annotated struct type name (plain ``Name``
+    annotations only; ``list[int]`` etc. are not structs)."""
+    out: Dict[str, str] = {}
+    for arg in fdef.args.args:
+        if isinstance(arg.annotation, ast.Name):
+            out[arg.arg] = arg.annotation.id
+    return out
+
+
+def _bool_params(fdef: ast.FunctionDef) -> Set[str]:
+    return {
+        arg.arg
+        for arg in fdef.args.args
+        if isinstance(arg.annotation, ast.Name) and arg.annotation.id == "bool"
+    }
+
+
+def _flag_names(test: ast.expr) -> Iterable[Tuple[str, ast.expr]]:
+    """Bare parameter names (possibly negated) steering a branch test."""
+    if isinstance(test, ast.Name):
+        yield test.id, test
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        yield from _flag_names(test.operand)
+    elif isinstance(test, ast.BoolOp):
+        for value in test.values:
+            yield from _flag_names(value)
+
+
+def _lint_function_ast(
+    fdef: ast.FunctionDef,
+    module: str,
+    path: str,
+    layer_structs: Set[str],
+    owners: Dict[str, str],
+    lib_returns: Dict[str, str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    structs = _param_struct_types(fdef)
+    bools = _bool_params(fdef)
+
+    # Locals typed through a library constructor/accessor return value
+    # (``stack = stack_new()``): reads on these bypass accessors just as
+    # much as reads on parameters do.
+    local_structs: Dict[str, str] = {}
+    for node in ast.walk(fdef):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in lib_returns):
+            local_structs[node.targets[0].id] = lib_returns[node.value.func.id]
+
+    # GP302 — a bool parameter used as a branch condition: the callee runs
+    # in caller-selected modes, the smell that forced SymbolicBool summary
+    # parameters (section 6.4). One finding per flag, at its first test.
+    flagged: Set[str] = set()
+    for node in ast.walk(fdef):
+        if not isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            continue
+        for name, site in _flag_names(node.test):
+            if name in bools and name not in flagged:
+                flagged.add(name)
+                findings.append(Finding(
+                    "GP302", path, site.lineno, site.col_offset,
+                    module, fdef.name,
+                    f"boolean parameter '{name}' is a control flag "
+                    f"(steers branches in '{fdef.name}')",
+                    detail=name,
+                ))
+
+    # GP301 / GP303 — exposed-field traffic on structs that either cross a
+    # layer interface or have a dedicated accessor module.
+    seen: Set[Tuple[str, str]] = set()
+    for node in ast.walk(fdef):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)):
+                    continue
+                struct = structs.get(target.value.id)
+                if struct is None or owners.get(struct) == module:
+                    continue
+                if struct not in layer_structs and struct not in owners:
+                    continue
+                key = ("GP301", f"{struct}.{target.attr}")
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(Finding(
+                    "GP301", path, target.lineno, target.col_offset,
+                    module, fdef.name,
+                    f"writes exposed field {struct}.{target.attr} across "
+                    f"a layer boundary",
+                    detail=f"{struct}.{target.attr}",
+                ))
+        elif (isinstance(node, ast.Attribute)
+              and isinstance(node.ctx, ast.Load)
+              and isinstance(node.value, ast.Name)):
+            name = node.value.id
+            struct = structs.get(name) or local_structs.get(name)
+            owner = owners.get(struct) if struct else None
+            if owner is None or owner == module:
+                continue
+            key = ("GP303", f"{struct}.{node.attr}")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "GP303", path, node.lineno, node.col_offset,
+                module, fdef.name,
+                f"reads {struct}.{node.attr} directly; use the "
+                f"'{owner}' accessors",
+                detail=f"{struct}.{node.attr}",
+            ))
+
+    # GP203 — statements after an unconditional control transfer. The
+    # frontend silently drops these from the IR, so this is the only pass
+    # that can see them; one finding per dead region.
+    for stmts in _statement_lists(fdef):
+        for i, stmt in enumerate(stmts[:-1]):
+            if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+                dead = stmts[i + 1]
+                findings.append(Finding(
+                    "GP203", path, dead.lineno, dead.col_offset,
+                    module, fdef.name,
+                    "statement can never execute (follows "
+                    f"'{_transfer_word(stmt)}')",
+                    detail=f"after-{_transfer_word(stmt)}",
+                ))
+                break
+    return findings
+
+
+def _transfer_word(stmt: ast.stmt) -> str:
+    return type(stmt).__name__.lower()
+
+
+def _statement_lists(fdef: ast.FunctionDef) -> Iterable[List[ast.stmt]]:
+    yield fdef.body
+    for node in ast.walk(fdef):
+        for attr in ("body", "orelse"):
+            stmts = getattr(node, attr, None)
+            if isinstance(stmts, list) and stmts and node is not fdef:
+                yield stmts
+
+
+# ---------------------------------------------------------------------------
+# IR rules
+# ---------------------------------------------------------------------------
+
+
+def _lint_function_ir(function, module: str, path: str) -> List[Finding]:
+    from repro.ir import Alloca, Load, Panic, Store
+    from repro.ir.values import Register
+
+    findings: List[Finding] = []
+    cfg = CFG(function)
+
+    # GP201 — blocks the CFG cannot reach. Panic blocks are exempt: the
+    # pruning pass legitimately orphans those before sweeping.
+    for label in sorted(cfg.unreachable()):
+        block = function.blocks[label]
+        if isinstance(block.terminator, Panic):
+            continue
+        findings.append(Finding(
+            "GP201", path, block.source_line, None, module, function.name,
+            f"basic block '{label}' is unreachable from entry",
+            detail=f"block-{label}",
+        ))
+
+    # GP202 — definite assignment over stack slots: a load from a slot
+    # that some path reaches without a prior store. Must-analysis with
+    # intersection join; the frontend stores every parameter in the entry
+    # block, so parameters are covered without special cases.
+    slots = {
+        insn.dest.name
+        for block in function.blocks.values()
+        for insn in block.instructions
+        if isinstance(insn, Alloca)
+    }
+    if not slots:
+        return findings
+    assigned_in: Dict[str, Set[str]] = {}
+    order = [label for label in cfg.rpo if label in cfg.reachable]
+    flagged: Set[str] = set()
+    for _ in range(len(order) + 2):
+        changed = False
+        for label in order:
+            preds = [p for p in cfg.preds.get(label, ()) if p in assigned_in]
+            if label == function.entry_label:
+                current: Set[str] = set()
+            elif preds:
+                current = set.intersection(*(assigned_in[p] for p in preds))
+            else:
+                current = set()
+            for insn in function.blocks[label].instructions:
+                if (isinstance(insn, Store)
+                        and isinstance(insn.ptr, Register)
+                        and insn.ptr.name in slots):
+                    current.add(insn.ptr.name)
+            if assigned_in.get(label) != current:
+                assigned_in[label] = current
+                changed = True
+        if not changed:
+            break
+    for label in order:
+        preds = [p for p in cfg.preds.get(label, ()) if p in assigned_in]
+        if label == function.entry_label or not preds:
+            current = set()
+        else:
+            current = set.intersection(*(assigned_in[p] for p in preds))
+        block = function.blocks[label]
+        for insn in block.instructions:
+            if (isinstance(insn, Load)
+                    and isinstance(insn.ptr, Register)
+                    and insn.ptr.name in slots
+                    and insn.ptr.name not in current
+                    and insn.ptr.name not in flagged):
+                flagged.add(insn.ptr.name)
+                findings.append(Finding(
+                    "GP202", path, block.source_line, None,
+                    module, function.name,
+                    f"slot '{insn.ptr.name}' may be read before assignment",
+                    detail=insn.ptr.name,
+                ))
+            if (isinstance(insn, Store)
+                    and isinstance(insn.ptr, Register)
+                    and insn.ptr.name in slots):
+                current.add(insn.ptr.name)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Module / version entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_module(
+    py_module,
+    extern_ir: Sequence[object] = (),
+    layer_structs: Optional[Set[str]] = None,
+    owners: Optional[Dict[str, str]] = None,
+    lib_returns: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """Lint one GoPy module: AST rules, then (if it compiles) IR rules.
+
+    ``extern_ir`` are already-compiled :class:`repro.ir.Module` objects the
+    module's calls resolve against, exactly as in the verification
+    pipeline. A compilation failure is itself a finding (GP101), not an
+    exception — the linter reports, it does not crash.
+    """
+    from repro.frontend import compile_module
+
+    if layer_structs is None:
+        layer_structs = interface_structs()
+    if owners is None:
+        owners = accessor_owners()
+    if lib_returns is None:
+        lib_returns = library_signatures()
+    module = _module_name(py_module)
+    path = _module_path(py_module)
+
+    findings: List[Finding] = []
+    tree = _module_ast(py_module)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            findings.extend(
+                _lint_function_ast(node, module, path, layer_structs,
+                                   owners, lib_returns)
+            )
+
+    try:
+        ir_module = compile_module(py_module, extern_modules=extern_ir)
+    except GoPyError as exc:
+        findings.append(Finding(
+            exc.rule, path, exc.line, exc.col, module, "<module>",
+            exc.raw_message, detail="compile",
+        ))
+    else:
+        for function in ir_module.functions.values():
+            findings.extend(_lint_function_ir(function, module, path))
+    return sorted(findings, key=_sort_key)
+
+
+def lint_version(version: str) -> List[Finding]:
+    """Lint one engine version: the shared GoPy libraries, the version's
+    resolution module, and the top-level specification — the same module
+    set the verification pipeline compiles."""
+    from repro.engine import control
+    from repro.engine.gopy import nameops, nodestack
+    from repro.frontend import compile_module
+    from repro.spec import toplevel
+
+    layer_structs = interface_structs()
+    owners = accessor_owners()
+    lib_returns = library_signatures()
+    base_ir = [compile_module(nameops), compile_module(nodestack)]
+    findings: List[Finding] = []
+    for py_module, externs in (
+        (nameops, ()),
+        (nodestack, ()),
+        (control.ENGINE_VERSIONS[version], base_ir),
+        (toplevel, base_ir),
+    ):
+        findings.extend(lint_module(
+            py_module, externs, layer_structs, owners, lib_returns))
+    return sorted(findings, key=_sort_key)
+
+
+def lint_versions(versions: Sequence[str]) -> List[Finding]:
+    """Lint several versions, deduplicating the shared-module findings."""
+    merged: Dict[Tuple[str, Optional[int], str], Finding] = {}
+    for version in versions:
+        for finding in lint_version(version):
+            merged.setdefault(
+                (finding.baseline_key(), finding.line, finding.path), finding
+            )
+    return sorted(merged.values(), key=_sort_key)
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+def baseline_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    payload = {
+        "format": 1,
+        "rules": {rule: RULES[rule] for rule in sorted(
+            {f.rule for f in findings} & set(RULES))},
+        "findings": dict(sorted(baseline_counts(findings).items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    findings = payload.get("findings", {})
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Findings beyond what the baseline grandfathers, per key.
+
+    Keys carry no line numbers, so moving existing smells around does not
+    trip CI; only *additional* occurrences of a key (or new keys) do.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in sorted(findings, key=_sort_key):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

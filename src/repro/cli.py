@@ -61,6 +61,12 @@ def _runtime_parent() -> argparse.ArgumentParser:
     group.add_argument("--faults", default=None, metavar="SPEC",
                        help="fault plan: 'seed:<N>[:<rate>]' or "
                        "'site=count,...' (see repro.resilience.faults)")
+    group.add_argument("--no-analysis", action="store_true",
+                       help="skip the static panic-pruning pass (ablation: "
+                       "every panic guard goes to the solver)")
+    group.add_argument("--analysis-check", action="store_true",
+                       help="debug: re-ask the solver at each pruned guard "
+                       "site that the panic side really is infeasible")
     return parent
 
 
@@ -204,6 +210,59 @@ def cmd_faultdrill(args) -> int:
     report = fault_drill(args.version)
     print(report.describe())
     return 0 if report.clean else 1
+
+
+def cmd_lint(args) -> int:
+    """``repro lint``: the GoPy anti-modularity linter.
+
+    Without a baseline this is a report (exit 0). With ``--baseline`` it
+    becomes a gate: exit 1 only on findings the baseline does not
+    grandfather, so adopting the linter never requires a flag-day cleanup.
+    """
+    import json as json_mod
+    import os
+
+    from repro.analysis import lint as lint_mod
+
+    versions = (
+        sorted(control.ENGINE_VERSIONS)
+        if args.version == "all"
+        else [args.version]
+    )
+    findings = lint_mod.lint_versions(versions)
+
+    if args.update_baseline:
+        lint_mod.save_baseline(args.update_baseline, findings)
+        print(f"wrote {len(findings)} findings to {args.update_baseline}")
+        return 0
+
+    fresh = None
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"baseline {args.baseline} not found "
+                  f"(create it with --update-baseline)", file=sys.stderr)
+            return 2
+        fresh = lint_mod.new_findings(findings, lint_mod.load_baseline(args.baseline))
+
+    if args.json:
+        payload = {
+            "versions": versions,
+            "rules": lint_mod.RULES,
+            "findings": [f.to_dict() for f in findings],
+        }
+        if fresh is not None:
+            payload["new_findings"] = [f.to_dict() for f in fresh]
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        shown = findings if fresh is None else fresh
+        for finding in shown:
+            print(finding.format())
+        if fresh is None:
+            print(f"{len(findings)} finding(s)")
+        else:
+            print(f"{len(findings)} finding(s), "
+                  f"{len(fresh)} new vs {args.baseline}")
+    return 1 if fresh else 0
 
 
 def cmd_differential(args) -> int:
@@ -354,6 +413,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--version", default="verified", choices=versions)
     p.set_defaults(func=cmd_faultdrill)
+
+    p = sub.add_parser(
+        "lint",
+        help="GoPy linter: subset violations, dead code, use-before-def, "
+        "anti-modularity smells (stable GPxxx rule ids)",
+    )
+    p.add_argument("--version", default="all", choices=versions + ["all"],
+                   help="engine version to lint (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="grandfather the findings recorded in FILE; exit 1 "
+                   "only on new ones")
+    p.add_argument("--update-baseline", default=None, metavar="FILE",
+                   help="write the current findings to FILE and exit 0")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

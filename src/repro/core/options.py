@@ -60,6 +60,12 @@ class VerifyOptions:
     faults: Optional[str] = None
     #: Campaigns: run the differential smoke test before each proof.
     smoke_first: bool = True
+    #: Static analysis: run the panic-pruning pass between compilation and
+    #: symbolic execution. ``False`` is the ablation (and escape hatch).
+    analysis: bool = True
+    #: Debug cross-check: at the first symbolic crossing of each elided
+    #: guard, re-ask the solver that the panic side really is infeasible.
+    analysis_check: bool = False
 
     # -- derivation ---------------------------------------------------------
 
@@ -73,6 +79,8 @@ class VerifyOptions:
             "depth": self.depth,
             "max_paths": self.max_paths,
             "max_steps": self.max_steps,
+            "analysis": self.analysis,
+            "analysis_check": self.analysis_check,
         }
 
     def make_budget(self):
@@ -120,4 +128,9 @@ class VerifyOptions:
             "workers": getattr(args, "workers", None),
             "faults": getattr(args, "faults", None),
         }
-        return cls(**{k: v for k, v in fields.items() if v is not None})
+        options = cls(**{k: v for k, v in fields.items() if v is not None})
+        if getattr(args, "no_analysis", False):
+            options = options.with_(analysis=False)
+        if getattr(args, "analysis_check", False):
+            options = options.with_(analysis_check=True)
+        return options

@@ -56,7 +56,8 @@ def clear_ir_cache() -> None:
     _IR_CACHE.clear()
 
 
-def _compiled(py_module, externs: Sequence[Module] = ()) -> Module:
+def _compiled(py_module, externs: Sequence[Module] = (),
+              analysis: bool = False) -> Module:
     from repro.incremental.digest import source_digest
     from repro.resilience import faults
 
@@ -64,27 +65,38 @@ def _compiled(py_module, externs: Sequence[Module] = ()) -> Module:
 
     # Externs are already-compiled Modules; identity captures their
     # provenance (a re-compiled base module is a new object, so dependents
-    # recompile too).
+    # recompile too). The analysis flag is part of the key because the
+    # pruning pass rewrites the module in place — pruned and unpruned IR
+    # must never share a cache entry.
     key = (
         py_module.__name__,
         source_digest(py_module),
         tuple((module.name, id(module)) for module in externs),
+        analysis,
     )
     cached = _IR_CACHE.get(key)
     if cached is None:
         cached = compile_module(py_module, extern_modules=list(externs))
+        if analysis:
+            from repro.analysis import prune_module
+
+            cached.prune_report = prune_module(cached)
         _IR_CACHE[key] = cached
     return cached
 
 
-def compile_engine_modules(version: str) -> List[Module]:
+def compile_engine_modules(version: str, analysis: bool = False) -> List[Module]:
     """IR modules for one engine version plus the shared layers and the
-    top-level specification."""
-    base = [_compiled(nameops), _compiled(nodestack)]
+    top-level specification; ``analysis=True`` runs the panic-pruning
+    pass on each module as it is compiled."""
+    base = [
+        _compiled(nameops, analysis=analysis),
+        _compiled(nodestack, analysis=analysis),
+    ]
     version_module = control.ENGINE_VERSIONS[version]
     return base + [
-        _compiled(version_module, externs=base),
-        _compiled(toplevel, externs=base),
+        _compiled(version_module, externs=base, analysis=analysis),
+        _compiled(toplevel, externs=base, analysis=analysis),
     ]
 
 
@@ -167,6 +179,13 @@ class VerificationResult:
     #: the parallel executor's perf counters and the ``--json`` output.
     #: Timing-only: never part of any canonical/deterministic projection.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Static-analysis accounting (None when the run predates the pass):
+    #: ``enabled``, the static prune counts (``guards_total``/
+    #: ``guards_pruned``/``panic_blocks_removed``) and the runtime counters
+    #: (``panic_guard_checks``, ``pruned_guard_hits``,
+    #: ``solver_checks_avoided``). Counter-only — like ``solver_checks``,
+    #: never part of canonical verdict comparisons.
+    analysis: Optional[Dict[str, object]] = None
 
     def bug_categories(self) -> List[str]:
         seen = []
@@ -223,6 +242,8 @@ class VerificationSession:
         max_steps: int = 20_000_000,
         cache=None,
         budget: Optional[Budget] = None,
+        analysis: bool = True,
+        analysis_check: bool = False,
     ):
         self.zone = zone
         self.version = version
@@ -231,18 +252,29 @@ class VerificationSession:
         if budget is not None:
             budget.start()
         self._layer_routes: Dict[str, str] = {}
+        self.analysis_enabled = analysis
         self.encoder = ZoneEncoder(zone)
         self.tree_go = control.build_domain_tree(self.encoder)
         self.flat_go = control.build_flat_zone(self.encoder)
         compile_started = time.perf_counter()
-        modules = compile_engine_modules(version)
+        modules = compile_engine_modules(version, analysis=analysis)
         self.compile_seconds = time.perf_counter() - compile_started
+        self.prune_report = None
+        if analysis:
+            from repro.analysis import PruneReport
+
+            self.prune_report = PruneReport()
+            for module in modules:
+                module_report = getattr(module, "prune_report", None)
+                if module_report is not None:
+                    self.prune_report.merge(module_report)
         self.executor = Executor(
             modules,
             solver=solver,
             max_paths=max_paths,
             max_steps=max_steps,
             budget=budget,
+            analysis_check=analysis_check,
         )
         self.state = PathState()
         loader = HeapLoader(self.state.memory)
@@ -276,6 +308,10 @@ class VerificationSession:
             "zone": zone_digest(self.zone),
             "depth": self.query_encoding.depth,
             "pre": digest_text(*[repr(f) for f in self.pre]),
+            # Pruned and unpruned runs produce identical verdicts but
+            # different counters; keying keeps each config's entries
+            # internally consistent.
+            "analysis": self.analysis_enabled,
         }
 
     # -- layered verification --------------------------------------------------
@@ -330,6 +366,10 @@ class VerificationSession:
         """
         started = time.perf_counter()
         checks_before = self.executor.solver.num_checks
+        stats = self.executor.stats
+        guard_checks_before = stats.panic_guard_checks
+        guard_hits_before = stats.pruned_guard_hits
+        avoided_before = stats.pruned_checks_avoided
         result = VerificationResult(self.version, self.zone.origin.to_text(), True)
         try:
             self._verify_into(result, use_summaries)
@@ -339,6 +379,18 @@ class VerificationSession:
             self._mark_unknown(result, _exhaustion_reason(exc), str(exc))
         result.elapsed_seconds = time.perf_counter() - started
         result.solver_checks = self.executor.solver.num_checks - checks_before
+        result.analysis = {
+            "enabled": self.analysis_enabled,
+            "panic_guard_checks": stats.panic_guard_checks - guard_checks_before,
+            "pruned_guard_hits": stats.pruned_guard_hits - guard_hits_before,
+            "solver_checks_avoided": stats.pruned_checks_avoided - avoided_before,
+        }
+        if self.prune_report is not None:
+            result.analysis.update(
+                guards_total=self.prune_report.guards_total,
+                guards_pruned=self.prune_report.guards_pruned,
+                panic_blocks_removed=self.prune_report.panic_blocks_removed,
+            )
         result.phase_seconds = {
             "compile": round(self.compile_seconds, 6),
             "summarize": round(

@@ -275,8 +275,11 @@ class _FunctionCompiler:
         self.sig = ctx.signatures[fdef.name]
         self.fn = Function(fdef.name, self.sig.params, self.sig.ret)
         self._counter = 0
+        self._line = getattr(fdef, "lineno", None)
         self.entry = self.fn.new_block("entry")
+        self.entry.source_line = self._line
         self.body = self.fn.new_block("body")
+        self.body.source_line = self._line
         self.current = self.body
         self.slots: Dict[str, Tuple[Register, Type]] = {}
         self.loops: List[Tuple[str, str]] = []  # (continue_label, break_label)
@@ -296,7 +299,9 @@ class _FunctionCompiler:
         self.current.append(insn)
 
     def _new_block(self, hint: str) -> BasicBlock:
-        return self.fn.new_block(hint)
+        block = self.fn.new_block(hint)
+        block.source_line = self._line
+        return block
 
     def _branch_to(self, block: BasicBlock) -> None:
         if not self.current.terminated:
@@ -354,6 +359,7 @@ class _FunctionCompiler:
             self.compile_stmt(stmt)
 
     def compile_stmt(self, node: ast.stmt) -> None:
+        self._line = getattr(node, "lineno", self._line)
         if isinstance(node, ast.Assign):
             self._compile_assign(node)
         elif isinstance(node, ast.AnnAssign):

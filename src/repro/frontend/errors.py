@@ -1,21 +1,59 @@
-"""Frontend diagnostics."""
+"""Frontend diagnostics.
+
+Frontend errors and lint findings share one textual shape so editors and
+CI log-scrapers need a single matcher::
+
+    path:line:col: RULE-ID: message
+
+:func:`format_diagnostic` is that shape's only implementation;
+:class:`GoPyError` (compiler) and :class:`repro.analysis.lint.Finding`
+both render through it.
+"""
 
 from __future__ import annotations
 
 import ast
 from typing import Optional
 
+#: Rule id stamped on restricted-subset / type errors raised by the
+#: compiler, so frontend rejections and lint findings share a namespace.
+SUBSET_RULE = "GP101"
+
+
+def format_diagnostic(path: str, line: Optional[int], col: Optional[int],
+                      rule: str, message: str) -> str:
+    """The one ``path:line:col: rule: message`` renderer."""
+    where = path or "<gopy>"
+    if line is not None:
+        where += f":{line}"
+        if col is not None:
+            where += f":{col}"
+    return f"{where}: {rule}: {message}"
+
 
 class GoPyError(SyntaxError):
     """A construct outside the GoPy subset, or a type error within it.
 
-    Carries the source line when available so engine developers get
-    compiler-quality diagnostics.
+    Carries the source position when available so engine developers get
+    compiler-quality diagnostics: ``.path``/``.line``/``.col`` are the
+    structured location, ``.rule`` the stable rule id, and
+    ``.diagnostic()`` the shared ``path:line:col: rule: message`` form.
     """
 
-    def __init__(self, message: str, node: Optional[ast.AST] = None, source_name: str = ""):
+    def __init__(self, message: str, node: Optional[ast.AST] = None,
+                 source_name: str = "", rule: str = SUBSET_RULE):
         location = ""
         if node is not None and hasattr(node, "lineno"):
             location = f" (at {source_name or '<gopy>'}:{node.lineno})"
         super().__init__(message + location)
         self.node = node
+        self.raw_message = message
+        self.path = source_name or "<gopy>"
+        self.line: Optional[int] = getattr(node, "lineno", None)
+        self.col: Optional[int] = getattr(node, "col_offset", None)
+        self.rule = rule
+
+    def diagnostic(self) -> str:
+        return format_diagnostic(
+            self.path, self.line, self.col, self.rule, self.raw_message
+        )

@@ -94,6 +94,7 @@ def verdict_of(result: VerificationResult,
         "solver_checks": result.solver_checks,
         "spurious_mismatches": result.spurious_mismatches,
         "elapsed_seconds": result.elapsed_seconds,
+        "analysis": result.analysis,
         "layers": [
             {
                 "name": layer.name,
@@ -135,6 +136,28 @@ def merge_partition(merged: VerificationResult, part_key: str, verdict: Dict,
     ):
         merged.unknown_reason = verdict.get("unknown_reason")
     merged.spurious_mismatches += verdict.get("spurious_mismatches", 0)
+    # Analysis counters are live-execution telemetry: freshly computed
+    # partitions contribute theirs; replayed partitions did no symbolic
+    # execution this run, so their counters stay out of the merged totals
+    # (mirroring how solver_checks is only summed for fresh partitions).
+    part_analysis = verdict.get("analysis")
+    if not cached and isinstance(part_analysis, dict):
+        if merged.analysis is None:
+            merged.analysis = dict(part_analysis)
+        else:
+            merged.analysis["enabled"] = bool(
+                merged.analysis.get("enabled") or part_analysis.get("enabled")
+            )
+            # Execution counters sum across partitions; the prune-pass
+            # statics (guards_total/guards_pruned/...) describe the one
+            # shared compilation and are identical in every partition, so
+            # the first copy stands.
+            for key in ("panic_guard_checks", "pruned_guard_hits",
+                        "solver_checks_avoided"):
+                if key in part_analysis:
+                    merged.analysis[key] = (
+                        merged.analysis.get(key, 0) + part_analysis[key]
+                    )
     for layer in verdict.get("layers", ()):
         merged.layers.append(
             LayerResult(
@@ -428,10 +451,17 @@ class IncrementalVerifier:
         if not self.cache.memory_only:
             cache_dir = str(self.cache.cache_dir)
         changes: Dict[str, object] = {"depth": self.depth, "cache_dir": cache_dir}
-        for knob in ("max_paths", "max_steps"):
+        for knob in ("max_paths", "max_steps", "analysis", "analysis_check"):
             if knob in self.session_kwargs:
                 changes[knob] = self.session_kwargs[knob]
         return base.with_(**changes)
+
+    def _analysis_enabled(self) -> bool:
+        if "analysis" in self.session_kwargs:
+            return bool(self.session_kwargs["analysis"])
+        if self.options is not None:
+            return bool(self.options.analysis)
+        return True
 
     # -- internals -------------------------------------------------------------
 
@@ -463,6 +493,10 @@ class IncrementalVerifier:
             "tops": top_labels(self.zone),
             "partition": part.key,
             "closure": closure,
+            # Verdicts are bit-identical with pruning on or off, but the
+            # counters a cached verdict replays (solver_checks, analysis
+            # telemetry) are not — keep the two populations apart.
+            "analysis": self._analysis_enabled(),
         }
 
     def _verify_partition(self, part: Partition) -> VerificationResult:

@@ -400,6 +400,7 @@ def result_to_json(result: VerificationResult, cache_stats: Optional[Dict] = Non
         "error_detail": result.error_detail,
         "partial": None if result.partial is None else dict(result.partial),
         "phase_seconds": dict(result.phase_seconds),
+        "analysis": None if result.analysis is None else dict(result.analysis),
     }
     if cache_stats is not None:
         payload["cache"] = dict(cache_stats)
@@ -437,4 +438,6 @@ def result_from_json(data: Dict) -> VerificationResult:
     partial = data.get("partial")
     result.partial = dict(partial) if partial is not None else None
     result.phase_seconds = dict(data.get("phase_seconds") or {})
+    analysis = data.get("analysis")
+    result.analysis = dict(analysis) if analysis is not None else None
     return result

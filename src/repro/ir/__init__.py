@@ -45,6 +45,7 @@ from repro.ir.instructions import (
     Terminator,
     Br,
     CondBr,
+    ElidedGuardBr,
     Ret,
     Panic,
     INTRINSICS,
@@ -83,6 +84,7 @@ __all__ = [
     "Terminator",
     "Br",
     "CondBr",
+    "ElidedGuardBr",
     "Ret",
     "Panic",
     "INTRINSICS",

@@ -15,6 +15,10 @@ class BasicBlock:
         self.label = label
         self.instructions: List[Instruction] = []
         self.terminator: Optional[Terminator] = None
+        #: GoPy source line this block was opened at (filled by the
+        #: frontend; hand-built IR leaves it None). Diagnostics only —
+        #: never part of execution semantics.
+        self.source_line: Optional[int] = None
 
     def append(self, instruction: Instruction) -> None:
         if self.terminator is not None:

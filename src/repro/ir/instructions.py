@@ -229,6 +229,48 @@ class CondBr(Terminator):
         return f"br {self.cond!r}, label %{self.then_label}, label %{self.else_label}"
 
 
+class ElidedGuardBr(Terminator):
+    """An unconditional branch standing where a panic guard used to be.
+
+    The static analysis pass (:mod:`repro.analysis.prune`) rewrites a
+    ``CondBr`` whose panic side it proved unreachable into this terminator.
+    It keeps the guard condition alive so the executor can (a) account an
+    avoided solver query whenever the condition is symbolic at runtime,
+    (b) assume the surviving side's condition — keeping path conditions
+    bit-identical to the unpruned execution — and (c) cross-check the
+    proof against the solver in debug mode.
+
+    ``panic_on_true`` records which side of the original branch panicked;
+    ``kind``/``message`` preserve the elided panic terminator verbatim (if
+    the condition ever folds concretely onto the panic side — possible
+    only on an infeasible path, e.g. under fault injection — the executor
+    reproduces the exact outcome the unpruned run would have); ``site`` is
+    a stable ``function:block`` identifier for debug sampling and
+    diagnostics.
+    """
+
+    __slots__ = ("target", "cond", "panic_on_true", "kind", "message", "site")
+
+    def __init__(self, target: str, cond: Value, panic_on_true: bool,
+                 kind: str = "", message: str = "", site: str = ""):
+        self.target = target
+        self.cond = cond
+        self.panic_on_true = panic_on_true
+        self.kind = kind
+        self.message = message
+        self.site = site
+
+    def successors(self):
+        return (self.target,)
+
+    def __repr__(self):
+        side = "true" if self.panic_on_true else "false"
+        return (
+            f"br label %{self.target} "
+            f"; elided {self.kind or 'panic'} guard ({side} side) on {self.cond!r}"
+        )
+
+
 class Ret(Terminator):
     __slots__ = ("value",)
 

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.ir.function import Function
 from repro.ir.module import Module
+
+
+def _predecessors(function: Function) -> Dict[str, List[str]]:
+    preds: Dict[str, List[str]] = {label: [] for label in function.blocks}
+    for label, block in function.blocks.items():
+        if block.terminator is None:
+            continue
+        for target in block.terminator.successors():
+            if target in preds:
+                preds[target].append(label)
+    return preds
 
 
 def print_function(function: Function) -> str:
@@ -13,6 +24,7 @@ def print_function(function: Function) -> str:
     lines: List[str] = [
         f"define {function.return_type!r} @{function.name}({params}) {{"
     ]
+    preds = _predecessors(function)
     # Entry block first, the rest in insertion order.
     labels = list(function.blocks)
     if function.entry_label in labels:
@@ -20,7 +32,12 @@ def print_function(function: Function) -> str:
         labels.insert(0, function.entry_label)
     for label in labels:
         block = function.blocks[label]
-        lines.append(f"{label}:")
+        header = f"{label}:"
+        if preds[label]:
+            header += "  ; preds: " + ", ".join(
+                f"%{p}" for p in preds[label]
+            )
+        lines.append(header)
         for insn in block.instructions:
             lines.append(f"  {insn!r}")
         if block.terminator is not None:

@@ -10,16 +10,62 @@ reachability of definitions).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, List, Set
 
 from repro.ir.function import Function
-from repro.ir.instructions import Call, CondBr, Ret
+from repro.ir.instructions import Call, CondBr, ElidedGuardBr, Panic, Ret
 from repro.ir.module import Module
 from repro.ir.values import Register as RegisterValue
 
 
 class IRValidationError(ValueError):
     """Raised when a function violates IR structural rules."""
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    """Labels reachable from the entry block along terminator edges."""
+    seen: Set[str] = set()
+    stack: List[str] = [function.entry_label] if function.entry_label else []
+    while stack:
+        label = stack.pop()
+        if label in seen or label not in function.blocks:
+            continue
+        seen.add(label)
+        term = function.blocks[label].terminator
+        if term is not None:
+            stack.extend(term.successors())
+    return seen
+
+
+def _check_panic_blocks(function: Function) -> None:
+    """Panic blocks must be terminated branch targets: every ``Panic``
+    block other than the frontend's fall-off-the-end block must have at
+    least one predecessor (the guard that jumps to it), and guards must
+    point at existing blocks. A predecessor-less panic block is the
+    signature of a broken rewrite (e.g. a pruning pass that disconnected
+    a guard but forgot to delete its panic target)."""
+    preds: Dict[str, int] = {label: 0 for label in function.blocks}
+    for block in function.blocks.values():
+        if block.terminator is None:
+            continue
+        for target in block.terminator.successors():
+            if target in preds:
+                preds[target] += 1
+    for label, block in function.blocks.items():
+        term = block.terminator
+        if not isinstance(term, Panic):
+            continue
+        if label == function.entry_label:
+            continue
+        # ``missing-return`` guards the structural fallthrough; it is
+        # legitimately unreferenced when every path returns explicitly.
+        if term.kind == "missing-return":
+            continue
+        if preds[label] == 0:
+            raise IRValidationError(
+                f"{function.name}: panic block {label} ({term.kind}) has no "
+                f"predecessors"
+            )
 
 
 def validate_function(function: Function) -> None:
@@ -58,7 +104,9 @@ def validate_function(function: Function) -> None:
                         f"in {block.label}: {insn!r}"
                     )
         term = block.terminator
-        if isinstance(term, CondBr) and isinstance(term.cond, RegisterValue):
+        if isinstance(term, (CondBr, ElidedGuardBr)) and isinstance(
+            term.cond, RegisterValue
+        ):
             if term.cond.name not in defined:
                 raise IRValidationError(
                     f"{function.name}: use of undefined register %{term.cond.name} "
@@ -68,6 +116,38 @@ def validate_function(function: Function) -> None:
             if term.value.name not in defined:
                 raise IRValidationError(
                     f"{function.name}: return of undefined register %{term.value.name}"
+                )
+
+    _check_panic_blocks(function)
+    # Reachable-from-entry consistency: a definition feeding a reachable
+    # use must itself sit in a reachable block, otherwise execution would
+    # read an unset register.
+    reachable = reachable_blocks(function)
+    defined_reachable: Set[str] = set(function.param_names())
+    for label in reachable:
+        for insn in function.blocks[label].instructions:
+            if insn.dest is not None:
+                defined_reachable.add(insn.dest.name)
+    for label in reachable:
+        block = function.blocks[label]
+        used = [
+            op
+            for insn in block.instructions
+            for op in insn.operands()
+            if isinstance(op, RegisterValue)
+        ]
+        term = block.terminator
+        if isinstance(term, (CondBr, ElidedGuardBr)) and isinstance(
+            term.cond, RegisterValue
+        ):
+            used.append(term.cond)
+        if isinstance(term, Ret) and isinstance(term.value, RegisterValue):
+            used.append(term.value)
+        for op in used:
+            if op.name not in defined_reachable:
+                raise IRValidationError(
+                    f"{function.name}: reachable block {label} uses "
+                    f"%{op.name}, defined only in unreachable code"
                 )
 
 

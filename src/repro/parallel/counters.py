@@ -25,6 +25,9 @@ def unit_perf(result, cache=None) -> Dict[str, float]:
         "elapsed_seconds": 0.0,
         "cache_hits": 0,
         "cache_misses": 0,
+        "solver_checks_avoided": 0,
+        "pruned_guard_hits": 0,
+        "guards_pruned": 0,
     }
     if result is not None:
         phases = result.phase_seconds or {}
@@ -35,6 +38,10 @@ def unit_perf(result, cache=None) -> Dict[str, float]:
         stats = result.cache_stats or {}
         perf["cache_hits"] = stats.get("hits", 0)
         perf["cache_misses"] = stats.get("misses", 0)
+        analysis = getattr(result, "analysis", None) or {}
+        perf["solver_checks_avoided"] = analysis.get("solver_checks_avoided", 0)
+        perf["pruned_guard_hits"] = analysis.get("pruned_guard_hits", 0)
+        perf["guards_pruned"] = analysis.get("guards_pruned", 0)
     if cache is not None:
         stats = cache.stats()
         perf["cache_hits"] = stats.get("hits", 0)
@@ -70,6 +77,12 @@ class PerfCounters:
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Static-analysis telemetry (the panic-pruning pass): solver queries
+    # the executors never issued, elided-guard crossings, and how many
+    # guards the pass discharged statically.
+    solver_checks_avoided: int = 0
+    pruned_guard_hits: int = 0
+    guards_pruned: int = 0
     _started: float = field(default_factory=time.perf_counter, repr=False)
 
     def absorb(self, perf: Optional[Dict]) -> None:
@@ -83,6 +96,13 @@ class PerfCounters:
         self.busy_seconds += perf.get("elapsed_seconds", 0.0)
         self.cache_hits += int(perf.get("cache_hits", 0))
         self.cache_misses += int(perf.get("cache_misses", 0))
+        self.solver_checks_avoided += int(perf.get("solver_checks_avoided", 0))
+        self.pruned_guard_hits += int(perf.get("pruned_guard_hits", 0))
+        # Every unit compiles the same modules, so the prune-pass static
+        # is a per-run property, not a per-unit one: max, not sum.
+        self.guards_pruned = max(
+            self.guards_pruned, int(perf.get("guards_pruned", 0))
+        )
 
     def finish(self) -> "PerfCounters":
         self.wall_seconds = time.perf_counter() - self._started
@@ -128,6 +148,9 @@ class PerfCounters:
             "units_per_second": round(self.units_per_second, 4),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "solver_checks_avoided": self.solver_checks_avoided,
+            "pruned_guard_hits": self.pruned_guard_hits,
+            "guards_pruned": self.guards_pruned,
             "cache_hit_rate": None if hit_rate is None else round(hit_rate, 4),
             "parallel_efficiency": (
                 None if efficiency is None else round(efficiency, 4)

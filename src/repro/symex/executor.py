@@ -22,6 +22,7 @@ from repro.ir import (
     ConstBool,
     ConstInt,
     ConstNull,
+    ElidedGuardBr,
     Function,
     GEP,
     ICmp,
@@ -102,6 +103,16 @@ class ExecutionStats:
     calls: int = 0
     paths: int = 0
     solver_checks: int = 0
+    #: Solver feasibility checks spent on panic-guard branches (a guard =
+    #: a CondBr with a Panic successor). The denominator of the pruning
+    #: pass's discharge ratio.
+    panic_guard_checks: int = 0
+    #: Times execution crossed an ElidedGuardBr whose condition was
+    #: symbolic (i.e. the unpruned run would have consulted the solver).
+    pruned_guard_hits: int = 0
+    #: Solver checks those crossings would have cost (1 when a path
+    #: witness would have decided one side for free, else 2).
+    pruned_checks_avoided: int = 0
 
 
 class Executor:
@@ -121,6 +132,7 @@ class Executor:
         max_steps: int = 5_000_000,
         max_call_depth: int = 128,
         budget=None,
+        analysis_check: bool = False,
     ):
         self.modules = list(modules)
         self.bindings = bindings if bindings is not None else Bindings()
@@ -131,6 +143,10 @@ class Executor:
         self.max_paths = max_paths
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
+        #: Debug mode: at the first symbolic crossing of each elided guard,
+        #: re-ask the solver that the panic side really is infeasible.
+        self.analysis_check = analysis_check
+        self._checked_sites: set = set()
         self.stats = ExecutionStats()
         self.registry = TypeRegistry()
         for module in self.modules:
@@ -259,7 +275,22 @@ class Executor:
                 work.append((state, regs, term.target, 0))
             elif isinstance(term, CondBr):
                 cond = self._eval(regs, term.cond)
-                self._branch(state, regs, cond, term, work)
+                then_block = fn.blocks.get(term.then_label)
+                else_block = fn.blocks.get(term.else_label)
+                if isinstance(
+                    then_block.terminator if then_block else None, Panic
+                ) or isinstance(
+                    else_block.terminator if else_block else None, Panic
+                ):
+                    before = self.stats.solver_checks
+                    self._branch(state, regs, cond, term, work)
+                    self.stats.panic_guard_checks += (
+                        self.stats.solver_checks - before
+                    )
+                else:
+                    self._branch(state, regs, cond, term, work)
+            elif isinstance(term, ElidedGuardBr):
+                self._cross_elided_guard(state, regs, term, fn, work, results)
             elif isinstance(term, Panic):
                 results.append(
                     Outcome(state, None, PanicInfo(term.kind, term.message, fn.name))
@@ -326,6 +357,54 @@ class Executor:
             state.witness = false_witness
             work.append((state, regs, term.else_label, 0))
         # both infeasible: dead path (possible when UNKNOWNs were explored).
+
+    def _cross_elided_guard(self, state, regs, term: ElidedGuardBr, fn, work,
+                            results):
+        """Cross a panic guard the static analysis elided.
+
+        The unpruned executor would solver-check both sides, find the
+        panic side infeasible, and continue down the surviving side after
+        ``assume``-ing its condition. We skip the checks but still assume
+        the identical condition, so the path condition — and everything
+        derived from it (verdicts, counterexample models, summaries) —
+        stays bit-identical to the unpruned run; only solver-check
+        counters differ.
+        """
+        cond = self._eval(regs, term.cond)
+        if not isinstance(cond, BoolExpr):
+            raise SymexError(f"condition is not boolean: {cond!r}")
+        folded = _as_concrete_bool(cond)
+        if folded is not None:
+            if folded == term.panic_on_true:
+                # The condition folded onto the panic side. On a feasible
+                # path that would mean the static proof was wrong — but it
+                # also happens on *infeasible* paths the executor explores
+                # when the solver degrades to UNKNOWN (fault injection,
+                # incomplete theories): pc is unsatisfiable, so the guard
+                # "fires" on values no real execution produces. The unpruned
+                # run emits a panic outcome here and lets the verdict
+                # machinery classify it; reproduce that outcome exactly.
+                results.append(
+                    Outcome(state, None,
+                            PanicInfo(term.kind, term.message, fn.name))
+                )
+                return
+            work.append((state, regs, term.target, 0))
+            return
+        survive = not_(cond) if term.panic_on_true else cond
+        self.stats.pruned_guard_hits += 1
+        self.stats.pruned_checks_avoided += 1 if state.witness is not None else 2
+        if self.analysis_check and term.site not in self._checked_sites:
+            self._checked_sites.add(term.site)
+            panic_cond = cond if term.panic_on_true else not_(cond)
+            self.stats.solver_checks += 1
+            if self.solver.check(*(state.pc + [panic_cond])) is SolveResult.SAT:
+                raise SymexError(
+                    f"analysis check failed: panic side of elided "
+                    f"{term.kind} guard at {term.site} is satisfiable"
+                )
+        state.assume(survive)
+        work.append((state, regs, term.target, 0))
 
     def _feasible_with_model(self, conditions):
         self.stats.solver_checks += 1

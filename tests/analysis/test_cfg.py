@@ -1,0 +1,95 @@
+"""Golden tests for the CFG and dominator tree on hand-written IR."""
+
+from repro.analysis import CFG
+from repro.ir import Br, CondBr, ConstBool, Function, Ret
+from repro.ir.types import VOID
+
+
+def diamond():
+    """entry -> {left, right} -> merge."""
+    fn = Function("diamond", [], VOID)
+    entry = fn.new_block("entry")
+    left = fn.new_block("left")
+    right = fn.new_block("right")
+    merge = fn.new_block("merge")
+    entry.terminate(CondBr(ConstBool(True), left.label, right.label))
+    left.terminate(Br(merge.label))
+    right.terminate(Br(merge.label))
+    merge.terminate(Ret())
+    return fn, entry, left, right, merge
+
+
+def loop():
+    """entry -> header -> {body -> header, exit}."""
+    fn = Function("loop", [], VOID)
+    entry = fn.new_block("entry")
+    header = fn.new_block("header")
+    body = fn.new_block("body")
+    exit_ = fn.new_block("exit")
+    entry.terminate(Br(header.label))
+    header.terminate(CondBr(ConstBool(True), body.label, exit_.label))
+    body.terminate(Br(header.label))
+    exit_.terminate(Ret())
+    return fn, entry, header, body, exit_
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        fn, entry, left, right, merge = diamond()
+        cfg = CFG(fn)
+        assert cfg.succs[entry.label] == (left.label, right.label)
+        assert sorted(cfg.preds[merge.label]) == sorted([left.label, right.label])
+
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        fn, entry, left, right, merge = diamond()
+        cfg = CFG(fn)
+        assert cfg.rpo[0] == entry.label
+        assert set(cfg.rpo) == {entry.label, left.label, right.label, merge.label}
+        # A predecessor always precedes its (non-back-edge) successor.
+        assert cfg.rpo_index[entry.label] < cfg.rpo_index[left.label]
+        assert cfg.rpo_index[left.label] < cfg.rpo_index[merge.label]
+
+    def test_unreachable_block_detected(self):
+        fn, entry, left, right, merge = diamond()
+        orphan = fn.new_block("orphan")
+        orphan.terminate(Ret())
+        cfg = CFG(fn)
+        assert cfg.unreachable() == [orphan.label]
+        assert orphan.label not in cfg.reachable
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        fn, entry, left, right, merge = diamond()
+        cfg = CFG(fn)
+        assert cfg.idom[entry.label] is None
+        assert cfg.idom[left.label] == entry.label
+        assert cfg.idom[right.label] == entry.label
+        # Neither branch arm dominates the merge; only the entry does.
+        assert cfg.idom[merge.label] == entry.label
+
+    def test_diamond_dominator_tree_golden(self):
+        fn, entry, left, right, merge = diamond()
+        cfg = CFG(fn)
+        tree = cfg.dominator_tree()
+        assert sorted(tree[entry.label]) == sorted(
+            [left.label, right.label, merge.label]
+        )
+        assert tree[left.label] == []
+        assert tree[right.label] == []
+        assert tree[merge.label] == []
+
+    def test_loop_idoms_golden(self):
+        fn, entry, header, body, exit_ = loop()
+        cfg = CFG(fn)
+        assert cfg.idom[header.label] == entry.label
+        assert cfg.idom[body.label] == header.label
+        assert cfg.idom[exit_.label] == header.label
+
+    def test_dominates_is_reflexive_and_respects_paths(self):
+        fn, entry, header, body, exit_ = loop()
+        cfg = CFG(fn)
+        assert cfg.dominates(header.label, header.label)
+        assert cfg.dominates(entry.label, exit_.label)
+        assert cfg.dominates(header.label, body.label)
+        assert not cfg.dominates(body.label, exit_.label)

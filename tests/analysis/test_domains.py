@@ -1,0 +1,164 @@
+"""Golden tests for the abstract domains: DiffBounds arithmetic, and
+interval/nullness fixpoints over hand-written IR."""
+
+import pytest
+
+from repro.analysis import CFG, DiffBounds, GuardDomain, Interval, analyze
+from repro.analysis.domains import MAYBE, NONNULL, NULL, ZERO, interval_of, nullness_of
+from repro.ir import (
+    Alloca,
+    BinOp,
+    Br,
+    CondBr,
+    ConstInt,
+    ConstNull,
+    Function,
+    ICmp,
+    Load,
+    Register,
+    Ret,
+    Store,
+)
+from repro.ir.types import BOOL, INT, PointerType, VOID
+
+
+class TestDiffBounds:
+    def test_constant_bounds_via_zero_anchor(self):
+        db = DiffBounds()
+        assert db.add("x", ZERO, 5)       # x <= 5
+        assert db.add(ZERO, "x", 0)       # x >= 0
+        assert db.interval_of("x") == Interval(0, 5)
+
+    def test_transitive_closure_is_incremental(self):
+        db = DiffBounds()
+        assert db.add("x", "y", 0)        # x <= y
+        assert db.add("y", ZERO, 3)       # y <= 3
+        # x <= 3 must be derivable without an explicit closure call.
+        assert db.entails("x", ZERO, 3)
+        assert db.interval_of("x") == Interval(None, 3)
+
+    def test_contradiction_reports_infeasible(self):
+        db = DiffBounds()
+        assert db.add("x", ZERO, 2)       # x <= 2
+        assert not db.add(ZERO, "x", -3)  # x >= 3: infeasible
+
+    def test_join_is_pointwise_max(self):
+        a = DiffBounds()
+        a.add("x", ZERO, 2)       # x in [0, 2]
+        a.add(ZERO, "x", 0)
+        b = DiffBounds()
+        b.add("x", ZERO, 7)       # x in [1, 7]
+        b.add(ZERO, "x", -1)
+        j = a.join(b)
+        assert j.interval_of("x") == Interval(0, 7)
+
+    def test_kill_forgets_only_one_variable(self):
+        db = DiffBounds()
+        db.add("x", ZERO, 1)
+        db.add("y", ZERO, 2)
+        db.kill("x")
+        assert db.interval_of("x") == Interval()
+        assert db.interval_of("y") == Interval(None, 2)
+
+
+def branch_on_compare():
+    """f(n): if n < 10 then A else B."""
+    fn = Function("f", [("n", INT)], VOID)
+    entry = fn.new_block("entry")
+    then = fn.new_block("then")
+    other = fn.new_block("else")
+    c = Register("c")
+    entry.append(ICmp(c, "slt", Register("n"), ConstInt(10)))
+    entry.terminate(CondBr(c, then.label, other.label))
+    then.terminate(Ret())
+    other.terminate(Ret())
+    return fn, then.label, other.label
+
+
+def nil_check():
+    """g(p): if p == nil then A else B."""
+    ptr_t = PointerType(INT)
+    fn = Function("g", [("p", ptr_t)], VOID)
+    entry = fn.new_block("entry")
+    isnil = fn.new_block("isnil")
+    notnil = fn.new_block("notnil")
+    c = Register("c")
+    entry.append(ICmp(c, "eq", Register("p"), ConstNull()))
+    entry.terminate(CondBr(c, isnil.label, notnil.label))
+    isnil.terminate(Ret())
+    notnil.terminate(Ret())
+    return fn, isnil.label, notnil.label
+
+
+def counting_loop():
+    """h(n): i = 0; while i < n: i += 1."""
+    fn = Function("h", [("n", INT)], VOID)
+    entry = fn.new_block("entry")
+    header = fn.new_block("header")
+    body = fn.new_block("body")
+    exit_ = fn.new_block("exit")
+    slot = Register("i.slot")
+    entry.append(Alloca(slot, INT))
+    entry.append(Store(ConstInt(0), slot))
+    entry.terminate(Br(header.label))
+    iv = Register("iv")
+    c = Register("c")
+    header.append(Load(iv, slot))
+    header.append(ICmp(c, "slt", iv, Register("n")))
+    header.terminate(CondBr(c, body.label, exit_.label))
+    iv2 = Register("iv2")
+    inext = Register("inext")
+    body.append(Load(iv2, slot))
+    body.append(BinOp(inext, "add", iv2, ConstInt(1)))
+    body.append(Store(inext, slot))
+    body.terminate(Br(header.label))
+    exit_.terminate(Ret())
+    return fn, slot.name, body.label, exit_.label
+
+
+def run(fn):
+    cfg = CFG(fn)
+    return analyze(fn, GuardDomain(cfg), cfg=cfg), cfg
+
+
+class TestIntervalFixpoint:
+    def test_compare_refines_both_edges(self):
+        fn, then_label, else_label = branch_on_compare()
+        result, _ = run(fn)
+        then_state = result.state_at_terminator(then_label)
+        else_state = result.state_at_terminator(else_label)
+        assert interval_of(then_state, "n") == Interval(None, 9)
+        assert interval_of(else_state, "n") == Interval(10, None)
+
+    def test_loop_counter_golden(self):
+        fn, slot, body_label, exit_label = counting_loop()
+        result, _ = run(fn)
+        body_state = result.state_at_terminator(body_label)
+        exit_state = result.state_at_terminator(exit_label)
+        # At the body terminator the slot holds i+1: at least 1, no upper
+        # constant bound (the bound n is symbolic).
+        assert interval_of(body_state, slot) == Interval(1, None)
+        # At exit the counter keeps its loop invariant lower bound.
+        assert interval_of(exit_state, slot) == Interval(0, None)
+
+    def test_loaded_counter_bounded_below_in_body(self):
+        fn, slot, body_label, _ = counting_loop()
+        result, _ = run(fn)
+        body_state = result.state_at_terminator(body_label)
+        assert interval_of(body_state, "iv2").lo == 0
+
+
+class TestNullnessFixpoint:
+    def test_nil_test_refines_both_edges(self):
+        fn, isnil_label, notnil_label = nil_check()
+        result, _ = run(fn)
+        assert nullness_of(result.state_at_terminator(isnil_label), "p") == NULL
+        assert nullness_of(result.state_at_terminator(notnil_label), "p") == NONNULL
+
+    def test_unrefined_pointer_is_maybe(self):
+        fn, _, _ = nil_check()
+        result, _ = run(fn)
+        # Walk the entry block: before the test the parameter is unknown.
+        entry_label = fn.entry_label
+        state = result.state_at_terminator(entry_label)
+        assert nullness_of(state, "p") == MAYBE

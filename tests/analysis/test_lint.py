@@ -1,0 +1,201 @@
+"""The GoPy linter: rules fire on the smells they name, ids stay stable,
+and baselines grandfather exactly what they recorded."""
+
+import importlib.util
+import sys
+
+import pytest
+
+from repro.analysis import lint_version, lint_versions, new_findings
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    baseline_counts,
+    lint_module,
+    load_baseline,
+    save_baseline,
+)
+
+
+def _load_gopy(tmp_path, name, source):
+    """Import a throwaway GoPy module from a real file (the linter and
+    the frontend both read sources via ``inspect.getsource``)."""
+    path = tmp_path / f"{name}.py"
+    path.write_text(source)
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRuleCatalog:
+    def test_every_rule_has_a_stable_id_and_description(self):
+        assert set(RULES) == {
+            "GP101", "GP201", "GP202", "GP203", "GP301", "GP302", "GP303",
+        }
+        for rule, description in RULES.items():
+            assert rule.startswith("GP") and description
+
+    def test_finding_renders_shared_diagnostic_shape(self):
+        f = Finding("GP301", "engine.py", 12, 4, "dev", "find", "msg", "X.y")
+        assert f.format() == "engine.py:12:4: GP301: msg"
+        assert f.baseline_key() == "dev:find:GP301:X.y"
+
+
+class TestAntiModularityRules:
+    def test_dev_flags_control_flags_and_exposed_fields(self):
+        findings = lint_version("dev")
+        rules = {f.rule for f in findings}
+        assert "GP301" in rules and "GP302" in rules
+        keys = {f.baseline_key() for f in findings}
+        # The Figure 3 smells, by stable key: wildcard-synthesis control
+        # flags and raw SearchResult/Response field writes.
+        assert "dev:append_matching:GP302:synth" in keys
+        assert "dev:answer_node:GP302:synth" in keys
+        assert "dev:make_referral:GP302:at_top" in keys
+        assert "dev:tree_search:GP301:SearchResult.kind" in keys
+        assert "dev:make_referral:GP301:Response.aa" in keys
+
+    def test_v3_0_flags_direct_stack_indexing(self):
+        findings = lint_version("v3.0")
+        keys = {f.baseline_key() for f in findings}
+        assert "v3_0:find:GP303:NodeStack.nodes" in keys
+        assert "v3_0:find:GP303:NodeStack.level" in keys
+
+    def test_other_versions_do_not_flag_stack_indexing(self):
+        for version in ("dev", "verified"):
+            keys = {f.baseline_key() for f in lint_version(version)}
+            assert not any(":GP303:NodeStack" in k for k in keys), version
+
+    def test_owner_module_may_touch_its_own_fields(self):
+        findings = lint_version("verified")
+        assert not any(
+            f.module == "nodestack" and f.rule in ("GP301", "GP303")
+            for f in findings
+        )
+
+
+class TestDeadCodeRules:
+    def test_statement_after_return_is_gp203(self, tmp_path):
+        module = _load_gopy(tmp_path, "lint_dead", (
+            "def f(a: int) -> int:\n"
+            "    return a\n"
+            "    a = a + 1\n"
+            "    return a\n"
+        ))
+        findings = lint_module(module)
+        gp203 = [f for f in findings if f.rule == "GP203"]
+        assert len(gp203) == 1
+        assert gp203[0].line == 3
+        assert gp203[0].function == "f"
+
+    def test_clean_function_is_clean(self, tmp_path):
+        module = _load_gopy(tmp_path, "lint_clean", (
+            "def f(a: int) -> int:\n"
+            "    if a > 0:\n"
+            "        return a\n"
+            "    return 0 - a\n"
+        ))
+        assert lint_module(module) == []
+
+
+class TestIRRules:
+    def test_unreachable_block_is_gp201(self):
+        from repro.analysis.lint import _lint_function_ir
+        from repro.ir import Br, Function, Ret
+        from repro.ir.types import VOID
+
+        fn = Function("f", [], VOID)
+        entry = fn.new_block("entry")
+        orphan = fn.new_block("orphan")
+        entry.terminate(Ret())
+        orphan.terminate(Ret())
+        findings = _lint_function_ir(fn, "m", "m.py")
+        assert [f.rule for f in findings] == ["GP201"]
+        assert findings[0].detail == f"block-{orphan.label}"
+
+    def test_use_before_def_is_gp202(self):
+        from repro.analysis.lint import _lint_function_ir
+        from repro.ir import (
+            Alloca, Br, CondBr, ConstBool, ConstInt, Function, Load,
+            Register, Ret, Store,
+        )
+        from repro.ir.types import INT, VOID
+
+        fn = Function("f", [], VOID)
+        entry = fn.new_block("entry")
+        init = fn.new_block("init")
+        use = fn.new_block("use")
+        slot = Register("v")
+        entry.append(Alloca(slot, INT))
+        entry.terminate(CondBr(ConstBool(True), init.label, use.label))
+        init.append(Store(ConstInt(1), slot))
+        init.terminate(Br(use.label))
+        use.append(Load(Register("x"), slot))
+        use.terminate(Ret())
+        findings = _lint_function_ir(fn, "m", "m.py")
+        assert [f.rule for f in findings] == ["GP202"]
+        assert findings[0].detail == "v"
+
+    def test_definitely_assigned_slot_is_not_flagged(self):
+        from repro.analysis.lint import _lint_function_ir
+        from repro.ir import Alloca, ConstInt, Function, Load, Register, Ret, Store
+        from repro.ir.types import INT, VOID
+
+        fn = Function("f", [], VOID)
+        entry = fn.new_block("entry")
+        slot = Register("v")
+        entry.append(Alloca(slot, INT))
+        entry.append(Store(ConstInt(1), slot))
+        entry.append(Load(Register("x"), slot))
+        entry.terminate(Ret())
+        assert _lint_function_ir(fn, "m", "m.py") == []
+
+    def test_subset_violation_is_gp101_not_an_exception(self, tmp_path):
+        module = _load_gopy(tmp_path, "lint_subset", (
+            "def f(a: int) -> int:\n"
+            "    return [x for x in range(a)][0]\n"
+        ))
+        findings = lint_module(module)
+        assert any(f.rule == "GP101" for f in findings)
+
+
+class TestBaselines:
+    def test_roundtrip_and_gating(self, tmp_path):
+        findings = lint_version("dev")
+        assert findings
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), findings)
+        baseline = load_baseline(str(path))
+        assert baseline == baseline_counts(findings)
+        # Everything grandfathered: nothing new.
+        assert new_findings(findings, baseline) == []
+
+    def test_new_key_and_count_regressions_are_caught(self):
+        findings = lint_version("dev")
+        baseline = baseline_counts(findings)
+        # Remove one grandfathered key: exactly its findings become new.
+        victim = findings[0].baseline_key()
+        short = dict(baseline)
+        removed = short.pop(victim)
+        fresh = new_findings(findings, short)
+        assert len(fresh) == removed
+        assert all(f.baseline_key() == victim for f in fresh)
+
+    def test_baseline_keys_carry_no_line_numbers(self):
+        for finding in lint_version("dev"):
+            assert str(finding.line) not in finding.baseline_key().split(":")
+
+
+class TestVersionSweep:
+    def test_lint_versions_dedupes_shared_modules(self):
+        single = {f.baseline_key() for f in lint_version("dev")}
+        both = lint_versions(["dev", "verified"])
+        keys = [
+            (f.baseline_key(), f.line) for f in both
+        ]
+        assert len(keys) == len(set(keys))
+        shared = [k for k, _ in keys if k.startswith("nameops:")]
+        shared_single = [k for k in single if k.startswith("nameops:")]
+        assert sorted(set(shared)) == sorted(shared_single)
