@@ -1,0 +1,185 @@
+"""Serving-plane benchmark: query throughput and publish latency.
+
+Two numbers an operator of the verified serving plane cares about:
+
+- **qps** — how fast the synchronous query path (wire parse → snapshot
+  resolve → wire serialize, the exact code UDP datagrams hit) answers a
+  representative mix on the demo zone. The RFC-level transports add only
+  event-loop dispatch on top, so this is the per-core ceiling.
+- **publish latency after a delta** — how long a zone change is held at
+  the verify-then-publish gate before the new snapshot starts serving:
+  the cold bootstrap verification, an incremental benign delta (warm
+  partition cache — the steady-state operator path), and a bug-triggering
+  delta that the gate holds (time to *reject* matters too; that is how
+  long the alarm takes to fire).
+
+Run under pytest (``pytest benchmarks/bench_serve.py``) for the
+pytest-benchmark harness, or standalone for machine-readable output::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--queries N] [--rounds N] [--out BENCH_serve.json]
+
+The standalone mode writes a single JSON document (the repo's
+``BENCH_*.json`` format).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.dns.wire import build_query
+from repro.dns.zonefile import parse_zone_text
+from repro.serve import PublishGate, ZoneServer, build_snapshot
+from repro.zonegen import evaluation_zone
+from repro.zonegen.corpus import MINIMAL_ZONE_TEXT
+
+#: Representative mix over the demo (evaluation) zone: exact match,
+#: ANY at the apex, CNAME chase, wildcard synthesis with fresh labels,
+#: delegation walk, NXDOMAIN.
+QUERY_MIX = [
+    ("www.example.com.", RRType.A),
+    ("example.com.", RRType.ANY),
+    ("alias.example.com.", RRType.A),
+    ("fresh1.fresh2.wild.example.com.", RRType.MX),
+    ("deep.sub.example.com.", RRType.A),
+    ("missing.example.com.", RRType.A),
+]
+
+BENIGN_DELTA = MINIMAL_ZONE_TEXT.replace("192.0.2.10", "192.0.2.200")
+BUGGY_DELTA = MINIMAL_ZONE_TEXT + (
+    "*.wild IN A 192.0.2.20\n"
+    "*.wild IN MX 10 ns1.example.com.\n"
+)
+
+
+def wire_mix():
+    return [
+        build_query(txid, Query(DnsName.from_text(text), qtype))
+        for txid, (text, qtype) in enumerate(QUERY_MIX, start=1)
+    ]
+
+
+def measure_qps(num_queries):
+    """Drive ``handle_packet`` (the full UDP datagram path, minus the
+    socket) round-robin over the mix; returns (qps, per-query µs)."""
+    server = ZoneServer(evaluation_zone())
+    wires = wire_mix()
+    for wire in wires:  # warm: intern tables, engine module import
+        assert server.handle_packet(wire, "bench")
+    start = time.perf_counter()
+    for i in range(num_queries):
+        server.handle_packet(wires[i % len(wires)], "bench")
+    elapsed = time.perf_counter() - start
+    return num_queries / elapsed, 1e6 * elapsed / num_queries
+
+
+def measure_publish_latency(rounds):
+    """Bootstrap + benign-delta + buggy-delta gate latencies (seconds).
+
+    The benign delta is measured ``rounds`` times (alternating two rdata
+    values so every submit is a real change) and the minimum is reported —
+    the steady-state incremental cost, without scheduler noise.
+    """
+    zone = parse_zone_text(MINIMAL_ZONE_TEXT)
+    gate = PublishGate(build_snapshot(zone, "verified"))
+
+    start = time.perf_counter()
+    boot = gate.bootstrap()
+    bootstrap_seconds = time.perf_counter() - start
+    assert boot.accepted, boot.describe()
+
+    benign = []
+    for round_no in range(rounds):
+        text = MINIMAL_ZONE_TEXT.replace(
+            "192.0.2.10", f"192.0.2.{100 + round_no}"
+        )
+        result = gate.submit(parse_zone_text(text))
+        assert result.accepted, result.describe()
+        benign.append(result.verify_seconds + result.publish_seconds)
+
+    buggy_gate = PublishGate(build_snapshot(zone, "v2.0"))
+    buggy_gate.bootstrap()
+    held = buggy_gate.submit(parse_zone_text(BUGGY_DELTA))
+    assert not held.accepted
+
+    return {
+        "bootstrap_seconds": round(bootstrap_seconds, 4),
+        "benign_publish_seconds": round(min(benign), 4),
+        "benign_publish_seconds_all": [round(s, 4) for s in benign],
+        "buggy_hold_seconds": round(
+            held.verify_seconds + held.publish_seconds, 4
+        ),
+        "buggy_verdict": held.verdict,
+    }
+
+
+# -- pytest harness ----------------------------------------------------------
+
+
+def test_query_path_qps(benchmark):
+    server = ZoneServer(evaluation_zone())
+    wires = wire_mix()
+    state = {"i": 0}
+
+    def one_query():
+        i = state["i"] = state["i"] + 1
+        assert server.handle_packet(wires[i % len(wires)], "bench")
+
+    benchmark(one_query)
+
+
+def test_publish_latency(benchmark):
+    report = benchmark.pedantic(
+        measure_publish_latency, args=(2,), rounds=1, iterations=1
+    )
+    print()
+    print(f"  bootstrap {report['bootstrap_seconds']}s, "
+          f"benign publish {report['benign_publish_seconds']}s, "
+          f"buggy hold {report['buggy_hold_seconds']}s")
+    # The steady-state operator path must be much cheaper than bootstrap.
+    assert report["benign_publish_seconds"] < report["bootstrap_seconds"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=20000,
+                        help="query count for the qps measurement")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="benign-delta publish repetitions")
+    parser.add_argument("--min-qps", type=float, default=None,
+                        help="exit 1 if measured qps falls below this")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON document to FILE "
+                        "(e.g. BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    qps, micros = measure_qps(args.queries)
+    publish = measure_publish_latency(args.rounds)
+    document = {
+        "benchmark": "serve",
+        "zone": "evaluation",
+        "engine_version": "verified",
+        "query_mix": [f"{name} {qtype.name}" for name, qtype in QUERY_MIX],
+        "queries": args.queries,
+        "qps": round(qps, 1),
+        "query_micros": round(micros, 2),
+        "publish": publish,
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if args.min_qps is not None and qps < args.min_qps:
+        print(f"FAIL: {qps:.0f} qps below the {args.min_qps:.0f} floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

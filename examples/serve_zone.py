@@ -10,6 +10,10 @@ decode -> serialise response. Two modes:
 - ``--listen [port]``: bind a UDP socket (default 127.0.0.1:5353) and
   answer real queries; try ``dig -p 5353 @127.0.0.1 www.example.com``.
 
+This is the pedagogical loop; the production serving plane (asyncio
+UDP+TCP, verify-then-publish gate, rate limiting, status channel) is
+``python -m repro serve`` — see :mod:`repro.serve`.
+
 Run:  python examples/serve_zone.py [--version verified] [--listen [port]]
 """
 
@@ -21,6 +25,7 @@ from repro.dns.rtypes import RCode, RRType
 from repro.dns.wire import WireError, build_query, build_response, parse_query
 from repro.engine import control
 from repro.engine.encoding import ZoneEncoder
+from repro.serve.snapshot import encode_query_name
 from repro.zonegen import evaluation_zone
 
 
@@ -43,12 +48,12 @@ class EngineServer:
         return build_response(txid, response)
 
     def resolve(self, query: Query) -> Response:
-        codes = []
-        for label in query.qname.reversed_labels:
-            if self.encoder.interner.has(label):
-                codes.append(self.encoder.interner.code(label))
-            else:
-                codes.append(self.encoder.interner.max_code)  # fresh label
+        # Distinct unknown labels get distinct, order-consistent fresh
+        # codes (they used to collapse onto interner.max_code, so e.g.
+        # a.b.wild.example.com looked like x.x.wild.example.com to the
+        # engine); the overlay decodes synthesized wildcard answers back
+        # to the labels the client actually sent.
+        codes, overlay = encode_query_name(self.encoder.interner, query.qname)
         try:
             go_resp = control.run_engine_concrete(
                 self.module, self.tree, codes, int(query.qtype)
@@ -56,7 +61,7 @@ class EngineServer:
         except Exception as exc:  # a buggy version may crash: SERVFAIL
             print(f"!! engine crashed on {query.to_text()}: {exc}")
             return Response(query=query, rcode=RCode.SERVFAIL, aa=False)
-        decoded = self.encoder.decode_response(query, go_resp)
+        decoded = self.encoder.decode_response(query, go_resp, overrides=overlay)
         if decoded is None:
             return Response(query=query, rcode=RCode.SERVFAIL, aa=False)
         return decoded

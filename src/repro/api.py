@@ -4,7 +4,7 @@ Three PRs of growth left the library's users juggling module-level entry
 points with divergent vocabularies (``verify_engine``, ``run_campaign``,
 ``WatchDaemon``) plus hand-built caches and budgets. A :class:`Session`
 bundles the run-scoped state — one cache, one
-:class:`~repro.core.options.VerifyOptions` — and exposes the three
+:class:`~repro.core.options.VerifyOptions` — and exposes the four
 operating modes behind it::
 
     from repro import Session
@@ -14,6 +14,7 @@ operating modes behind it::
     report = session.campaign(100, "v2.0")              # N generated zones
     daemon = session.watch("zones/prod.zone")           # re-verify on change
     daemon.run(max_updates=3)
+    server = session.serve("zones/prod.zone")           # gated serving plane
 
 Every method accepts keyword overrides for any :class:`VerifyOptions`
 field, applied on top of the session's defaults for that call only.
@@ -107,7 +108,7 @@ class Session:
     def _options(self, overrides: Dict) -> VerifyOptions:
         return self.options.with_(**overrides) if overrides else self.options
 
-    # -- the three operating modes ------------------------------------------
+    # -- the four operating modes -------------------------------------------
 
     def verify(self, zone: Union[Zone, str], version: str = "verified",
                **overrides):
@@ -193,4 +194,39 @@ class Session:
             max_failures=max_failures,
             workers=options.workers,
             options=options,
+        )
+
+    def serve(
+        self,
+        zone: Union[Zone, str] = "evaluation",
+        version: str = "verified",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        status_port: Optional[int] = 0,
+        rate_limit: Optional[float] = None,
+        selfcheck_every: int = 0,
+        **overrides,
+    ):
+        """A :class:`~repro.serve.ZoneServer` serving ``zone`` with
+        ``version``, its publish gate wired to this session's cache and
+        worker/budget options (so gated re-verifications replay from the
+        same summary cache the session's verifies warm). Returned
+        un-started: ``await server.start()`` inside a running loop, or
+        ``asyncio.run(server.run_forever())``. Zone updates go through
+        ``await server.publish(new_zone)`` and only take effect when the
+        delta re-verifies."""
+        from repro.serve import ZoneServer
+
+        options = self._options(overrides)
+        return ZoneServer(
+            load_zone(zone),
+            version,
+            host=host,
+            port=port,
+            status_port=status_port,
+            rate_limit=rate_limit,
+            selfcheck_every=selfcheck_every,
+            cache=self.cache,
+            options=options,
+            workers=options.workers,
         )

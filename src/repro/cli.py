@@ -320,22 +320,83 @@ def cmd_zonegen(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    sys.argv = [
-        "serve_zone",
-        "--version",
-        args.version,
-        "--listen",
-        str(args.port),
-    ]
-    import importlib.util
-    import pathlib
+    """``repro serve``: the verified serving plane (see repro.serve).
 
-    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "serve_zone.py"
-    spec = importlib.util.spec_from_file_location("serve_zone", script)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    module.main()
-    return 0
+    Binds UDP+TCP on ``--port`` and a JSON status channel on
+    ``--status-port``; with ``--watch FILE`` zone-file changes funnel
+    through the verify-then-publish gate (a delta that fails to re-verify
+    is held, the old snapshot keeps answering). Exit code 2 when the gate
+    alarm or the reloader's circuit breaker is raised at shutdown.
+    """
+    import asyncio
+    import json
+
+    from repro.core import VerifyOptions
+    from repro.serve import ZoneReloader, ZoneServer
+
+    zone = _load_zone(args)
+    options = VerifyOptions.from_args(args)
+    server = ZoneServer(
+        zone,
+        args.version,
+        host=args.host,
+        port=args.port,
+        status_port=args.status_port,
+        rate_limit=args.rate_limit,
+        selfcheck_every=args.selfcheck_every,
+        cache=_make_cache(args),
+        options=options,
+        workers=options.workers,
+    )
+
+    async def serve_main() -> int:
+        await server.start()
+        if not args.json:
+            print(
+                f"serving {zone.origin.to_text()} with engine {args.version} "
+                f"on {server.host}:{server.port} (udp+tcp), status on "
+                f"port {server.status_port}"
+            )
+        if args.verify_boot:
+            boot = await server.verify_boot()
+            if not args.json:
+                print(f"boot verification: {boot.describe()}")
+        reloader_task = None
+        reloader = None
+        if args.watch:
+            reloader = ZoneReloader(args.watch, server.gate)
+            reloader.prime()
+            reloader_task = asyncio.ensure_future(
+                reloader.run(interval=args.interval)
+            )
+            if not args.json:
+                print(f"watching {args.watch} (publish gated on re-verification)")
+        try:
+            await server.run_forever(duration=args.duration)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            if reloader_task is not None:
+                reloader_task.cancel()
+                try:
+                    await reloader_task
+                except asyncio.CancelledError:
+                    pass
+            await server.stop()
+        status = server.status()
+        if reloader is not None:
+            status["reloader"] = reloader.as_dict()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        alarmed = status["gate"]["alarm"] is not None
+        if reloader is not None and reloader.breaker.is_open:
+            alarmed = True
+        return 2 if alarmed else 0
+
+    try:
+        return asyncio.run(serve_main())
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -386,9 +447,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2023)
     p.set_defaults(func=cmd_zonegen)
 
-    p = sub.add_parser("serve", help="serve a zone over UDP")
+    p = sub.add_parser(
+        "serve",
+        help="authoritative server (UDP+TCP) with a verify-then-publish "
+        "gate on zone updates",
+        parents=[runtime],
+    )
+    _add_zone_arguments(p)
     p.add_argument("--version", default="verified", choices=versions)
-    p.add_argument("--port", type=int, default=5353)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=5353,
+                   help="UDP+TCP port (0 picks a free one)")
+    p.add_argument("--status-port", type=int, default=8053,
+                   help="JSON status channel port (0 picks a free one)")
+    p.add_argument("--rate-limit", type=float, default=None, metavar="QPS",
+                   help="per-client token-bucket rate limit")
+    p.add_argument("--selfcheck-every", type=int, default=0, metavar="N",
+                   help="replay every Nth live query differentially against "
+                   "the verified engine (0 disables)")
+    p.add_argument("--watch", default=None, metavar="FILE",
+                   help="tail FILE; changed zones publish only after their "
+                   "delta re-verifies")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="zone-file poll interval in seconds")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then exit (default: forever)")
+    p.add_argument("--verify-boot", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="verify the boot zone before announcing readiness "
+                   "(a failure alarms but still serves)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

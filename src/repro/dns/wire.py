@@ -37,6 +37,10 @@ class WireError(ValueError):
 
 _HEADER = struct.Struct("!HHHHHH")
 
+#: RFC 1035 section 3.1: a whole name occupies at most 255 octets on the
+#: wire (length bytes plus the terminating root byte included).
+MAX_NAME_WIRE_LENGTH = 255
+
 
 def parse_name(wire: bytes, offset: int) -> Tuple[DnsName, int]:
     """Parse a possibly-compressed name; returns (name, next offset)."""
@@ -44,6 +48,7 @@ def parse_name(wire: bytes, offset: int) -> Tuple[DnsName, int]:
     jumps = 0
     next_offset = None
     pos = offset
+    wire_length = 0  # decompressed octets, per RFC 1035 3.1
     while True:
         if pos >= len(wire):
             raise WireError("truncated name")
@@ -59,6 +64,12 @@ def parse_name(wire: bytes, offset: int) -> Tuple[DnsName, int]:
             if jumps > 32:
                 raise WireError("compression pointer loop")
             continue
+        if length & 0xC0:
+            # 0x40/0x80 label types are reserved (RFC 1035 4.1.4).
+            raise WireError(f"reserved label length byte 0x{length:02x}")
+        wire_length += 1 + length
+        if wire_length > MAX_NAME_WIRE_LENGTH:
+            raise WireError(f"name exceeds {MAX_NAME_WIRE_LENGTH} octets")
         pos += 1
         if length == 0:
             break
@@ -176,6 +187,22 @@ def build_response(txid: int, response: Response) -> bytes:
         for record in section:
             out += _encode_record(record)
     return bytes(out)
+
+
+def build_error_response(txid: int, rcode: RCode, query: Query = None) -> bytes:
+    """A minimal error reply for queries that failed before (or during)
+    resolution: header-only when the question never parsed (FORMERR), the
+    question echoed back when it did (SERVFAIL on engine failure). The
+    serving path uses this instead of silently dropping, so clients fail
+    fast and the failure is countable on both ends."""
+    flags = 0x8000 | (int(rcode) & 0xF)
+    if query is None:
+        return _HEADER.pack(txid, flags, 0, 0, 0, 0)
+    header = _HEADER.pack(txid, flags, 1, 0, 0, 0)
+    question = query.qname.to_wire() + struct.pack(
+        "!HH", int(query.qtype), int(DNSClass.IN)
+    )
+    return header + question
 
 
 def parse_response(wire: bytes) -> Tuple[int, Response]:

@@ -62,8 +62,27 @@ class ZoneEncoder:
             self._name_lists[name] = cached
         return cached
 
-    def decode_name(self, codes) -> Optional[DnsName]:
-        return self.interner.decode_name(codes)
+    def decode_name(self, codes, overrides: Optional[Dict[int, str]] = None
+                    ) -> Optional[DnsName]:
+        """Decode label codes to a name. ``overrides`` maps fresh codes the
+        caller allocated (see :func:`repro.serve.snapshot.encode_query_name`)
+        back to their original labels, so responses that echo a query name
+        decode to exactly what was asked rather than a synthesized gap
+        label."""
+        if not overrides:
+            return self.interner.decode_name(codes)
+        reversed_labels = []
+        for code in codes:
+            label = overrides.get(code)
+            if label is None:
+                label = self.interner.decode(code)
+            if label is None:
+                return None
+            reversed_labels.append(label)
+        try:
+            return DnsName(tuple(reversed(reversed_labels)))
+        except Exception:
+            return None
 
     # -- rdata ------------------------------------------------------------------
 
@@ -108,25 +127,28 @@ class ZoneEncoder:
 
     # -- decoding responses --------------------------------------------------------
 
-    def decode_rr(self, rr_view) -> Optional[ResourceRecord]:
+    def decode_rr(self, rr_view, overrides: Optional[Dict[int, str]] = None
+                  ) -> Optional[ResourceRecord]:
         """Decode an RR (GoStruct, or a concretized dict from symex memory)
         back into a :class:`ResourceRecord`. Returns None when a name label
         cannot be decoded (caller re-solves)."""
         get = _accessor(rr_view)
-        name = self.decode_name(get("rname"))
+        name = self.decode_name(get("rname"), overrides)
         if name is None:
             return None
         rdata = self.rdata_for_id(get("rdata_id"))
         return ResourceRecord(name, RRType(get("rtype")), rdata)
 
-    def decode_response(self, query: Query, resp_view) -> Optional[DnsResponse]:
+    def decode_response(self, query: Query, resp_view,
+                        overrides: Optional[Dict[int, str]] = None
+                        ) -> Optional[DnsResponse]:
         """Decode an engine/spec Response value into the dns domain model."""
         get = _accessor(resp_view)
         sections = []
         for field in ("answer", "authority", "additional"):
             out = []
             for rr_view in get(field):
-                decoded = self.decode_rr(rr_view)
+                decoded = self.decode_rr(rr_view, overrides)
                 if decoded is None:
                     return None
                 out.append(decoded)

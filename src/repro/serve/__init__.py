@@ -1,0 +1,47 @@
+"""The verified serving plane.
+
+An asyncio UDP+TCP authoritative server (:class:`ZoneServer`) answering
+real DNS packets from an immutable :class:`ServingSnapshot`, behind a
+verify-then-publish gate (:class:`PublishGate`): a zone delta only
+hot-swaps into the serving snapshot after it re-verifies through
+:class:`~repro.incremental.IncrementalVerifier`; BUG/UNKNOWN/ERROR holds
+the old snapshot and raises a health alarm. Operational hardening —
+per-client token-bucket rate limiting, retry/backoff zone reloading, a
+JSON status channel, differential self-checking of live traffic — lives
+in the sibling modules.
+
+Entry points: ``repro serve`` (CLI), :meth:`repro.Session.serve` (API),
+or construct :class:`ZoneServer` directly::
+
+    server = ZoneServer(zone, "verified", port=5353)
+    await server.start()
+    result = await server.publish(new_zone)   # gated: held unless VERIFIED
+"""
+
+from repro.serve.gate import PublishGate, PublishResult
+from repro.serve.metrics import ServerMetrics
+from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
+from repro.serve.reload import ZoneReloader
+from repro.serve.selfcheck import SelfChecker
+from repro.serve.server import ZoneServer
+from repro.serve.snapshot import (
+    ResolveError,
+    ServingSnapshot,
+    build_snapshot,
+    encode_query_name,
+)
+
+__all__ = [
+    "ClientRateLimiter",
+    "PublishGate",
+    "PublishResult",
+    "ResolveError",
+    "SelfChecker",
+    "ServerMetrics",
+    "ServingSnapshot",
+    "TokenBucket",
+    "ZoneReloader",
+    "ZoneServer",
+    "build_snapshot",
+    "encode_query_name",
+]

@@ -1,0 +1,198 @@
+"""The verify-then-publish gate between zone updates and the serving plane.
+
+Every zone delta funnels through :meth:`PublishGate.submit`: the candidate
+zone is re-verified by an :class:`~repro.incremental.IncrementalVerifier`
+(so unchanged query-space partitions replay from the summary cache and the
+gate's latency tracks the *delta*, not the zone), and the typed verdict
+decides publication:
+
+- ``VERIFIED``  — a fresh :class:`~repro.serve.snapshot.ServingSnapshot`
+  is built and swapped in atomically; in-flight queries finish on the old
+  snapshot, new queries see the new one, nothing drops.
+- ``BUG`` / ``UNKNOWN`` / ``ERROR`` — the old snapshot keeps serving, the
+  candidate is *held*, and a health alarm latches (visible on the status
+  channel) until a later submission publishes cleanly.
+
+The verifier deliberately tracks the latest *submitted* zone rather than
+the latest *published* one: after a held delta, the next submission is
+verified as a delta against what the operator most recently pushed, which
+is both cheaper (closure-level invalidation) and what an operator fixing a
+bad push expects. The serving snapshot only ever advances on VERIFIED.
+
+``submit`` is synchronous and CPU-bound (it runs the prover); the asyncio
+server calls it via a worker thread so the event loop keeps answering
+queries mid-verification. The snapshot swap itself is a single attribute
+assignment, atomic under the GIL.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.dns.zone import Zone
+from repro.incremental.cache import SummaryCache
+from repro.incremental.engine import IncrementalVerifier
+from repro.resilience import verdicts as verdicts_mod
+from repro.serve.snapshot import ServingSnapshot, build_snapshot
+
+#: How many publish/hold outcomes the gate remembers for the status feed.
+HISTORY_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """The outcome of one gated submission."""
+
+    accepted: bool
+    verdict: str
+    reason: Optional[str]
+    records_changed: int
+    bugs: int
+    verify_seconds: float
+    publish_seconds: float  # submit -> swap (or hold) wall time
+    sequence: int  # snapshot sequence now serving
+    snapshot_digest: str  # digest now serving
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        action = "published" if self.accepted else "HELD"
+        extra = f" ({self.reason})" if self.reason else ""
+        return (
+            f"{action}: {self.verdict}{extra}, {self.records_changed} record(s) "
+            f"changed, verify {self.verify_seconds:.2f}s, now serving "
+            f"#{self.sequence} {self.snapshot_digest[:12]}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "records_changed": self.records_changed,
+            "bugs": self.bugs,
+            "verify_seconds": round(self.verify_seconds, 6),
+            "publish_seconds": round(self.publish_seconds, 6),
+            "sequence": self.sequence,
+            "snapshot_digest": self.snapshot_digest,
+            "error": self.error,
+        }
+
+
+class PublishGate:
+    """Owns the currently-published snapshot and the verifier gating it."""
+
+    def __init__(
+        self,
+        snapshot: ServingSnapshot,
+        cache: Optional[SummaryCache] = None,
+        options=None,
+        workers: Optional[int] = None,
+        clock=time.monotonic,
+    ):
+        self.snapshot = snapshot
+        self._clock = clock
+        self._verifier = IncrementalVerifier(
+            snapshot.zone,
+            snapshot.version,
+            cache=cache if cache is not None else SummaryCache(memory_only=True),
+            workers=workers,
+            options=options,
+        )
+        self.publishes = 0
+        self.holds = 0
+        self.errors = 0
+        #: Latched on hold, cleared on the next successful publish.
+        self.alarm: Optional[Dict[str, object]] = None
+        self.last_result: Optional[PublishResult] = None
+        self.history: Deque[Dict[str, object]] = deque(maxlen=HISTORY_LIMIT)
+
+    # -- gating -------------------------------------------------------------
+
+    def bootstrap(self) -> PublishResult:
+        """Verify the zone the gate booted with (no delta, no swap on
+        success — the snapshot is already serving). A failing bootstrap
+        holds nothing but latches the alarm."""
+        return self._gate(self.snapshot.zone, bootstrap=True)
+
+    def submit(self, new_zone: Zone) -> PublishResult:
+        """Verify ``new_zone`` and publish it iff the verdict is VERIFIED."""
+        return self._gate(new_zone, bootstrap=False)
+
+    def _gate(self, zone: Zone, bootstrap: bool) -> PublishResult:
+        started = time.perf_counter()
+        error = None
+        bugs = 0
+        reason = None
+        records_changed = 0
+        try:
+            if bootstrap:
+                outcome = self._verifier.verify_current()
+            else:
+                outcome = self._verifier.diff_to(zone)
+            verdict = outcome.result.verdict
+            reason = outcome.result.unknown_reason
+            bugs = len(outcome.result.bugs)
+            records_changed = outcome.reuse.records_changed
+            verify_seconds = outcome.result.elapsed_seconds
+        except Exception as exc:  # injected faults, cache IO, compile errors
+            taxonomy, detail = verdicts_mod.classify_error(exc)
+            verdict = verdicts_mod.ERROR
+            reason = taxonomy
+            error = detail
+            verify_seconds = time.perf_counter() - started
+            self.errors += 1
+
+        accepted = verdict == verdicts_mod.VERIFIED
+        if accepted and not bootstrap:
+            self.snapshot = build_snapshot(
+                zone,
+                self.snapshot.version,
+                sequence=self.snapshot.sequence + 1,
+                clock=self._clock,
+            )
+        if accepted:
+            self.publishes += 0 if bootstrap else 1
+            self.alarm = None
+        else:
+            self.holds += 0 if bootstrap else 1
+            self.alarm = {
+                "verdict": verdict,
+                "reason": reason,
+                "bugs": bugs,
+                "error": error,
+                "at": self._clock(),
+                "bootstrap": bootstrap,
+            }
+        result = PublishResult(
+            accepted=accepted,
+            verdict=verdict,
+            reason=reason,
+            records_changed=records_changed,
+            bugs=bugs,
+            verify_seconds=verify_seconds,
+            publish_seconds=time.perf_counter() - started,
+            sequence=self.snapshot.sequence,
+            snapshot_digest=self.snapshot.digest,
+            error=error,
+        )
+        self.last_result = result
+        self.history.append(result.to_json())
+        return result
+
+    # -- status -------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        last = self.last_result
+        return {
+            "publishes": self.publishes,
+            "holds": self.holds,
+            "errors": self.errors,
+            "alarm": dict(self.alarm) if self.alarm else None,
+            "last_verdict": last.verdict if last else None,
+            "last_reason": last.reason if last else None,
+            "serving_sequence": self.snapshot.sequence,
+            "serving_digest": self.snapshot.digest,
+        }

@@ -1,0 +1,104 @@
+"""Serving-plane counters: queries, drops, rcodes, and a qps window.
+
+Plain integer counters (atomic enough under the GIL for the single-loop
+asyncio server; the only cross-thread writer is the publish gate, which
+touches its own fields). ``qps`` is computed over a sliding window of
+recent query timestamps so the status channel reports current load, not
+lifetime average. The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict
+
+#: Sliding-window length for the qps figure, seconds.
+QPS_WINDOW_SECONDS = 5.0
+
+
+class ServerMetrics:
+    """Counters for one :class:`~repro.serve.server.ZoneServer`."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 window: float = QPS_WINDOW_SECONDS):
+        self._clock = clock
+        self._window = window
+        self._recent: Deque[float] = deque()
+        self.started_at = clock()
+        self.queries_udp = 0
+        self.queries_tcp = 0
+        self.responses = 0
+        self.noerror = 0
+        self.nxdomain = 0
+        self.formerr = 0
+        self.servfail = 0
+        self.engine_crashes = 0
+        self.decode_failures = 0
+        self.encode_failures = 0
+        self.dropped_malformed = 0
+        self.dropped_ratelimit = 0
+        self.tcp_connections = 0
+        self.tcp_disconnects = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def count_query(self, transport: str) -> None:
+        if transport == "tcp":
+            self.queries_tcp += 1
+        else:
+            self.queries_udp += 1
+        now = self._clock()
+        self._recent.append(now)
+        floor = now - self._window
+        while self._recent and self._recent[0] < floor:
+            self._recent.popleft()
+
+    def count_rcode(self, rcode_value: int) -> None:
+        self.responses += 1
+        if rcode_value == 0:
+            self.noerror += 1
+        elif rcode_value == 3:
+            self.nxdomain += 1
+        elif rcode_value == 2:
+            self.servfail += 1
+        elif rcode_value == 1:
+            self.formerr += 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        return self.queries_udp + self.queries_tcp
+
+    def qps(self) -> float:
+        """Queries per second over the sliding window."""
+        now = self._clock()
+        floor = now - self._window
+        while self._recent and self._recent[0] < floor:
+            self._recent.popleft()
+        if not self._recent:
+            return 0.0
+        span = max(now - self._recent[0], 1e-9)
+        return len(self._recent) / span
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "queries_udp": self.queries_udp,
+            "queries_tcp": self.queries_tcp,
+            "responses": self.responses,
+            "noerror": self.noerror,
+            "nxdomain": self.nxdomain,
+            "formerr": self.formerr,
+            "servfail": self.servfail,
+            "engine_crashes": self.engine_crashes,
+            "decode_failures": self.decode_failures,
+            "encode_failures": self.encode_failures,
+            "dropped_malformed": self.dropped_malformed,
+            "dropped_ratelimit": self.dropped_ratelimit,
+            "tcp_connections": self.tcp_connections,
+            "tcp_disconnects": self.tcp_disconnects,
+            "qps": round(self.qps(), 3),
+            "uptime_seconds": round(self._clock() - self.started_at, 3),
+        }

@@ -1,0 +1,89 @@
+"""Token-bucket rate limiting, per client address.
+
+Classic token bucket: each client's bucket refills at ``rate`` tokens per
+second up to ``burst``; a query spends one token, and an empty bucket
+means the query is dropped (counted, never answered — the cheapest
+response to an abusive sender is silence). Buckets are lazily created and
+the client table is capped so a spoofed-source flood cannot grow memory
+without bound: when full, the stalest bucket (latest refill time furthest
+in the past) is evicted.
+
+The clock is injectable so tests advance time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+#: Default cap on tracked clients.
+MAX_CLIENTS = 4096
+
+
+class TokenBucket:
+    """One client's allowance."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class ClientRateLimiter:
+    """Per-client token buckets with a bounded client table."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = None,
+        max_clients: int = MAX_CLIENTS,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2.0 * rate)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.allowed = 0
+        self.denied = 0
+        self.evictions = 0
+
+    def allow(self, client: str) -> bool:
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                stalest = min(self._buckets, key=lambda c: self._buckets[c].updated)
+                del self._buckets[stalest]
+                self.evictions += 1
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+        if bucket.allow(now):
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "allowed": self.allowed,
+            "denied": self.denied,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,139 @@
+"""Zone-file reloading into the publish gate, hardened for production IO.
+
+:class:`ZoneReloader` tails one zone file the way the watch daemon does
+(mtime+size polling) but feeds the serving plane: a changed file is read
+with retry/backoff (editors and zone transfers rewrite files non-
+atomically; a torn read is transient), parsed, and submitted to the
+:class:`~repro.serve.gate.PublishGate` — where the verify-then-publish
+rule, not the reloader, decides whether the running snapshot advances.
+
+Failure model, reusing :mod:`repro.resilience`:
+
+- transient ``stat``/read errors retry with exponential backoff and
+  deterministic jitter (:class:`~repro.resilience.RetryPolicy`);
+- consecutive failing polls trip a :class:`~repro.resilience.CircuitBreaker`;
+  an open breaker stops the poll loop rather than spinning on a
+  permanently broken path — the server keeps serving its last good
+  snapshot either way;
+- a zone that fails to *parse* counts as a failed poll (malformed input is
+  operationally indistinguishable from a half-written file until it
+  persists); a zone that parses but fails to *verify* is a successful poll
+  whose submission the gate held — that is the gate's alarm, not the
+  reloader's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional
+
+from repro.dns.zonefile import parse_zone_text
+from repro.resilience.supervise import CircuitBreaker, RetryPolicy, retry_call
+from repro.serve.gate import PublishGate, PublishResult
+
+
+class ZoneReloader:
+    """Poll one zone file; submit changes to the publish gate."""
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        gate: PublishGate,
+        retry: Optional[RetryPolicy] = None,
+        max_failures: int = 5,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.path = os.fspath(path)
+        self.gate = gate
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(max_failures=max_failures)
+        self._sleep = sleep
+        self._last_mtime: Optional[float] = None
+        self._last_size: Optional[int] = None
+        self.polls = 0
+        self.reloads = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self.last_result: Optional[PublishResult] = None
+
+    # -- one poll ------------------------------------------------------------
+
+    def _stat_once(self):
+        st = os.stat(self.path)
+        return st.st_mtime, st.st_size
+
+    def _read_once(self) -> str:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def prime(self) -> None:
+        """Record the file's current identity without reloading — for a
+        server that already booted from this file's contents."""
+        try:
+            self._last_mtime, self._last_size = self._stat_once()
+        except OSError:
+            pass
+
+    def poll_once(self) -> Optional[PublishResult]:
+        """Submit the file to the gate if it changed. Returns the gate's
+        result for a processed change, None for no-change or IO failure
+        (failures feed the breaker and ``last_error``)."""
+        if self.breaker.is_open:
+            return None
+        self.polls += 1
+        try:
+            (mtime, size), _ = retry_call(self._stat_once, self.retry,
+                                          sleep=self._sleep)
+        except OSError as exc:
+            return self._fail(f"stat failed: {exc}")
+        if (mtime, size) == (self._last_mtime, self._last_size):
+            self.breaker.record_success()
+            return None
+        self._last_mtime, self._last_size = mtime, size
+        try:
+            text, _ = retry_call(self._read_once, self.retry, sleep=self._sleep)
+            zone = parse_zone_text(text)
+        except (OSError, ValueError) as exc:
+            return self._fail(f"zone reload failed: {exc}")
+        self.breaker.record_success()
+        self.last_error = None
+        self.reloads += 1
+        result = self.gate.submit(zone)
+        self.last_result = result
+        return result
+
+    def _fail(self, error: str) -> None:
+        self.breaker.record_failure()
+        self.failures += 1
+        self.last_error = error
+        return None
+
+    # -- the loop ------------------------------------------------------------
+
+    async def run(self, interval: float = 1.0,
+                  max_reloads: Optional[int] = None) -> int:
+        """Async poll loop (each poll runs in a worker thread — the gate
+        verifies synchronously). Exits when the breaker opens or after
+        ``max_reloads`` processed changes; returns the reload count."""
+        import asyncio
+
+        processed = 0
+        while not self.breaker.is_open:
+            result = await asyncio.to_thread(self.poll_once)
+            if result is not None:
+                processed += 1
+                if max_reloads is not None and processed >= max_reloads:
+                    break
+            await asyncio.sleep(interval)
+        return processed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "polls": self.polls,
+            "reloads": self.reloads,
+            "failures": self.failures,
+            "breaker": self.breaker.state,
+            "last_error": self.last_error,
+        }

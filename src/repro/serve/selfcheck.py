@@ -1,0 +1,134 @@
+"""Differential self-checking of the live serving path.
+
+The verifier proves the engine against the specification offline; the
+self-checker closes the loop on the *running* server by replaying a sample
+of real queries two ways — through the serving snapshot (whatever engine
+version is deployed) and through a ``verified``-engine snapshot of the
+same zone — and alarming on any divergence. A crash of the serving engine
+on a sampled query also counts as a divergence (the verified engine, by
+construction, answers it).
+
+Sampling is deterministic (every ``every``-th query) and bounded: sampled
+queries land in a fixed-size ring buffer that :meth:`run` drains, so an
+abusive query rate cannot grow memory or turn the checker into a second
+query load. The spec-level cross-check of
+:func:`repro.testing.differential.differential_test` is additionally run
+over the same sample, so a divergence report distinguishes "engine
+disagrees with the verified engine" from "both disagree with the spec".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.dns.message import Query
+from repro.serve.snapshot import ResolveError, ServingSnapshot, build_snapshot
+from repro.testing.differential import differential_test
+
+
+class SelfChecker:
+    """Sample live queries; replay them against the verified engine."""
+
+    def __init__(self, every: int = 64, capacity: int = 256,
+                 reference_version: str = "verified",
+                 clock=time.monotonic):
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = every
+        self.reference_version = reference_version
+        self._clock = clock
+        self._buffer: Deque[Query] = deque(maxlen=capacity)
+        self._seen = 0
+        self._reference: Optional[ServingSnapshot] = None
+        self.runs = 0
+        self.queries_checked = 0
+        self.divergences = 0
+        self.spec_divergences = 0
+        self.last_run_at: Optional[float] = None
+        self.last_divergence: Optional[str] = None
+
+    @property
+    def alarm(self) -> bool:
+        return self.divergences > 0 or self.spec_divergences > 0
+
+    # -- sampling (hot path: one modulo and sometimes an append) ------------
+
+    def observe(self, query: Query) -> None:
+        self._seen += 1
+        if self._seen % self.every == 0:
+            self._buffer.append(query)
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    # -- replay -------------------------------------------------------------
+
+    def _reference_for(self, snapshot: ServingSnapshot) -> ServingSnapshot:
+        ref = self._reference
+        if ref is None or ref.digest != snapshot.digest:
+            ref = build_snapshot(snapshot.zone, self.reference_version)
+            self._reference = ref
+        return ref
+
+    def run(self, snapshot: ServingSnapshot) -> Dict[str, object]:
+        """Drain the sample buffer and cross-check it; returns a report."""
+        queries: List[Query] = []
+        seen = set()
+        while self._buffer:
+            query = self._buffer.popleft()
+            key = (query.qname, query.qtype)
+            if key not in seen:
+                seen.add(key)
+                queries.append(query)
+        self.runs += 1
+        self.last_run_at = self._clock()
+        found: List[str] = []
+
+        if queries and snapshot.version != self.reference_version:
+            reference = self._reference_for(snapshot)
+            for query in queries:
+                try:
+                    served = snapshot.resolve(query)
+                except ResolveError as exc:
+                    found.append(f"{query.to_text()}: serving engine crashed: {exc}")
+                    continue
+                expected = reference.resolve(query)
+                if not served.semantically_equal(expected):
+                    found.append(
+                        f"{query.to_text()}: {snapshot.version} diverges from "
+                        f"{self.reference_version}"
+                    )
+        spec_divergences = 0
+        if queries:
+            spec_result = differential_test(
+                snapshot.zone, snapshot.version, queries=queries,
+                check_reference=False,
+            )
+            spec_divergences = len(spec_result.divergences)
+            self.spec_divergences += spec_divergences
+
+        self.queries_checked += len(queries)
+        self.divergences += len(found)
+        if found:
+            self.last_divergence = found[0]
+        return {
+            "queries": len(queries),
+            "divergences": len(found),
+            "spec_divergences": spec_divergences,
+            "details": found[:10],
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "every": self.every,
+            "sampled_pending": self.pending,
+            "runs": self.runs,
+            "queries_checked": self.queries_checked,
+            "divergences": self.divergences,
+            "spec_divergences": self.spec_divergences,
+            "alarm": self.alarm,
+            "last_divergence": self.last_divergence,
+        }

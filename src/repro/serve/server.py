@@ -1,0 +1,327 @@
+"""The asyncio authoritative server: UDP + TCP + a status channel.
+
+:class:`ZoneServer` serves one zone with one engine version from an
+immutable :class:`~repro.serve.snapshot.ServingSnapshot`, fronted by the
+:class:`~repro.serve.gate.PublishGate` — zone updates only reach the
+serving path after they re-verify (see :mod:`repro.serve.gate`).
+
+Transports
+----------
+
+- **UDP** (RFC 1035 4.2.1): one datagram in, one datagram out. Malformed
+  packets shorter than a header are dropped (there is nothing safe to echo
+  back); parse failures past the header return FORMERR; engine failures
+  return SERVFAIL. Every branch increments a metric.
+- **TCP** (RFC 1035 4.2.2): two-byte length framing, many pipelined
+  queries per connection, mid-message disconnects tolerated. A rate-limit
+  drop closes the connection (the TCP analogue of dropping a datagram).
+- **Status**: connect to the status port and the server writes one JSON
+  document — snapshot digest/sequence, last publish verdict, health alarm,
+  qps and drop counters, self-check state — then closes. ``nc host port``
+  is the whole monitoring client.
+
+The query path is synchronous (parse → tree walk → serialize, ~40µs) and
+runs directly on the event loop; verification runs in a worker thread via
+:meth:`ZoneServer.publish` so the server keeps answering during a gate
+check. Self-checking replays a sample of live queries against a
+``verified``-engine snapshot (:mod:`repro.serve.selfcheck`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import time
+from typing import Dict, Optional
+
+from repro.dns.message import Query, Response
+from repro.dns.rtypes import RCode
+from repro.dns.wire import (
+    WireError,
+    build_error_response,
+    build_response,
+    parse_query,
+)
+from repro.dns.zone import Zone
+from repro.serve.gate import PublishGate, PublishResult
+from repro.serve.metrics import ServerMetrics
+from repro.serve.ratelimit import ClientRateLimiter
+from repro.serve.selfcheck import SelfChecker
+from repro.serve.snapshot import ResolveError, ServingSnapshot, build_snapshot
+
+#: Shortest parseable message: the 12-byte header. Anything shorter is
+#: dropped — there is no transaction id worth echoing an error to.
+MIN_QUERY_LENGTH = 12
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: "ZoneServer"):
+        self.server = server
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        reply = self.server.handle_packet(data, addr[0], transport="udp")
+        if reply:
+            self.transport.sendto(reply, addr)
+
+
+class ZoneServer:
+    """One zone, one engine version, served until told otherwise."""
+
+    def __init__(
+        self,
+        zone: Zone,
+        version: str = "verified",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        status_port: Optional[int] = 0,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        selfcheck_every: int = 0,
+        selfcheck_interval: float = 30.0,
+        cache=None,
+        options=None,
+        workers: Optional[int] = None,
+        clock=time.monotonic,
+    ):
+        snapshot = build_snapshot(zone, version, clock=clock)
+        self.version = version
+        self.host = host
+        self.port = port
+        self.status_port = status_port
+        self.gate = PublishGate(
+            snapshot, cache=cache, options=options, workers=workers, clock=clock
+        )
+        self.metrics = ServerMetrics(clock=clock)
+        self.limiter = (
+            ClientRateLimiter(rate_limit, rate_burst, clock=clock)
+            if rate_limit
+            else None
+        )
+        self.selfcheck = (
+            SelfChecker(every=selfcheck_every, clock=clock)
+            if selfcheck_every
+            else None
+        )
+        self.selfcheck_interval = selfcheck_interval
+        self._udp_transport = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._status_server: Optional[asyncio.AbstractServer] = None
+        self._selfcheck_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None  # created on start
+
+    # -- the query path (synchronous, runs on the event loop) ---------------
+
+    @property
+    def snapshot(self) -> ServingSnapshot:
+        return self.gate.snapshot
+
+    def handle_packet(self, data: bytes, client: str,
+                      transport: str = "udp") -> bytes:
+        """One query in, one (possibly empty) reply out. Pure function of
+        the current snapshot — no awaits, no shared mutable state beyond
+        counters — so a snapshot swap mid-burst is invisible to it."""
+        self.metrics.count_query(transport)
+        if self.limiter is not None and not self.limiter.allow(client):
+            self.metrics.dropped_ratelimit += 1
+            return b""
+        if len(data) < MIN_QUERY_LENGTH:
+            self.metrics.dropped_malformed += 1
+            return b""
+        try:
+            txid, query = parse_query(data)
+        except WireError:
+            txid = int.from_bytes(data[:2], "big")
+            self.metrics.count_rcode(int(RCode.FORMERR))
+            return build_error_response(txid, RCode.FORMERR)
+
+        if self.selfcheck is not None:
+            self.selfcheck.observe(query)
+
+        snapshot = self.gate.snapshot  # pin: publishes swap this reference
+        try:
+            response = snapshot.resolve(query)
+        except ResolveError as exc:
+            if exc.crash is not None:
+                self.metrics.engine_crashes += 1
+            else:
+                self.metrics.decode_failures += 1
+            self.metrics.count_rcode(int(RCode.SERVFAIL))
+            return build_error_response(txid, RCode.SERVFAIL, query)
+        try:
+            wire = build_response(txid, response)
+        except WireError:
+            self.metrics.encode_failures += 1
+            self.metrics.count_rcode(int(RCode.SERVFAIL))
+            return build_error_response(txid, RCode.SERVFAIL, query)
+        self.metrics.count_rcode(int(response.rcode))
+        return wire
+
+    def resolve(self, query: Query) -> Response:
+        """Resolve without the wire layer (tests, benchmarks)."""
+        return self.gate.snapshot.resolve(query)
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish_sync(self, new_zone: Zone) -> PublishResult:
+        """Gate a new zone synchronously (CPU-bound: runs the prover)."""
+        return self.gate.submit(new_zone)
+
+    async def publish(self, new_zone: Zone) -> PublishResult:
+        """Gate a new zone off-loop; queries keep flowing meanwhile."""
+        return await asyncio.to_thread(self.gate.submit, new_zone)
+
+    async def verify_boot(self) -> PublishResult:
+        """Verify the zone the server booted with (no swap; a failure
+        latches the gate alarm so the status channel shows it)."""
+        return await asyncio.to_thread(self.gate.bootstrap)
+
+    # -- self-check ---------------------------------------------------------
+
+    async def run_selfcheck(self) -> Optional[Dict[str, object]]:
+        if self.selfcheck is None:
+            return None
+        return await asyncio.to_thread(self.selfcheck.run, self.gate.snapshot)
+
+    async def _selfcheck_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.selfcheck_interval)
+            if self.selfcheck.pending:
+                await self.run_selfcheck()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind UDP, TCP and the status channel. ``port=0`` picks a free
+        port (the same number is then used for both UDP and TCP);
+        ``status_port=None`` disables the status channel, ``0`` picks a
+        free one."""
+        loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._udp_transport, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self), local_addr=(self.host, self.port)
+        )
+        self.port = self._udp_transport.get_extra_info("sockname")[1]
+        self._tcp_server = await asyncio.start_server(
+            self._serve_tcp, self.host, self.port
+        )
+        if self.status_port is not None:
+            self._status_server = await asyncio.start_server(
+                self._serve_status, self.host, self.status_port
+            )
+            self.status_port = self._status_server.sockets[0].getsockname()[1]
+        if self.selfcheck is not None and self.selfcheck_interval:
+            self._selfcheck_task = asyncio.ensure_future(self._selfcheck_loop())
+
+    async def stop(self) -> None:
+        if self._selfcheck_task is not None:
+            self._selfcheck_task.cancel()
+            try:
+                await self._selfcheck_task
+            except asyncio.CancelledError:
+                pass
+            self._selfcheck_task = None
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+            self._udp_transport = None
+        for server in (self._tcp_server, self._status_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._tcp_server = None
+        self._status_server = None
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def run_forever(self, duration: Optional[float] = None) -> None:
+        """Serve until cancelled (or for ``duration`` seconds)."""
+        if self._stopping is None:
+            await self.start()
+        try:
+            if duration is None:
+                await asyncio.Event().wait()
+            else:
+                await asyncio.sleep(duration)
+        finally:
+            await self.stop()
+
+    # -- TCP ----------------------------------------------------------------
+
+    async def _serve_tcp(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self.metrics.tcp_connections += 1
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if peer else "tcp"
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(2)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # clean EOF or mid-header disconnect
+                (length,) = struct.unpack("!H", header)
+                try:
+                    data = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    self.metrics.tcp_disconnects += 1
+                    break
+                reply = self.handle_packet(data, client, transport="tcp")
+                if not reply:
+                    break  # dropped (rate limit/malformed): close
+                writer.write(struct.pack("!H", len(reply)) + reply)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    self.metrics.tcp_disconnects += 1
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- status channel ------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        snapshot = self.gate.snapshot
+        payload: Dict[str, object] = {
+            "version": snapshot.version,
+            "origin": snapshot.zone.origin.to_text(),
+            "snapshot": {
+                "digest": snapshot.digest,
+                "sequence": snapshot.sequence,
+                "records": len(snapshot.zone),
+                "published_at": snapshot.published_at,
+            },
+            "gate": self.gate.health(),
+            "metrics": self.metrics.as_dict(),
+            "endpoints": {
+                "host": self.host,
+                "port": self.port,
+                "status_port": self.status_port,
+            },
+        }
+        if self.limiter is not None:
+            payload["ratelimit"] = self.limiter.as_dict()
+        if self.selfcheck is not None:
+            payload["selfcheck"] = self.selfcheck.as_dict()
+        return payload
+
+    async def _serve_status(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.write(json.dumps(self.status(), sort_keys=True).encode()
+                         + b"\n")
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

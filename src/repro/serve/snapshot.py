@@ -1,0 +1,154 @@
+"""The immutable serving unit: one zone, one engine, one domain tree.
+
+A :class:`ServingSnapshot` bundles everything one query needs — the zone,
+its :class:`~repro.engine.encoding.ZoneEncoder`, the engine's in-heap
+domain tree and the engine module itself — built once and never mutated.
+The server publishes a new snapshot by swapping a single reference
+(atomic under the GIL), so in-flight queries keep resolving against the
+snapshot they started with and a hot-swap never drops traffic.
+
+Fresh-label encoding
+--------------------
+
+Query names routinely contain labels the zone has never seen (NXDOMAIN
+traffic, wildcard synthesis). The interner's code space is built for this:
+codes between two interned codes denote labels lying strictly between the
+neighbouring interned labels. :func:`encode_query_name` allocates a
+*distinct* gap code per distinct unknown label — mid-gap, ordered
+byte-wise within the gap — so ``a.b.example.com`` with two unknown labels
+never collapses into ``x.x.example.com`` (the bug the old example had:
+every unknown label mapped to ``interner.max_code``, so distinct unknown
+labels in one qname collided, and wildcard matching saw the wrong shape).
+The returned overlay maps each fresh code back to the original query
+label, so synthesized records (wildcard expansion echoes the query name)
+decode to exactly what the client asked for.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.interner import LABEL_SPACING, LabelInterner
+from repro.dns.message import Query, Response
+from repro.dns.zone import Zone
+from repro.engine import control
+from repro.engine.encoding import ZoneEncoder
+from repro.incremental.digest import zone_digest
+
+
+class ResolveError(Exception):
+    """The engine crashed on a query or its answer did not decode; the
+    server degrades the query to SERVFAIL and counts it."""
+
+    def __init__(self, message: str, crash: Optional[BaseException] = None):
+        super().__init__(message)
+        self.crash = crash
+
+
+def encode_query_name(
+    interner: LabelInterner, name
+) -> Tuple[List[int], Dict[int, str]]:
+    """Codes for a query name, with distinct order-consistent fresh codes
+    for labels outside the interner universe.
+
+    Returns ``(codes, overlay)`` where ``overlay`` maps each fresh code
+    back to its label (for decoding responses that echo the query name).
+    Unknown labels are ranked against the interned universe and placed
+    mid-gap; several unknown labels landing in the same gap are ordered
+    byte-wise within it, so every comparison an engine walk can make
+    (``<`` / ``>`` / ``==`` against interned codes *and* between fresh
+    codes) agrees with canonical label order.
+    """
+    universe = interner.universe
+    unknown: Dict[str, int] = {}  # label -> gap rank
+    for label in name.reversed_labels:
+        lab = label.lower()
+        if not interner.has(lab):
+            unknown.setdefault(lab, bisect_left(universe, lab))
+
+    fresh: Dict[str, int] = {}
+    overlay: Dict[int, str] = {}
+    by_gap: Dict[int, List[str]] = {}
+    for lab, rank in unknown.items():
+        by_gap.setdefault(rank, []).append(lab)
+    for rank, labels in by_gap.items():
+        base = rank * LABEL_SPACING + LABEL_SPACING // 2
+        for offset, lab in enumerate(sorted(labels)):
+            code = base + offset
+            fresh[lab] = code
+            overlay[code] = lab
+
+    codes = []
+    for label in name.reversed_labels:
+        lab = label.lower()
+        codes.append(interner.code(lab) if interner.has(lab) else fresh[lab])
+    return codes, overlay
+
+
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """One published state of the serving plane (never mutated in place)."""
+
+    zone: Zone
+    version: str
+    encoder: ZoneEncoder = field(repr=False)
+    tree: object = field(repr=False)  # DomainTree
+    module: object = field(repr=False)  # GoPy engine module
+    digest: str = ""
+    sequence: int = 0
+    published_at: float = 0.0
+
+    def resolve(self, query: Query) -> Response:
+        """Answer one query against this snapshot.
+
+        Raises :class:`ResolveError` when the engine panics (buggy
+        versions do) or the engine's answer fails to decode; the caller
+        turns that into SERVFAIL.
+        """
+        codes, overlay = encode_query_name(self.encoder.interner, query.qname)
+        try:
+            go_resp = control.run_engine_concrete(
+                self.module, self.tree, codes, int(query.qtype)
+            )
+        except Exception as exc:  # engine panic: IndexError/AttributeError/...
+            raise ResolveError(
+                f"engine {self.version} crashed on {query.to_text()}: "
+                f"{type(exc).__name__}: {exc}",
+                crash=exc,
+            ) from exc
+        decoded = self.encoder.decode_response(query, go_resp, overrides=overlay)
+        if decoded is None:
+            raise ResolveError(f"answer for {query.to_text()} did not decode")
+        return decoded
+
+    def describe(self) -> str:
+        return (
+            f"snapshot #{self.sequence} of {self.zone.origin.to_text()} "
+            f"({len(self.zone)} records, engine {self.version}, "
+            f"digest {self.digest[:12]})"
+        )
+
+
+def build_snapshot(
+    zone: Zone,
+    version: str = "verified",
+    sequence: int = 0,
+    clock=time.monotonic,
+) -> ServingSnapshot:
+    """Encode ``zone`` for ``version`` into an immutable serving snapshot."""
+    if version not in control.ENGINE_VERSIONS:
+        raise ValueError(f"unknown engine version {version!r}")
+    encoder = ZoneEncoder(zone)
+    return ServingSnapshot(
+        zone=zone,
+        version=version,
+        encoder=encoder,
+        tree=control.build_domain_tree(encoder),
+        module=control.ENGINE_VERSIONS[version],
+        digest=zone_digest(zone),
+        sequence=sequence,
+        published_at=clock(),
+    )

@@ -6,7 +6,9 @@ from repro.dns.message import Query, Response
 from repro.dns.name import DnsName
 from repro.dns.rtypes import RCode, RRType
 from repro.dns.wire import (
+    MAX_NAME_WIRE_LENGTH,
     WireError,
+    build_error_response,
     build_query,
     build_response,
     parse_name,
@@ -108,3 +110,66 @@ class TestResponseRoundTrip:
         assert response.rcode is RCode.NXDOMAIN
         _, parsed = parse_response(build_response(1, response))
         assert parsed.rcode is RCode.NXDOMAIN
+
+
+HEADER = b"\x12\x34" + b"\x00" * 10  # txid 0x1234, zero flags/counts
+
+
+class TestMalformedNames:
+    """The hardening the serving path relies on: hostile qnames raise
+    WireError (-> FORMERR) instead of over-reading or mis-parsing."""
+
+    def test_truncated_qname_label(self):
+        # Length byte promises 7 octets; the packet ends after 4.
+        wire = HEADER[:4] + b"\x00\x01" + HEADER[6:] + b"\x07exam"
+        with pytest.raises(WireError):
+            parse_query(wire)
+
+    def test_truncated_mid_name(self):
+        # A full valid query cut anywhere inside the question.
+        full = build_query(1, Query(name("www.example.com."), RRType.A))
+        for cut in range(13, len(full) - 1):
+            with pytest.raises(WireError):
+                parse_query(full[:cut])
+
+    def test_qname_over_255_octets_rejected(self):
+        # Five maximal 63-octet labels: 5*64 + 1 = 321 wire octets.
+        label = b"\x3f" + b"a" * 63
+        overlong = label * 5 + b"\x00"
+        assert len(overlong) > MAX_NAME_WIRE_LENGTH
+        with pytest.raises(WireError, match="255 octets"):
+            parse_name(b"\x00" * 12 + overlong, 12)
+
+    def test_qname_at_255_octets_accepted(self):
+        # 3*64 + 3*20 + 1 = 253 octets: legal, if unusual.
+        labels = [b"\x3f" + b"a" * 63] * 3 + [b"\x13" + b"b" * 19] * 3
+        wire = b"\x00" * 12 + b"".join(labels) + b"\x00"
+        parsed, _ = parse_name(wire, 12)
+        assert len(parsed.labels) == 6
+
+    @pytest.mark.parametrize("length_byte", [0x40, 0x80, 0xBF])
+    def test_reserved_label_length_bytes_rejected(self, length_byte):
+        wire = b"\x00" * 12 + bytes([length_byte]) + b"a" * 10 + b"\x00"
+        with pytest.raises(WireError, match="reserved"):
+            parse_name(wire, 12)
+
+
+class TestErrorResponses:
+    def test_header_only_formerr(self):
+        # No parsed question to echo: 12 bytes, QR set, qdcount 0.
+        wire = build_error_response(0xABCD, RCode.FORMERR)
+        assert len(wire) == 12
+        assert wire[:2] == b"\xab\xcd"
+        flags = int.from_bytes(wire[2:4], "big")
+        assert flags & 0x8000
+        assert flags & 0xF == int(RCode.FORMERR)
+        assert wire[4:6] == b"\x00\x00"  # qdcount 0
+
+    def test_servfail_echoes_question(self):
+        query = Query(name("www.example.com."), RRType.A)
+        wire = build_error_response(7, RCode.SERVFAIL, query)
+        txid, parsed = parse_response(wire)
+        assert txid == 7
+        assert parsed.rcode is RCode.SERVFAIL
+        assert parsed.query == query
+        assert not parsed.answer and not parsed.authority

@@ -1,0 +1,83 @@
+"""Differential self-checking of the live serving path."""
+
+import pytest
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.serve import SelfChecker, build_snapshot
+from repro.zonegen import evaluation_zone
+
+
+def query(text, qtype=RRType.A):
+    return Query(DnsName.from_text(text), qtype)
+
+
+class TestSampling:
+    def test_every_nth_query_sampled(self):
+        checker = SelfChecker(every=3)
+        for _ in range(9):
+            checker.observe(query("www.example.com."))
+        assert checker.pending == 3
+
+    def test_buffer_bounded(self):
+        checker = SelfChecker(every=1, capacity=4)
+        for i in range(100):
+            checker.observe(query(f"h{i}.example.com."))
+        assert checker.pending == 4
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SelfChecker(every=0)
+
+
+class TestReplay:
+    def test_verified_engine_clean(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        for text in ("www.example.com.", "missing.example.com.",
+                     "anything.wild.example.com."):
+            checker.observe(query(text))
+        report = checker.run(snapshot)
+        assert report["divergences"] == 0
+        assert report["spec_divergences"] == 0
+        assert not checker.alarm
+        assert checker.pending == 0  # buffer drained
+
+    def test_buggy_engine_divergence_alarms(self):
+        # v2.0 stuffs extraneous additional records into wildcard MX
+        # answers (Table 2): replaying the sampled query against the
+        # verified engine exposes it.
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "v2.0")
+        checker.observe(query("anything.wild.example.com.", RRType.MX))
+        report = checker.run(snapshot)
+        assert report["divergences"] == 1
+        assert checker.alarm
+        assert "v2.0 diverges from verified" in checker.last_divergence
+
+    def test_crash_counts_as_divergence(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "dev")
+        checker.observe(query("ent.wild.example.com."))
+        report = checker.run(snapshot)
+        assert report["divergences"] == 1
+        assert "crashed" in report["details"][0]
+
+    def test_duplicate_samples_checked_once(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        for _ in range(5):
+            checker.observe(query("www.example.com."))
+        report = checker.run(snapshot)
+        assert report["queries"] == 1
+
+    def test_reference_snapshot_cached_by_digest(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "v1.0")
+        checker.observe(query("www.example.com."))
+        checker.run(snapshot)
+        first = checker._reference
+        checker.observe(query("example.com."))
+        checker.run(snapshot)
+        assert checker._reference is first  # same zone: no rebuild

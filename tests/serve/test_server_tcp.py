@@ -1,0 +1,203 @@
+"""TCP transport: RFC 1035 4.2.2 framing, pipelining, disconnects.
+
+All over asyncio loopback streams — no real network, no fixed ports.
+"""
+
+import asyncio
+import struct
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.wire import build_query, parse_response
+from repro.serve import ZoneServer
+from repro.zonegen import evaluation_zone
+
+
+def query_wire(text, qtype=RRType.A, txid=0x1234):
+    return build_query(txid, Query(DnsName.from_text(text), qtype))
+
+
+def frame(wire):
+    return struct.pack("!H", len(wire)) + wire
+
+
+async def read_framed(reader, timeout=5.0):
+    header = await asyncio.wait_for(reader.readexactly(2), timeout)
+    (length,) = struct.unpack("!H", header)
+    return await asyncio.wait_for(reader.readexactly(length), timeout)
+
+
+async def wait_for_metric(read, want, timeout=5.0):
+    """Poll a metric until it reaches ``want`` (the server notices a
+    disconnect asynchronously)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while read() < want:
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"metric never reached {want}: {read()}")
+        await asyncio.sleep(0.01)
+
+
+def with_server(run, **kwargs):
+    kwargs.setdefault("status_port", None)
+
+    async def main():
+        server = ZoneServer(evaluation_zone(), **kwargs)
+        await server.start()
+        try:
+            return await run(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestFraming:
+    def test_single_query_two_byte_length_prefix(self):
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(frame(query_wire("www.example.com.")))
+            await writer.drain()
+            header = await asyncio.wait_for(reader.readexactly(2), 5.0)
+            (length,) = struct.unpack("!H", header)
+            payload = await asyncio.wait_for(reader.readexactly(length), 5.0)
+            assert len(payload) == length  # prefix matches the message
+            txid, response = parse_response(payload)
+            assert txid == 0x1234
+            assert response.rcode is RCode.NOERROR
+            assert server.metrics.queries_tcp == 1
+            assert server.metrics.tcp_connections == 1
+            writer.close()
+            await writer.wait_closed()
+
+        with_server(run)
+
+    def test_message_split_across_writes(self):
+        # Framing must reassemble a message that arrives byte-dribbled.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            framed = frame(query_wire("www.example.com."))
+            for i in range(len(framed)):
+                writer.write(framed[i:i + 1])
+                await writer.drain()
+            reply = await read_framed(reader)
+            _, response = parse_response(reply)
+            assert response.rcode is RCode.NOERROR
+            writer.close()
+            await writer.wait_closed()
+
+        with_server(run)
+
+
+class TestPipelining:
+    def test_many_queries_one_connection_ordered_replies(self):
+        probes = [
+            (0x0001, "www.example.com.", RCode.NOERROR),
+            (0x0002, "missing.example.com.", RCode.NXDOMAIN),
+            (0x0003, "anything.wild.example.com.", RCode.NOERROR),
+            (0x0004, "example.com.", RCode.NOERROR),
+        ]
+
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            # All four frames in one write, before reading anything.
+            writer.write(b"".join(
+                frame(query_wire(name, txid=txid))
+                for txid, name, _ in probes
+            ))
+            await writer.drain()
+            for want_txid, _, want_rcode in probes:
+                reply = await read_framed(reader)
+                txid, response = parse_response(reply)
+                assert txid == want_txid
+                assert response.rcode is want_rcode
+            writer.close()
+            await writer.wait_closed()
+            assert server.metrics.queries_tcp == len(probes)
+            assert server.metrics.tcp_connections == 1
+
+        with_server(run)
+
+
+class TestDisconnects:
+    def test_mid_message_disconnect_counted(self):
+        # Length prefix promises 64 bytes; the client hangs up after 10.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(struct.pack("!H", 64) + b"\x00" * 10)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await wait_for_metric(
+                lambda: server.metrics.tcp_disconnects, 1
+            )
+            assert server.metrics.queries_tcp == 0  # never reached the path
+
+        with_server(run)
+
+    def test_clean_eof_between_messages_not_a_disconnect(self):
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(frame(query_wire("www.example.com.")))
+            await writer.drain()
+            await read_framed(reader)
+            writer.close()  # EOF exactly on a frame boundary
+            await writer.wait_closed()
+            await wait_for_metric(
+                lambda: server.metrics.tcp_connections, 1
+            )
+            await asyncio.sleep(0.05)  # give the handler time to exit
+            assert server.metrics.tcp_disconnects == 0
+
+        with_server(run)
+
+    def test_mid_header_disconnect_treated_as_eof(self):
+        # One byte of the two-byte length prefix, then hangup: the peer
+        # never committed to a message, so nothing is counted.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"\x00")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await wait_for_metric(
+                lambda: server.metrics.tcp_connections, 1
+            )
+            await asyncio.sleep(0.05)
+            assert server.metrics.tcp_disconnects == 0
+
+        with_server(run)
+
+
+class TestTcpDrops:
+    def test_rate_limited_connection_closed(self):
+        # burst = 2*rate = 2 tokens: the third pipelined query trips the
+        # limiter, whose TCP analogue is closing the connection.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            wire = query_wire("www.example.com.")
+            writer.write(frame(wire) * 3)
+            await writer.drain()
+            await read_framed(reader)
+            await read_framed(reader)
+            leftover = await asyncio.wait_for(reader.read(), 5.0)
+            assert leftover == b""  # server closed instead of replying
+            writer.close()
+            await writer.wait_closed()
+            assert server.metrics.dropped_ratelimit == 1
+
+        with_server(run, rate_limit=1.0)

@@ -1,0 +1,204 @@
+"""ZoneServer over real asyncio loopback UDP, plus the status channel."""
+
+import asyncio
+import json
+import struct
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.wire import build_query, parse_response
+from repro.dns.zonefile import parse_zone_text
+from repro.serve import ZoneServer
+from repro.zonegen import evaluation_zone
+from repro.zonegen.corpus import MINIMAL_ZONE_TEXT
+
+
+def query_wire(text, qtype=RRType.A, txid=0x1234):
+    return build_query(txid, Query(DnsName.from_text(text), qtype))
+
+
+class _Client(asyncio.DatagramProtocol):
+    def __init__(self):
+        self.transport = None
+        self.replies = asyncio.Queue()
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.replies.put_nowait(data)
+
+
+async def udp_query(server, wire, timeout=5.0):
+    loop = asyncio.get_running_loop()
+    transport, proto = await loop.create_datagram_endpoint(
+        _Client, remote_addr=(server.host, server.port)
+    )
+    try:
+        transport.sendto(wire)
+        return await asyncio.wait_for(proto.replies.get(), timeout)
+    finally:
+        transport.close()
+
+
+def with_server(run, **kwargs):
+    """Start a ZoneServer on loopback, run the async callback, stop."""
+    kwargs.setdefault("status_port", None)
+
+    async def main():
+        server = ZoneServer(evaluation_zone(), **kwargs)
+        await server.start()
+        try:
+            return await run(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestUdpQueries:
+    def test_positive_answer(self):
+        async def run(server):
+            reply = await udp_query(server, query_wire("www.example.com."))
+            txid, response = parse_response(reply)
+            assert txid == 0x1234
+            assert response.rcode is RCode.NOERROR
+            assert response.answer
+            assert server.metrics.queries_udp == 1
+            assert server.metrics.noerror == 1
+
+        with_server(run)
+
+    def test_nxdomain(self):
+        async def run(server):
+            reply = await udp_query(server, query_wire("missing.example.com."))
+            _, response = parse_response(reply)
+            assert response.rcode is RCode.NXDOMAIN
+            assert server.metrics.nxdomain == 1
+
+        with_server(run)
+
+    def test_wildcard_with_unknown_labels(self):
+        async def run(server):
+            reply = await udp_query(
+                server, query_wire("a.b.wild.example.com.")
+            )
+            _, response = parse_response(reply)
+            assert response.rcode is RCode.NOERROR
+            assert response.answer[0].rname == DnsName.from_text(
+                "a.b.wild.example.com."
+            )
+
+        with_server(run)
+
+    def test_formerr_on_truncated_qname(self):
+        # 12 header bytes + a label-length byte promising more than is
+        # there: parseable header, unparseable question -> FORMERR.
+        async def run(server):
+            wire = query_wire("www.example.com.", txid=0xABCD)[:14]
+            reply = await udp_query(server, wire)
+            txid, flags = struct.unpack("!HH", reply[:4])
+            assert txid == 0xABCD
+            assert flags & 0x8000  # QR: it is a response
+            assert flags & 0xF == int(RCode.FORMERR)
+            assert server.metrics.formerr == 1
+
+        with_server(run)
+
+    def test_sub_header_datagram_dropped_silently(self):
+        async def run(server):
+            transport, proto = await asyncio.get_running_loop(
+            ).create_datagram_endpoint(
+                _Client, remote_addr=(server.host, server.port)
+            )
+            try:
+                transport.sendto(b"\x00\x01\x02")
+                # No reply should come; a follow-up valid query still works.
+                transport.sendto(query_wire("www.example.com."))
+                reply = await asyncio.wait_for(proto.replies.get(), 5.0)
+                _, response = parse_response(reply)
+                assert response.rcode is RCode.NOERROR
+            finally:
+                transport.close()
+            assert server.metrics.dropped_malformed == 1
+
+        with_server(run)
+
+
+class TestRateLimit:
+    def test_over_limit_datagrams_dropped(self):
+        # rate 1 qps, burst 2: the third back-to-back packet is dropped.
+        server = ZoneServer(evaluation_zone(), rate_limit=1.0)
+        wire = query_wire("www.example.com.")
+        assert server.handle_packet(wire, "192.0.2.1")
+        assert server.handle_packet(wire, "192.0.2.1")
+        assert server.handle_packet(wire, "192.0.2.1") == b""
+        assert server.metrics.dropped_ratelimit == 1
+        # A different client has its own bucket.
+        assert server.handle_packet(wire, "192.0.2.2")
+
+
+class TestStatusChannel:
+    def test_status_json_over_tcp(self):
+        async def run(server):
+            await udp_query(server, query_wire("www.example.com."))
+            reader, writer = await asyncio.open_connection(
+                server.host, server.status_port
+            )
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            status = json.loads(line)
+            assert status["version"] == "verified"
+            assert status["snapshot"]["sequence"] == 0
+            assert status["snapshot"]["digest"] == server.snapshot.digest
+            assert status["metrics"]["queries_udp"] == 1
+            assert status["gate"]["alarm"] is None
+
+        with_server(run, status_port=0)
+
+
+class TestHotSwap:
+    def test_publish_during_query_burst_drops_nothing(self):
+        # The acceptance-criterion scenario: a benign delta verifies and
+        # swaps while loopback queries are in flight; every query gets an
+        # answer and the snapshot sequence advances.
+        zone = parse_zone_text(MINIMAL_ZONE_TEXT)
+        delta = parse_zone_text(
+            MINIMAL_ZONE_TEXT.replace("192.0.2.10", "192.0.2.99")
+        )
+
+        async def main():
+            server = ZoneServer(zone, status_port=None)
+            await server.start()
+            try:
+                server.gate.bootstrap()  # warm the partition cache
+                before = server.snapshot.sequence
+
+                async def pummel():
+                    answered = 0
+                    wire = query_wire("www.example.com.")
+                    while server.snapshot.sequence == before:
+                        reply = await udp_query(server, wire)
+                        _, response = parse_response(reply)
+                        assert response.rcode is RCode.NOERROR
+                        answered += 1
+                    return answered
+
+                burst, result = await asyncio.gather(
+                    pummel(), server.publish(delta)
+                )
+                assert result.accepted
+                assert server.snapshot.sequence == before + 1
+                assert burst > 0  # queries flowed during the gate check
+                assert server.metrics.servfail == 0
+                assert server.metrics.dropped_malformed == 0
+                # The swapped snapshot serves the new rdata.
+                reply = await udp_query(server, query_wire("www.example.com."))
+                _, response = parse_response(reply)
+                assert response.answer[0].rdata.to_text() == "192.0.2.99"
+            finally:
+                await server.stop()
+
+        asyncio.run(main())

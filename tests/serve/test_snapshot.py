@@ -1,0 +1,120 @@
+"""Serving snapshots and fresh-label query encoding."""
+
+import pytest
+
+from repro.dns.interner import LABEL_SPACING, LabelInterner
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.serve.snapshot import (
+    ResolveError,
+    build_snapshot,
+    encode_query_name,
+)
+from repro.zonegen import evaluation_zone, minimal_zone
+
+
+def name(text):
+    return DnsName.from_text(text)
+
+
+class TestEncodeQueryName:
+    def test_known_labels_use_interned_codes(self):
+        interner = LabelInterner(["com", "example", "www"])
+        codes, overlay = encode_query_name(interner, name("www.example.com."))
+        assert codes == [
+            interner.code("com"), interner.code("example"), interner.code("www")
+        ]
+        assert overlay == {}
+
+    def test_distinct_unknown_labels_get_distinct_codes(self):
+        # The old example mapped every unknown label to interner.max_code,
+        # so a.b.example.com collapsed into x.x.example.com.
+        interner = LabelInterner(["com", "example"])
+        codes, overlay = encode_query_name(interner, name("a.b.example.com."))
+        unknown = codes[2:]
+        assert len(set(unknown)) == 2
+        assert {overlay[c] for c in unknown} == {"a", "b"}
+
+    def test_fresh_codes_order_consistent_with_labels(self):
+        interner = LabelInterner(["com", "example", "mm"])
+        codes, _ = encode_query_name(interner, name("aa.zz.example.com."))
+        code_zz, code_aa = codes[2], codes[3]
+        # aa < mm < zz byte-wise, so code(aa) < code(mm) < code(zz).
+        assert code_aa < interner.code("mm") < code_zz
+        # Both stay inside the decodable range and off interned codes.
+        for code in (code_aa, code_zz):
+            assert interner.min_code < code <= interner.max_code
+            assert interner.decode(code) is not None
+
+    def test_same_label_twice_shares_one_code(self):
+        interner = LabelInterner(["com", "example"])
+        codes, overlay = encode_query_name(interner, name("zz.zz.example.com."))
+        assert codes[2] == codes[3]
+        assert len(overlay) == 1
+
+    def test_case_insensitive(self):
+        interner = LabelInterner(["com", "example", "www"])
+        codes, _ = encode_query_name(interner, name("WWW.Example.COM."))
+        assert codes == [
+            interner.code("com"), interner.code("example"), interner.code("www")
+        ]
+
+    def test_many_unknowns_in_one_gap_stay_in_gap(self):
+        interner = LabelInterner(["com", "zz"])
+        labels = [f"m{i:03d}" for i in range(50)]
+        qname = DnsName(tuple(labels[:20]) + ("com",))
+        codes, overlay = encode_query_name(interner, qname)
+        fresh = codes[1:]
+        assert len(set(fresh)) == 20
+        # All land strictly between code("com") and code("zz").
+        assert all(
+            interner.code("com") < c < interner.code("zz") for c in fresh
+        )
+        # Gap arithmetic: same gap, contiguous mid-gap codes.
+        assert max(fresh) - min(fresh) < LABEL_SPACING // 2
+
+
+class TestServingSnapshot:
+    def test_resolve_positive(self):
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        response = snapshot.resolve(Query(name("www.example.com."), RRType.A))
+        assert response.rcode is RCode.NOERROR
+        assert len(response.answer) == 1
+
+    def test_resolve_nxdomain(self):
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        response = snapshot.resolve(Query(name("nope.example.com."), RRType.A))
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_wildcard_answer_echoes_query_name(self):
+        # Multi-label wildcard synthesis: the answer's owner must be the
+        # qname the client sent, including labels the zone never interned.
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        response = snapshot.resolve(
+            Query(name("a.b.wild.example.com."), RRType.A)
+        )
+        assert response.rcode is RCode.NOERROR
+        assert response.answer[0].rname == name("a.b.wild.example.com.")
+
+    def test_buggy_engine_crash_raises_resolve_error(self):
+        # The dev version crashes on ENT queries (Table 2).
+        snapshot = build_snapshot(evaluation_zone(), "dev")
+        with pytest.raises(ResolveError) as info:
+            snapshot.resolve(Query(name("ent.wild.example.com."), RRType.A))
+        assert info.value.crash is not None
+
+    def test_digest_tracks_zone_content(self):
+        s1 = build_snapshot(minimal_zone(), "verified")
+        s2 = build_snapshot(evaluation_zone(), "verified")
+        assert s1.digest != s2.digest
+        assert build_snapshot(minimal_zone(), "verified").digest == s1.digest
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            build_snapshot(minimal_zone(), "v99.9")
+
+    def test_describe(self):
+        snapshot = build_snapshot(minimal_zone(), "verified", sequence=3)
+        text = snapshot.describe()
+        assert "#3" in text and "example.com." in text
