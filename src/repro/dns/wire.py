@@ -35,6 +35,14 @@ class WireError(ValueError):
     """Malformed wire data."""
 
 
+class NotAQueryError(WireError):
+    """The message parses as far as the header but has QR=1: it is a
+    response, not a query. RFC 1035 section 7.1 forbids answering it —
+    an error reply would itself carry QR=1, so two servers (or one
+    server fed its own spoofed address) would reflect errors at each
+    other forever. Servers must drop these, not FORMERR them."""
+
+
 _HEADER = struct.Struct("!HHHHHH")
 
 #: RFC 1035 section 3.1: a whole name occupies at most 255 octets on the
@@ -90,7 +98,7 @@ def parse_query(wire: bytes) -> Tuple[int, Query]:
         raise WireError("short header")
     txid, flags, qdcount, _, _, _ = _HEADER.unpack_from(wire)
     if flags & 0x8000:
-        raise WireError("message is a response, not a query")
+        raise NotAQueryError("message is a response, not a query")
     if qdcount != 1:
         raise WireError(f"expected exactly one question, got {qdcount}")
     qname, offset = parse_name(wire, _HEADER.size)

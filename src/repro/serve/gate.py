@@ -21,12 +21,16 @@ bad push expects. The serving snapshot only ever advances on VERIFIED.
 
 ``submit`` is synchronous and CPU-bound (it runs the prover); the asyncio
 server calls it via a worker thread so the event loop keeps answering
-queries mid-verification. The snapshot swap itself is a single attribute
-assignment, atomic under the GIL.
+queries mid-verification. Concurrent submissions (API publish racing the
+file reloader) are serialized by an internal lock — the gate is one
+verifier and one snapshot lineage, so there is nothing to parallelize.
+The snapshot swap itself is a single attribute assignment, atomic under
+the GIL.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -108,6 +112,11 @@ class PublishGate:
         self.alarm: Optional[Dict[str, object]] = None
         self.last_result: Optional[PublishResult] = None
         self.history: Deque[Dict[str, object]] = deque(maxlen=HISTORY_LIMIT)
+        #: Submissions arrive from multiple worker threads (ZoneServer.publish
+        #: runs in asyncio.to_thread, ZoneReloader.run in another); the gate
+        #: is inherently sequential — one verifier, one snapshot lineage — so
+        #: serialize them rather than racing on shared verifier state.
+        self._lock = threading.Lock()
 
     # -- gating -------------------------------------------------------------
 
@@ -122,6 +131,10 @@ class PublishGate:
         return self._gate(new_zone, bootstrap=False)
 
     def _gate(self, zone: Zone, bootstrap: bool) -> PublishResult:
+        with self._lock:
+            return self._gate_locked(zone, bootstrap)
+
+    def _gate_locked(self, zone: Zone, bootstrap: bool) -> PublishResult:
         started = time.perf_counter()
         error = None
         bugs = 0

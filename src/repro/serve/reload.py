@@ -90,12 +90,16 @@ class ZoneReloader:
         if (mtime, size) == (self._last_mtime, self._last_size):
             self.breaker.record_success()
             return None
-        self._last_mtime, self._last_size = mtime, size
         try:
             text, _ = retry_call(self._read_once, self.retry, sleep=self._sleep)
             zone = parse_zone_text(text)
         except (OSError, ValueError) as exc:
+            # Identity deliberately NOT committed: the next poll sees the
+            # change again and retries, so a torn read heals once the
+            # writer finishes and a persistently bad file keeps feeding
+            # the breaker instead of being marked as seen.
             return self._fail(f"zone reload failed: {exc}")
+        self._last_mtime, self._last_size = mtime, size
         self.breaker.record_success()
         self.last_error = None
         self.reloads += 1

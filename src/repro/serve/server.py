@@ -10,8 +10,10 @@ Transports
 
 - **UDP** (RFC 1035 4.2.1): one datagram in, one datagram out. Malformed
   packets shorter than a header are dropped (there is nothing safe to echo
-  back); parse failures past the header return FORMERR; engine failures
-  return SERVFAIL. Every branch increments a metric.
+  back), as are messages with QR=1 (answering a response would start a
+  reflection loop, RFC 1035 7.1); other parse failures past the header
+  return FORMERR; engine failures return SERVFAIL. Every branch
+  increments a metric.
 - **TCP** (RFC 1035 4.2.2): two-byte length framing, many pipelined
   queries per connection, mid-message disconnects tolerated. A rate-limit
   drop closes the connection (the TCP analogue of dropping a datagram).
@@ -31,13 +33,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import struct
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.dns.message import Query, Response
 from repro.dns.rtypes import RCode
 from repro.dns.wire import (
+    NotAQueryError,
     WireError,
     build_error_response,
     build_response,
@@ -53,6 +57,45 @@ from repro.serve.snapshot import ResolveError, ServingSnapshot, build_snapshot
 #: Shortest parseable message: the 12-byte header. Anything shorter is
 #: dropped — there is no transaction id worth echoing an error to.
 MIN_QUERY_LENGTH = 12
+
+
+def _bind_socket_pair(host: str, port: int,
+                      attempts: int = 32) -> Tuple[socket.socket,
+                                                   socket.socket]:
+    """Bind a UDP and a TCP socket on the *same* port number.
+
+    With ``port=0`` the OS picks the UDP port first, and the matching TCP
+    port may already belong to another process — so retry with a fresh
+    UDP port until a pair binds, instead of failing start() on whatever
+    number the first UDP bind happened to draw. An explicit port gets no
+    retries: a collision there is the operator's to resolve.
+    """
+    family = socket.AF_INET6 if ":" in host else socket.AF_INET
+    last_error: Optional[OSError] = None
+    for _ in range(attempts):
+        udp = socket.socket(family, socket.SOCK_DGRAM)
+        try:
+            udp.bind((host, port))
+        except OSError:
+            udp.close()
+            raise
+        chosen = udp.getsockname()[1]
+        tcp = socket.socket(family, socket.SOCK_STREAM)
+        tcp.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            tcp.bind((host, chosen))
+        except OSError as exc:
+            udp.close()
+            tcp.close()
+            if port != 0:
+                raise
+            last_error = exc
+            continue
+        return udp, tcp
+    raise OSError(
+        f"no free matching UDP+TCP port pair on {host} "
+        f"after {attempts} attempts"
+    ) from last_error
 
 
 class _UdpProtocol(asyncio.DatagramProtocol):
@@ -134,6 +177,13 @@ class ZoneServer:
             return b""
         try:
             txid, query = parse_query(data)
+        except NotAQueryError:
+            # RFC 1035 7.1: never answer a message with QR set — a reply
+            # would itself be a response, and a spoofed source address
+            # (another server's, or our own) turns that into an infinite
+            # reflection loop between authoritatives.
+            self.metrics.dropped_malformed += 1
+            return b""
         except WireError:
             txid = int.from_bytes(data[:2], "big")
             self.metrics.count_rcode(int(RCode.FORMERR))
@@ -202,12 +252,13 @@ class ZoneServer:
         free one."""
         loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
+        udp_sock, tcp_sock = _bind_socket_pair(self.host, self.port)
+        self.port = udp_sock.getsockname()[1]
         self._udp_transport, _ = await loop.create_datagram_endpoint(
-            lambda: _UdpProtocol(self), local_addr=(self.host, self.port)
+            lambda: _UdpProtocol(self), sock=udp_sock
         )
-        self.port = self._udp_transport.get_extra_info("sockname")[1]
         self._tcp_server = await asyncio.start_server(
-            self._serve_tcp, self.host, self.port
+            self._serve_tcp, sock=tcp_sock
         )
         if self.status_port is not None:
             self._status_server = await asyncio.start_server(

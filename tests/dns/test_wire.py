@@ -7,6 +7,7 @@ from repro.dns.name import DnsName
 from repro.dns.rtypes import RCode, RRType
 from repro.dns.wire import (
     MAX_NAME_WIRE_LENGTH,
+    NotAQueryError,
     WireError,
     build_error_response,
     build_query,
@@ -36,11 +37,14 @@ class TestQueryRoundTrip:
         assert parsed.qtype is qtype
 
     def test_rejects_response_bit(self):
+        # QR=1 raises the *distinct* subclass: servers must drop these
+        # silently (RFC 1035 7.1), unlike ordinary WireErrors -> FORMERR.
         query = Query(name("www.example.com."), RRType.A)
         wire = bytearray(build_query(1, query))
         wire[2] |= 0x80
-        with pytest.raises(WireError):
+        with pytest.raises(NotAQueryError):
             parse_query(bytes(wire))
+        assert issubclass(NotAQueryError, WireError)
 
     def test_rejects_truncated(self):
         query = Query(name("www.example.com."), RRType.A)

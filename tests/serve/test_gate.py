@@ -104,6 +104,31 @@ class TestHold:
         assert gate.errors == 1
 
 
+class TestConcurrency:
+    def test_racing_submissions_serialize(self):
+        # API publishes and the file reloader submit from different worker
+        # threads; the gate's lock serializes them, so counters, sequence
+        # and history stay consistent however the race lands.
+        import threading
+
+        gate = make_gate()
+        gate.bootstrap()
+        deltas = [
+            parse_zone_text(MINIMAL_ZONE_TEXT.replace(
+                "192.0.2.10", f"192.0.2.{50 + i}"))
+            for i in range(4)
+        ]
+        threads = [threading.Thread(target=gate.submit, args=(delta,))
+                   for delta in deltas]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gate.publishes + gate.holds == len(deltas)
+        assert gate.snapshot.sequence == gate.publishes
+        assert len(gate.history) == len(deltas) + 1  # + the bootstrap
+
+
 class TestBootstrap:
     def test_clean_bootstrap_no_swap_no_alarm(self):
         gate = make_gate()

@@ -71,6 +71,36 @@ class TestPoll:
         assert reloader.poll_once() is None
         assert reloader.polls == polls
 
+    def test_failed_reload_retried_next_poll(self, tmp_path):
+        # A torn read (file changed but read garbage) must NOT mark the
+        # change as seen: the next poll retries the same mtime/size and
+        # picks up the healed file without waiting for another change.
+        path, gate, reloader = make_reloader(tmp_path, max_failures=5)
+        reloader.prime()
+        healed = MINIMAL_ZONE_TEXT.replace("192.0.2.10", "192.0.2.77")
+        # Torn snapshot: same size (and, below, same mtime) as the final
+        # file, but unparsable — only an uncommitted identity makes the
+        # healed version reloadable.
+        write_zone(path, "x" * len(healed), 2000)
+        assert reloader.poll_once() is None
+        assert reloader.failures == 1
+        write_zone(path, healed, 2000)  # writer finished: identical identity
+        result = reloader.poll_once()
+        assert result is not None and result.accepted
+        assert gate.snapshot.sequence == 1
+
+    def test_persistently_bad_file_keeps_feeding_breaker(self, tmp_path):
+        # An unchanged-but-malformed file fails every poll (not just the
+        # poll that first saw it), so persistence trips the breaker as the
+        # failure model documents.
+        path, gate, reloader = make_reloader(tmp_path, max_failures=3)
+        reloader.prime()
+        write_zone(path, "not a zone file $ORIGIN garbage\n", 2000)
+        for expected in (1, 2, 3):
+            assert reloader.poll_once() is None
+            assert reloader.failures == expected
+        assert reloader.breaker.is_open
+
     def test_missing_file_retries_then_fails(self, tmp_path):
         path, gate, reloader = make_reloader(tmp_path)
         reloader.prime()

@@ -106,6 +106,44 @@ class TestUdpQueries:
 
         with_server(run)
 
+    def test_response_packet_dropped_not_reflected(self):
+        # A datagram with QR=1 (e.g. another server's reply, spoofed to
+        # come from us) must be dropped, not answered with FORMERR — an
+        # error reply also has QR set, so answering would let a single
+        # spoofed packet start an infinite reflection loop (RFC 1035 7.1).
+        async def run(server):
+            transport, proto = await asyncio.get_running_loop(
+            ).create_datagram_endpoint(
+                _Client, remote_addr=(server.host, server.port)
+            )
+            try:
+                spoofed = bytearray(query_wire("www.example.com."))
+                spoofed[2] |= 0x80  # QR: this is a response
+                transport.sendto(bytes(spoofed))
+                # No reply should come; a follow-up valid query still works.
+                transport.sendto(query_wire("www.example.com."))
+                reply = await asyncio.wait_for(proto.replies.get(), 5.0)
+                _, response = parse_response(reply)
+                assert response.rcode is RCode.NOERROR
+                assert proto.replies.empty()
+            finally:
+                transport.close()
+            assert server.metrics.dropped_malformed == 1
+            assert server.metrics.formerr == 0
+
+        with_server(run)
+
+    def test_own_reply_not_reanswered(self):
+        # The degenerate loop case: feed the server one of its own
+        # replies. handle_packet must return nothing.
+        server = ZoneServer(evaluation_zone())
+        reply = server.handle_packet(query_wire("www.example.com."),
+                                     "192.0.2.1")
+        assert reply
+        assert server.handle_packet(reply, "192.0.2.1") == b""
+        assert server.metrics.dropped_malformed == 1
+        assert server.metrics.formerr == 0
+
     def test_sub_header_datagram_dropped_silently(self):
         async def run(server):
             transport, proto = await asyncio.get_running_loop(
