@@ -212,6 +212,41 @@ def cmd_faultdrill(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_chaosdrill(args) -> int:
+    """``repro chaosdrill --serve``: soak the live serving plane under a
+    seeded fault storm and assert its invariants (see
+    :mod:`repro.testing.chaosdrill`). Exit 1 on any violated invariant.
+    """
+    import json as json_mod
+
+    from repro.testing.chaosdrill import ChaosDrillConfig, chaos_drill
+
+    if not args.serve:
+        print("chaosdrill currently has one mode: pass --serve "
+              "(site-by-site drills live under `repro faultdrill`)",
+              file=sys.stderr)
+        return 2
+    config = ChaosDrillConfig(
+        seed=args.seed,
+        queries=args.queries,
+        fault_rate=args.rate,
+        deltas=args.deltas,
+        version=args.version,
+        qps_capacity=args.qps_capacity,
+        duration=args.duration,
+    )
+    report = chaos_drill(config, workdir=args.workdir)
+    if args.json:
+        print(json_mod.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_mod.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.clean else 1
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: the GoPy anti-modularity linter.
 
@@ -325,11 +360,16 @@ def cmd_serve(args) -> int:
     Binds UDP+TCP on ``--port`` and a JSON status channel on
     ``--status-port``; with ``--watch FILE`` zone-file changes funnel
     through the verify-then-publish gate (a delta that fails to re-verify
-    is held, the old snapshot keeps answering). Exit code 2 when the gate
-    alarm or the reloader's circuit breaker is raised at shutdown.
+    is held, the old snapshot keeps answering). ``--journal FILE`` makes
+    publishes crash-safe (fsync'd intent records, replayed on boot);
+    ``--max-qps`` arms the graceful-degradation ladder. SIGTERM/SIGINT
+    drain gracefully: stop accepting, finish in-flight queries, exit 0.
+    Exit code 2 when the gate alarm or the reloader's circuit breaker is
+    raised at shutdown.
     """
     import asyncio
     import json
+    import signal
 
     from repro.core import VerifyOptions
     from repro.serve import ZoneReloader, ZoneServer
@@ -347,16 +387,27 @@ def cmd_serve(args) -> int:
         cache=_make_cache(args),
         options=options,
         workers=options.workers,
+        journal=args.journal,
+        max_qps=args.max_qps,
     )
 
     async def serve_main() -> int:
         await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal handlers
         if not args.json:
             print(
                 f"serving {zone.origin.to_text()} with engine {args.version} "
                 f"on {server.host}:{server.port} (udp+tcp), status on "
                 f"port {server.status_port}"
             )
+            if server.recovered_sequence is not None:
+                print(f"journal recovery: resumed at publish "
+                      f"#{server.recovered_sequence}")
         if args.verify_boot:
             boot = await server.verify_boot()
             if not args.json:
@@ -372,7 +423,8 @@ def cmd_serve(args) -> int:
             if not args.json:
                 print(f"watching {args.watch} (publish gated on re-verification)")
         try:
-            await server.run_forever(duration=args.duration)
+            await server.run_forever(duration=args.duration,
+                                     grace=args.grace)
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         finally:
@@ -397,6 +449,13 @@ def cmd_serve(args) -> int:
         return asyncio.run(serve_main())
     except KeyboardInterrupt:
         return 0
+    except Exception as exc:
+        from repro.serve import RecoveryError
+
+        if isinstance(exc, RecoveryError):
+            print(f"refusing to start: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -476,6 +535,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="verify the boot zone before announcing readiness "
                    "(a failure alarms but still serves)")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="crash-safe publish journal: fsync'd intent records "
+                   "appended before every snapshot swap, replayed on boot")
+    p.add_argument("--max-qps", type=float, default=None, metavar="QPS",
+                   help="arm the graceful-degradation ladder with this "
+                   "capacity (shed self-check -> TC=1 -> SERVFAIL -> drop)")
+    p.add_argument("--grace", type=float, default=5.0,
+                   help="seconds to let in-flight queries finish on "
+                   "SIGTERM/SIGINT before closing (default 5)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -500,6 +568,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--version", default="verified", choices=versions)
     p.set_defaults(func=cmd_faultdrill)
+
+    p = sub.add_parser(
+        "chaosdrill",
+        help="soak the live serving plane under a seeded fault storm; "
+        "assert the chaos invariants",
+    )
+    p.add_argument("--serve", action="store_true",
+                   help="soak the serving plane (the only mode today)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the query mix and the fault plan")
+    p.add_argument("--queries", type=int, default=400,
+                   help="queries to drive through the live sockets")
+    p.add_argument("--duration", type=float, default=None, metavar="S",
+                   help="wall-clock cap on the drive loop: stop sending "
+                   "after S seconds even if --queries remain")
+    p.add_argument("--rate", type=float, default=0.02,
+                   help="per-consult fault probability across serve.* sites")
+    p.add_argument("--deltas", type=int, default=3,
+                   help="gated zone deltas landed mid-soak (one is "
+                   "bug-triggering and must be held)")
+    p.add_argument("--version", default="v2.0", choices=versions,
+                   help="engine version to serve (default v2.0: a buggy "
+                   "engine the gate must protect)")
+    p.add_argument("--qps-capacity", type=float, default=800.0,
+                   help="degradation-ladder capacity during the soak")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the zone file + journal in DIR "
+                   "(default: a temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE")
+    p.set_defaults(func=cmd_chaosdrill)
 
     p = sub.add_parser(
         "lint",

@@ -48,6 +48,10 @@ class Response:
     answer: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
     authority: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
     additional: Tuple[ResourceRecord, ...] = field(default_factory=tuple)
+    #: RFC 1035 4.2.1 truncation: set on the empty reply an overloaded
+    #: server sends over UDP to push the client onto TCP. A transport
+    #: artifact, not an engine output — excluded from semantic equality.
+    tc: bool = False
 
     def semantic_key(self) -> Tuple:
         return (

@@ -179,6 +179,8 @@ def build_response(txid: int, response: Response) -> bytes:
     flags = 0x8000
     if response.aa:
         flags |= 0x0400
+    if response.tc:
+        flags |= 0x0200
     flags |= int(response.rcode) & 0xF
     header = _HEADER.pack(
         txid,
@@ -206,6 +208,20 @@ def build_error_response(txid: int, rcode: RCode, query: Query = None) -> bytes:
     flags = 0x8000 | (int(rcode) & 0xF)
     if query is None:
         return _HEADER.pack(txid, flags, 0, 0, 0, 0)
+    header = _HEADER.pack(txid, flags, 1, 0, 0, 0)
+    question = query.qname.to_wire() + struct.pack(
+        "!HH", int(query.qtype), int(DNSClass.IN)
+    )
+    return header + question
+
+
+def build_truncated_response(txid: int, query: Query) -> bytes:
+    """An RFC 1035 4.2.1 truncated reply: QR and TC set, the question
+    echoed, every answer section empty. An overloaded server sends this
+    over UDP instead of resolving — well-behaved clients retry the same
+    question over TCP, whose accept queue gives the kernel a back-pressure
+    mechanism the datagram socket lacks."""
+    flags = 0x8000 | 0x0200  # QR | TC
     header = _HEADER.pack(txid, flags, 1, 0, 0, 0)
     question = query.qname.to_wire() + struct.pack(
         "!HH", int(query.qtype), int(DNSClass.IN)
@@ -250,6 +266,7 @@ def parse_response(wire: bytes) -> Tuple[int, Response]:
         answer=answer,
         authority=authority,
         additional=additional,
+        tc=bool(flags & 0x0200),
     )
 
 

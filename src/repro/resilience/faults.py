@@ -9,15 +9,23 @@ instead of an uncaught exception.
 
 Known sites and what firing them simulates:
 
-=================  ========================================================
-``compile``        GoPy → AbsLLVM compilation fails (``ERROR(compile)``)
-``solver.exhaust`` the SAT backend gives up: ``check()`` returns UNKNOWN
-``cache.read``     cache entry read raises ``OSError`` (counted, a miss)
-``cache.write``    cache entry publish raises ``OSError`` (degrades to RAM)
-``cache.corrupt``  cache entry is truncated on disk (evicted, a miss)
-``watch.stat``     zone-file ``stat`` raises ``OSError`` (retried/reported)
-``watch.read``     zone-file read raises ``OSError`` (retried/reported)
-=================  ========================================================
+======================  ===================================================
+``compile``             GoPy → AbsLLVM compilation fails (``ERROR(compile)``)
+``solver.exhaust``      the SAT backend gives up: ``check()`` returns UNKNOWN
+``cache.read``          cache entry read raises ``OSError`` (counted, a miss)
+``cache.write``         cache entry publish raises ``OSError`` (degrades to RAM)
+``cache.corrupt``       cache entry is truncated on disk (evicted, a miss)
+``watch.stat``          zone-file ``stat`` raises ``OSError`` (retried/reported)
+``watch.read``          zone-file read raises ``OSError`` (retried/reported)
+``serve.udp.recv``      datagram lost at the socket layer (dropped, counted)
+``serve.udp.send``      reply ``sendto`` raises ``OSError`` (counted)
+``serve.tcp.read``      TCP frame read raises ``OSError`` (connection closed)
+``serve.tcp.write``     TCP reply write raises ``OSError`` (connection closed)
+``serve.reload.read``   serving zone-file read raises ``OSError`` (retried)
+``serve.gate.verify``   gate verification blows up (``ERROR`` hold, alarm)
+``serve.snapshot.swap`` snapshot build/swap fails post-verify (hold, alarm)
+``serve.journal.write`` publish-journal append tears + raises (publish held)
+======================  ===================================================
 
 Plans are deterministic by construction: seeded plans draw from their own
 ``random.Random(seed)`` in consult order, scripted plans fire a fixed
@@ -31,7 +39,12 @@ import random
 from contextlib import contextmanager
 from typing import Dict, Iterable, Optional, Union
 
-from repro.resilience.verdicts import ERR_CACHE_IO, ERR_COMPILE, ERR_IO
+from repro.resilience.verdicts import (
+    ERR_CACHE_IO,
+    ERR_COMPILE,
+    ERR_INJECTED,
+    ERR_IO,
+)
 
 SITE_COMPILE = "compile"
 SITE_SOLVER = "solver.exhaust"
@@ -40,6 +53,26 @@ SITE_CACHE_WRITE = "cache.write"
 SITE_CACHE_CORRUPT = "cache.corrupt"
 SITE_WATCH_STAT = "watch.stat"
 SITE_WATCH_READ = "watch.read"
+SITE_SERVE_UDP_RECV = "serve.udp.recv"
+SITE_SERVE_UDP_SEND = "serve.udp.send"
+SITE_SERVE_TCP_READ = "serve.tcp.read"
+SITE_SERVE_TCP_WRITE = "serve.tcp.write"
+SITE_SERVE_RELOAD_READ = "serve.reload.read"
+SITE_SERVE_GATE_VERIFY = "serve.gate.verify"
+SITE_SERVE_SNAPSHOT_SWAP = "serve.snapshot.swap"
+SITE_SERVE_JOURNAL_WRITE = "serve.journal.write"
+
+#: The serving-plane subset (the sites ``chaosdrill --serve`` fires).
+SERVE_SITES = (
+    SITE_SERVE_UDP_RECV,
+    SITE_SERVE_UDP_SEND,
+    SITE_SERVE_TCP_READ,
+    SITE_SERVE_TCP_WRITE,
+    SITE_SERVE_RELOAD_READ,
+    SITE_SERVE_GATE_VERIFY,
+    SITE_SERVE_SNAPSHOT_SWAP,
+    SITE_SERVE_JOURNAL_WRITE,
+)
 
 KNOWN_SITES = (
     SITE_COMPILE,
@@ -49,7 +82,7 @@ KNOWN_SITES = (
     SITE_CACHE_CORRUPT,
     SITE_WATCH_STAT,
     SITE_WATCH_READ,
-)
+) + SERVE_SITES
 
 #: The error taxonomy a raising site maps to (behavioral sites — solver
 #: exhaustion, cache corruption — do not raise and are absent here).
@@ -59,6 +92,17 @@ SITE_TAXONOMY = {
     SITE_CACHE_WRITE: ERR_CACHE_IO,
     SITE_WATCH_STAT: ERR_IO,
     SITE_WATCH_READ: ERR_IO,
+    SITE_SERVE_UDP_RECV: ERR_IO,
+    SITE_SERVE_UDP_SEND: ERR_IO,
+    SITE_SERVE_TCP_READ: ERR_IO,
+    SITE_SERVE_TCP_WRITE: ERR_IO,
+    SITE_SERVE_RELOAD_READ: ERR_IO,
+    # The gate-verify site simulates the *prover* failing, not IO: it
+    # raises a tagged InjectedFault so classify_error files the hold
+    # under ERROR(injected), distinguishable from a real disk problem.
+    SITE_SERVE_GATE_VERIFY: ERR_INJECTED,
+    SITE_SERVE_SNAPSHOT_SWAP: ERR_INJECTED,
+    SITE_SERVE_JOURNAL_WRITE: ERR_IO,
 }
 
 

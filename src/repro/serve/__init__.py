@@ -18,12 +18,14 @@ or construct :class:`ZoneServer` directly::
     result = await server.publish(new_zone)   # gated: held unless VERIFIED
 """
 
+from repro.serve.degrade import LoadSignals, OverloadController, Rung
 from repro.serve.gate import PublishGate, PublishResult
+from repro.serve.journal import JournalError, JournalRecord, PublishJournal
 from repro.serve.metrics import ServerMetrics
 from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
 from repro.serve.reload import ZoneReloader
 from repro.serve.selfcheck import SelfChecker
-from repro.serve.server import ZoneServer
+from repro.serve.server import RecoveryError, ZoneServer
 from repro.serve.snapshot import (
     ResolveError,
     ServingSnapshot,
@@ -33,9 +35,16 @@ from repro.serve.snapshot import (
 
 __all__ = [
     "ClientRateLimiter",
+    "JournalError",
+    "JournalRecord",
+    "LoadSignals",
+    "OverloadController",
     "PublishGate",
+    "PublishJournal",
     "PublishResult",
+    "RecoveryError",
     "ResolveError",
+    "Rung",
     "SelfChecker",
     "ServerMetrics",
     "ServingSnapshot",

@@ -38,8 +38,11 @@ from typing import Deque, Dict, Optional
 
 from repro.dns.zone import Zone
 from repro.incremental.cache import SummaryCache
+from repro.incremental.digest import zone_digest
 from repro.incremental.engine import IncrementalVerifier
+from repro.resilience import faults
 from repro.resilience import verdicts as verdicts_mod
+from repro.serve.journal import JournalError, JournalRecord, PublishJournal
 from repro.serve.snapshot import ServingSnapshot, build_snapshot
 
 #: How many publish/hold outcomes the gate remembers for the status feed.
@@ -94,6 +97,7 @@ class PublishGate:
         cache: Optional[SummaryCache] = None,
         options=None,
         workers: Optional[int] = None,
+        journal: Optional[PublishJournal] = None,
         clock=time.monotonic,
     ):
         self.snapshot = snapshot
@@ -105,9 +109,12 @@ class PublishGate:
             workers=workers,
             options=options,
         )
+        self.journal = journal
         self.publishes = 0
         self.holds = 0
         self.errors = 0
+        self.publishes_coalesced = 0
+        self.journal_failures = 0
         #: Latched on hold, cleared on the next successful publish.
         self.alarm: Optional[Dict[str, object]] = None
         self.last_result: Optional[PublishResult] = None
@@ -117,6 +124,10 @@ class PublishGate:
         #: is inherently sequential — one verifier, one snapshot lineage — so
         #: serialize them rather than racing on shared verifier state.
         self._lock = threading.Lock()
+        #: Coalescing slot: the newest zone waiting for the lock, so a
+        #: burst of submissions verifies only the latest content.
+        self._queue_lock = threading.Lock()
+        self._queued: Optional[tuple] = None
 
     # -- gating -------------------------------------------------------------
 
@@ -124,23 +135,52 @@ class PublishGate:
         """Verify the zone the gate booted with (no delta, no swap on
         success — the snapshot is already serving). A failing bootstrap
         holds nothing but latches the alarm."""
-        return self._gate(self.snapshot.zone, bootstrap=True)
+        return self._gate(self.snapshot.zone, bootstrap=True, source="bootstrap")
 
-    def submit(self, new_zone: Zone) -> PublishResult:
+    def submit(self, new_zone: Zone, source: str = "publish") -> PublishResult:
         """Verify ``new_zone`` and publish it iff the verdict is VERIFIED."""
-        return self._gate(new_zone, bootstrap=False)
+        return self._gate(new_zone, bootstrap=False, source=source)
 
-    def _gate(self, zone: Zone, bootstrap: bool) -> PublishResult:
+    def submit_coalescing(self, new_zone: Zone,
+                          source: str = "publish") -> Optional[PublishResult]:
+        """Like :meth:`submit`, but a delta superseded while waiting for
+        an in-flight verification is dropped unverified: only the newest
+        queued content runs the prover. Returns ``None`` when this
+        submission was coalesced away (the superseding caller verifies
+        it — counted in ``publishes_coalesced``). A burst of zone-file
+        writes therefore costs one verification, not a backlog of
+        obsolete ones."""
+        token = object()
+        with self._queue_lock:
+            if self._queued is not None:
+                # The delta already waiting is now stale: ours replaces it.
+                self.publishes_coalesced += 1
+            self._queued = (new_zone, source, token)
         with self._lock:
-            return self._gate_locked(zone, bootstrap)
+            with self._queue_lock:
+                if self._queued is None or self._queued[2] is not token:
+                    # Superseded while we waited; the newer caller verifies.
+                    return None
+                zone, src, _ = self._queued
+                self._queued = None
+            return self._gate_locked(zone, bootstrap=False, source=src)
 
-    def _gate_locked(self, zone: Zone, bootstrap: bool) -> PublishResult:
+    def _gate(self, zone: Zone, bootstrap: bool, source: str) -> PublishResult:
+        with self._lock:
+            return self._gate_locked(zone, bootstrap, source)
+
+    def _gate_locked(self, zone: Zone, bootstrap: bool,
+                     source: str) -> PublishResult:
         started = time.perf_counter()
         error = None
         bugs = 0
         reason = None
         records_changed = 0
         try:
+            # Simulates the prover itself blowing up mid-gate (a worker
+            # crash, an assertion in the verifier): the candidate must be
+            # held with a typed ERROR, never published on faith.
+            faults.maybe_raise(faults.SITE_SERVE_GATE_VERIFY)
             if bootstrap:
                 outcome = self._verifier.verify_current()
             else:
@@ -160,12 +200,27 @@ class PublishGate:
 
         accepted = verdict == verdicts_mod.VERIFIED
         if accepted and not bootstrap:
-            self.snapshot = build_snapshot(
-                zone,
-                self.snapshot.version,
-                sequence=self.snapshot.sequence + 1,
-                clock=self._clock,
-            )
+            try:
+                # Journal-before-swap: the durable record must exist
+                # before any query can be answered from the new snapshot,
+                # so a crash at any instruction leaves the journal head
+                # at-or-ahead-of the serving state, never behind it.
+                self._journal_publish(zone, verdict, source,
+                                      self.snapshot.sequence + 1)
+                faults.maybe_raise(faults.SITE_SERVE_SNAPSHOT_SWAP)
+                self.snapshot = build_snapshot(
+                    zone,
+                    self.snapshot.version,
+                    sequence=self.snapshot.sequence + 1,
+                    clock=self._clock,
+                )
+            except Exception as exc:  # journal IO, snapshot build/swap
+                taxonomy, detail = verdicts_mod.classify_error(exc)
+                accepted = False
+                verdict = verdicts_mod.ERROR
+                reason = taxonomy
+                error = detail
+                self.errors += 1
         if accepted:
             self.publishes += 0 if bootstrap else 1
             self.alarm = None
@@ -195,17 +250,56 @@ class PublishGate:
         self.history.append(result.to_json())
         return result
 
+    # -- the journal --------------------------------------------------------
+
+    def _journal_publish(self, zone: Zone, verdict: str, source: str,
+                         sequence: int) -> None:
+        """Durably record an imminent publish. A failed append raises
+        (the caller holds the publish): serving a zone the journal does
+        not know about would break crash recovery's core invariant."""
+        if self.journal is None:
+            return
+        record = JournalRecord(
+            sequence=sequence,
+            digest=zone_digest(zone),
+            verdict=verdict,
+            source=source,
+            at=self._clock(),
+        )
+        try:
+            self.journal.append(record)
+        except JournalError:
+            self.journal_failures += 1
+            raise
+
+    def journal_bootstrap(self, source: str = "bootstrap") -> None:
+        """Record the currently-serving snapshot (boot, or recovery after
+        a journal/zone mismatch) so the journal covers sequence zero."""
+        if self.journal is None:
+            return
+        self._journal_publish(
+            self.snapshot.zone,
+            verdicts_mod.VERIFIED,
+            source,
+            self.snapshot.sequence,
+        )
+
     # -- status -------------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
         last = self.last_result
-        return {
+        payload = {
             "publishes": self.publishes,
             "holds": self.holds,
             "errors": self.errors,
+            "publishes_coalesced": self.publishes_coalesced,
+            "journal_failures": self.journal_failures,
             "alarm": dict(self.alarm) if self.alarm else None,
             "last_verdict": last.verdict if last else None,
             "last_reason": last.reason if last else None,
             "serving_sequence": self.snapshot.sequence,
             "serving_digest": self.snapshot.digest,
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.as_dict()
+        return payload

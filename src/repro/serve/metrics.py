@@ -5,6 +5,21 @@ asyncio server; the only cross-thread writer is the publish gate, which
 touches its own fields). ``qps`` is computed over a sliding window of
 recent query timestamps so the status channel reports current load, not
 lifetime average. The clock is injectable for deterministic tests.
+
+Conservation
+------------
+
+Every query that enters :meth:`count_query` leaves through exactly one
+exit counter: a built response (``responses``, which includes truncated
+and shed replies — the client got *something*) or one of the dropped
+buckets (malformed, rate-limited, overload-shed, injected fault).
+:meth:`conservation` checks ``queries == responses + dropped``; the
+chaos drill asserts it after every soak, so a new serving branch that
+forgets its counter is caught by CI, not by an operator's dashboard
+silently leaking queries. (``send_failures`` is deliberately outside the
+equation: the reply was built and counted, only delivery failed.
+TCP frames lost to a read fault never reached the query path, so they
+are conserved at zero on both sides.)
 """
 
 from __future__ import annotations
@@ -16,6 +31,9 @@ from typing import Callable, Deque, Dict
 #: Sliding-window length for the qps figure, seconds.
 QPS_WINDOW_SECONDS = 5.0
 
+#: Sample size for the recent-SERVFAIL-rate overload signal.
+ERROR_RATE_WINDOW = 128
+
 
 class ServerMetrics:
     """Counters for one :class:`~repro.serve.server.ZoneServer`."""
@@ -25,6 +43,7 @@ class ServerMetrics:
         self._clock = clock
         self._window = window
         self._recent: Deque[float] = deque()
+        self._recent_errors: Deque[bool] = deque(maxlen=ERROR_RATE_WINDOW)
         self.started_at = clock()
         self.queries_udp = 0
         self.queries_tcp = 0
@@ -38,8 +57,16 @@ class ServerMetrics:
         self.encode_failures = 0
         self.dropped_malformed = 0
         self.dropped_ratelimit = 0
+        self.dropped_overload = 0
+        self.dropped_fault = 0
+        self.send_failures = 0
+        self.truncated = 0
+        self.shed_servfail = 0
+        self.selfcheck_suspended = 0
         self.tcp_connections = 0
         self.tcp_disconnects = 0
+        self.tcp_idle_timeouts = 0
+        self.tcp_read_faults = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -56,6 +83,7 @@ class ServerMetrics:
 
     def count_rcode(self, rcode_value: int) -> None:
         self.responses += 1
+        self._recent_errors.append(rcode_value == 2)
         if rcode_value == 0:
             self.noerror += 1
         elif rcode_value == 3:
@@ -71,16 +99,47 @@ class ServerMetrics:
     def queries(self) -> int:
         return self.queries_udp + self.queries_tcp
 
+    @property
+    def dropped(self) -> int:
+        """Queries that entered the path and left without a reply."""
+        return (
+            self.dropped_malformed
+            + self.dropped_ratelimit
+            + self.dropped_overload
+            + self.dropped_fault
+        )
+
     def qps(self) -> float:
-        """Queries per second over the sliding window."""
+        """Queries per second over the sliding window. Divides by the
+        full window length, not the observed span: with one or two fresh
+        samples the span is near zero and count/span would explode to
+        absurd rates (and slam the overload ladder to DROP on the first
+        packet of a quiet second)."""
         now = self._clock()
         floor = now - self._window
         while self._recent and self._recent[0] < floor:
             self._recent.popleft()
-        if not self._recent:
+        return len(self._recent) / self._window
+
+    def recent_error_rate(self) -> float:
+        """SERVFAIL fraction over the last ``ERROR_RATE_WINDOW`` replies
+        (an overload-controller input: a saturated or crashing engine
+        shows up here before it shows up in qps)."""
+        if not self._recent_errors:
             return 0.0
-        span = max(now - self._recent[0], 1e-9)
-        return len(self._recent) / span
+        return sum(self._recent_errors) / len(self._recent_errors)
+
+    def conservation(self) -> Dict[str, object]:
+        """The queries-in == replies+drops-out ledger, with its verdict."""
+        received = self.queries
+        accounted = self.responses + self.dropped
+        return {
+            "received": received,
+            "answered": self.responses,
+            "dropped": self.dropped,
+            "accounted": accounted,
+            "conserved": received == accounted,
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -97,8 +156,17 @@ class ServerMetrics:
             "encode_failures": self.encode_failures,
             "dropped_malformed": self.dropped_malformed,
             "dropped_ratelimit": self.dropped_ratelimit,
+            "dropped_overload": self.dropped_overload,
+            "dropped_fault": self.dropped_fault,
+            "send_failures": self.send_failures,
+            "truncated": self.truncated,
+            "shed_servfail": self.shed_servfail,
+            "selfcheck_suspended": self.selfcheck_suspended,
             "tcp_connections": self.tcp_connections,
             "tcp_disconnects": self.tcp_disconnects,
+            "tcp_idle_timeouts": self.tcp_idle_timeouts,
+            "tcp_read_faults": self.tcp_read_faults,
+            "conservation": self.conservation(),
             "qps": round(self.qps(), 3),
             "uptime_seconds": round(self._clock() - self.started_at, 3),
         }

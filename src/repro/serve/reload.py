@@ -29,6 +29,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from repro.dns.zonefile import parse_zone_text
+from repro.resilience import faults
 from repro.resilience.supervise import CircuitBreaker, RetryPolicy, retry_call
 from repro.serve.gate import PublishGate, PublishResult
 
@@ -64,6 +65,10 @@ class ZoneReloader:
         return st.st_mtime, st.st_size
 
     def _read_once(self) -> str:
+        # The serve-time analogue of `watch.read`: a torn/failed read of
+        # the production zone file. retry_call absorbs a transient one;
+        # persistent failures feed the breaker below.
+        faults.maybe_raise(faults.SITE_SERVE_RELOAD_READ)
         with open(self.path, "r", encoding="utf-8") as handle:
             return handle.read()
 
@@ -103,7 +108,14 @@ class ZoneReloader:
         self.breaker.record_success()
         self.last_error = None
         self.reloads += 1
-        result = self.gate.submit(zone)
+        # Coalescing: if another submission (an API publish, or a reload
+        # racing one) is already waiting on the gate, the stale delta is
+        # dropped and only the newest content is verified.
+        result = self.gate.submit_coalescing(zone, source=f"reload:{self.path}")
+        if result is None:
+            # Superseded while queued; the superseding submission's
+            # verdict is the gate's latest.
+            result = self.gate.last_result
         self.last_result = result
         return result
 

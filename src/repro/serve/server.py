@@ -45,10 +45,14 @@ from repro.dns.wire import (
     WireError,
     build_error_response,
     build_response,
+    build_truncated_response,
     parse_query,
 )
 from repro.dns.zone import Zone
+from repro.resilience import faults
+from repro.serve import degrade as degrade_mod
 from repro.serve.gate import PublishGate, PublishResult
+from repro.serve.journal import PublishJournal
 from repro.serve.metrics import ServerMetrics
 from repro.serve.ratelimit import ClientRateLimiter
 from repro.serve.selfcheck import SelfChecker
@@ -57,6 +61,17 @@ from repro.serve.snapshot import ResolveError, ServingSnapshot, build_snapshot
 #: Shortest parseable message: the 12-byte header. Anything shorter is
 #: dropped — there is no transaction id worth echoing an error to.
 MIN_QUERY_LENGTH = 12
+
+#: Default slowloris guard: a TCP connection that completes no frame for
+#: this long is closed and counted (``None`` disables).
+DEFAULT_TCP_IDLE_TIMEOUT = 30.0
+
+
+class RecoveryError(RuntimeError):
+    """Boot-time journal recovery failed: the zone on disk disagrees with
+    the journal head AND its re-verification did not come back VERIFIED.
+    The server refuses to start — serving an unverified zone would void
+    the invariant the journal exists to keep."""
 
 
 def _bind_socket_pair(host: str, port: int,
@@ -109,7 +124,13 @@ class _UdpProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         reply = self.server.handle_packet(data, addr[0], transport="udp")
         if reply:
-            self.transport.sendto(reply, addr)
+            try:
+                # `serve.udp.send` simulates sendto failing under memory
+                # or buffer pressure; the reply is lost, the loop lives.
+                faults.maybe_raise(faults.SITE_SERVE_UDP_SEND)
+                self.transport.sendto(reply, addr)
+            except OSError:
+                self.server.metrics.send_failures += 1
 
 
 class ZoneServer:
@@ -129,15 +150,39 @@ class ZoneServer:
         cache=None,
         options=None,
         workers: Optional[int] = None,
+        journal=None,
+        max_qps: Optional[float] = None,
+        degrade: Optional[degrade_mod.OverloadController] = None,
+        tcp_idle_timeout: Optional[float] = DEFAULT_TCP_IDLE_TIMEOUT,
         clock=time.monotonic,
     ):
+        if journal is not None and not isinstance(journal, PublishJournal):
+            journal = PublishJournal(journal)
+        self._clock = clock
         snapshot = build_snapshot(zone, version, clock=clock)
+        #: Set when the journal head names a different zone than the one
+        #: booted from disk: start() must re-verify before serving.
+        self._recovery_head = None
+        self.recovered_sequence: Optional[int] = None
+        if journal is not None:
+            head = journal.head()
+            if head is not None and head.digest == snapshot.digest:
+                # Clean recovery: the boot zone IS the last journaled
+                # VERIFIED publish. Adopt its sequence number so a
+                # SIGKILL/restart is indistinguishable from no crash.
+                snapshot = build_snapshot(
+                    zone, version, sequence=head.sequence, clock=clock
+                )
+                self.recovered_sequence = head.sequence
+            elif head is not None:
+                self._recovery_head = head
         self.version = version
         self.host = host
         self.port = port
         self.status_port = status_port
         self.gate = PublishGate(
-            snapshot, cache=cache, options=options, workers=workers, clock=clock
+            snapshot, cache=cache, options=options, workers=workers,
+            journal=journal, clock=clock,
         )
         self.metrics = ServerMetrics(clock=clock)
         self.limiter = (
@@ -151,6 +196,11 @@ class ZoneServer:
             else None
         )
         self.selfcheck_interval = selfcheck_interval
+        if degrade is None and max_qps is not None:
+            degrade = degrade_mod.OverloadController(max_qps, clock=clock)
+        self.degrade = degrade
+        self.tcp_idle_timeout = tcp_idle_timeout
+        self._inflight_tcp = 0
         self._udp_transport = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._status_server: Optional[asyncio.AbstractServer] = None
@@ -163,12 +213,27 @@ class ZoneServer:
     def snapshot(self) -> ServingSnapshot:
         return self.gate.snapshot
 
+    @property
+    def journal(self) -> Optional[PublishJournal]:
+        return self.gate.journal
+
     def handle_packet(self, data: bytes, client: str,
                       transport: str = "udp") -> bytes:
         """One query in, one (possibly empty) reply out. Pure function of
         the current snapshot — no awaits, no shared mutable state beyond
         counters — so a snapshot swap mid-burst is invisible to it."""
         self.metrics.count_query(transport)
+        if transport == "udp" and faults.should_fire(faults.SITE_SERVE_UDP_RECV):
+            # Simulates the datagram dying in the socket layer (recv
+            # error, kernel buffer overrun): counted, never answered.
+            self.metrics.dropped_fault += 1
+            return b""
+        level = degrade_mod.NORMAL
+        if self.degrade is not None:
+            level = self.degrade.tick(self.metrics, self._inflight_tcp)
+            if level >= degrade_mod.DROP:
+                self.metrics.dropped_overload += 1
+                return b""
         if self.limiter is not None and not self.limiter.allow(client):
             self.metrics.dropped_ratelimit += 1
             return b""
@@ -189,8 +254,24 @@ class ZoneServer:
             self.metrics.count_rcode(int(RCode.FORMERR))
             return build_error_response(txid, RCode.FORMERR)
 
+        if level >= degrade_mod.SERVFAIL_SHED and self.degrade.should_shed(client):
+            # Header-only SERVFAIL for the (deterministically chosen)
+            # lowest-priority clients: one cheap packet, no resolve.
+            self.metrics.shed_servfail += 1
+            self.metrics.count_rcode(int(RCode.SERVFAIL))
+            return build_error_response(txid, RCode.SERVFAIL)
+        if level >= degrade_mod.TRUNCATE and transport == "udp":
+            # RFC 1035 4.2.1: answer TC=1 so the client retries over TCP,
+            # where the accept queue back-pressures. Skips the resolve.
+            self.metrics.truncated += 1
+            self.metrics.count_rcode(int(RCode.NOERROR))
+            return build_truncated_response(txid, query)
+
         if self.selfcheck is not None:
-            self.selfcheck.observe(query)
+            if level >= degrade_mod.SHED_SELFCHECK:
+                self.metrics.selfcheck_suspended += 1
+            else:
+                self.selfcheck.observe(query)
 
         snapshot = self.gate.snapshot  # pin: publishes swap this reference
         try:
@@ -227,8 +308,15 @@ class ZoneServer:
 
     async def verify_boot(self) -> PublishResult:
         """Verify the zone the server booted with (no swap; a failure
-        latches the gate alarm so the status channel shows it)."""
-        return await asyncio.to_thread(self.gate.bootstrap)
+        latches the gate alarm so the status channel shows it). On a
+        fresh journal, a passing boot verification is journaled as the
+        sequence-zero record — only *verified* zones ever enter the
+        journal, including the first one."""
+        result = await asyncio.to_thread(self.gate.bootstrap)
+        if (result.verdict == "VERIFIED" and self.journal is not None
+                and self.journal.head() is None):
+            await asyncio.to_thread(self.gate.journal_bootstrap, "bootstrap")
+        return result
 
     # -- self-check ---------------------------------------------------------
 
@@ -245,6 +333,37 @@ class ZoneServer:
 
     # -- lifecycle ----------------------------------------------------------
 
+    async def _recover_if_needed(self) -> None:
+        """Journal recovery, step two: the boot zone's digest did not
+        match the journal head, so its verification status is unknown.
+        Re-verify before a single query is answered; a non-VERIFIED
+        verdict aborts startup (:class:`RecoveryError`), a VERIFIED one
+        advances past the stale head and journals the adoption."""
+        if self._recovery_head is None:
+            return
+        head = self._recovery_head
+        result = await asyncio.to_thread(self.gate.bootstrap)
+        if result.verdict != "VERIFIED":
+            raise RecoveryError(
+                f"journal head #{head.sequence} digest {head.digest[:12]} "
+                f"does not match the boot zone "
+                f"{self.gate.snapshot.digest[:12]}, and re-verification "
+                f"came back {result.verdict}"
+                f"{f' ({result.reason})' if result.reason else ''} — "
+                f"refusing to serve an unverified zone"
+            )
+        # Adopt a sequence past the journal head so the lineage stays
+        # monotonic, then journal this zone as the new durable state.
+        self.gate.snapshot = build_snapshot(
+            self.gate.snapshot.zone,
+            self.version,
+            sequence=head.sequence + 1,
+            clock=self._clock,
+        )
+        self.recovered_sequence = head.sequence + 1
+        await asyncio.to_thread(self.gate.journal_bootstrap, "recovery")
+        self._recovery_head = None
+
     async def start(self) -> None:
         """Bind UDP, TCP and the status channel. ``port=0`` picks a free
         port (the same number is then used for both UDP and TCP);
@@ -252,6 +371,7 @@ class ZoneServer:
         free one."""
         loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
+        await self._recover_if_needed()
         udp_sock, tcp_sock = _bind_socket_pair(self.host, self.port)
         self.port = udp_sock.getsockname()[1]
         self._udp_transport, _ = await loop.create_datagram_endpoint(
@@ -288,47 +408,104 @@ class ZoneServer:
         if self._stopping is not None:
             self._stopping.set()
 
-    async def run_forever(self, duration: Optional[float] = None) -> None:
-        """Serve until cancelled (or for ``duration`` seconds)."""
+    def request_stop(self) -> None:
+        """Ask the server to drain and exit (the SIGTERM/SIGINT hook).
+        Safe to call multiple times; a no-op before start()."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def drain(self, grace: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting (close the UDP transport and
+        the TCP listener), let in-flight TCP connections finish for up to
+        ``grace`` seconds, then tear everything down. The journal needs
+        no explicit flush — every append fsyncs before returning."""
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+            self._udp_transport = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        deadline = self._clock() + grace
+        while self._inflight_tcp > 0 and self._clock() < deadline:
+            await asyncio.sleep(0.05)
+        await self.stop()
+
+    async def run_forever(self, duration: Optional[float] = None,
+                          grace: float = 5.0) -> None:
+        """Serve until :meth:`request_stop` (or for ``duration`` seconds),
+        then drain gracefully."""
         if self._stopping is None:
             await self.start()
         try:
             if duration is None:
-                await asyncio.Event().wait()
+                await self._stopping.wait()
             else:
-                await asyncio.sleep(duration)
+                try:
+                    await asyncio.wait_for(self._stopping.wait(), duration)
+                except asyncio.TimeoutError:
+                    pass
         finally:
-            await self.stop()
+            await self.drain(grace)
 
     # -- TCP ----------------------------------------------------------------
+
+    async def _read_framed(self, reader: asyncio.StreamReader,
+                           length: int) -> bytes:
+        """readexactly under the idle deadline; the slowloris guard. A
+        peer that opens a connection and trickles (or never sends) bytes
+        would otherwise hold a reader task forever."""
+        if self.tcp_idle_timeout is None:
+            return await reader.readexactly(length)
+        return await asyncio.wait_for(reader.readexactly(length),
+                                      self.tcp_idle_timeout)
 
     async def _serve_tcp(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
         self.metrics.tcp_connections += 1
+        self._inflight_tcp += 1
         peer = writer.get_extra_info("peername")
         client = peer[0] if peer else "tcp"
         try:
             while True:
                 try:
-                    header = await reader.readexactly(2)
+                    # `serve.tcp.read` simulates the socket read dying
+                    # under the peer (RST, interface bounce) before the
+                    # frame header completes.
+                    faults.maybe_raise(faults.SITE_SERVE_TCP_READ)
+                    header = await self._read_framed(reader, 2)
+                except asyncio.TimeoutError:
+                    self.metrics.tcp_idle_timeouts += 1
+                    break
+                except OSError:
+                    self.metrics.tcp_read_faults += 1
+                    break
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break  # clean EOF or mid-header disconnect
                 (length,) = struct.unpack("!H", header)
                 try:
-                    data = await reader.readexactly(length)
-                except (asyncio.IncompleteReadError, ConnectionError):
+                    data = await self._read_framed(reader, length)
+                except asyncio.TimeoutError:
+                    self.metrics.tcp_idle_timeouts += 1
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
                     self.metrics.tcp_disconnects += 1
                     break
                 reply = self.handle_packet(data, client, transport="tcp")
                 if not reply:
-                    break  # dropped (rate limit/malformed): close
-                writer.write(struct.pack("!H", len(reply)) + reply)
+                    break  # dropped (rate limit/malformed/shed): close
                 try:
+                    # `serve.tcp.write` simulates the reply write failing
+                    # (peer closed its window and vanished): the reply is
+                    # lost, the connection closes, the loop lives.
+                    faults.maybe_raise(faults.SITE_SERVE_TCP_WRITE)
+                    writer.write(struct.pack("!H", len(reply)) + reply)
                     await writer.drain()
-                except ConnectionError:
+                except (ConnectionError, OSError):
                     self.metrics.tcp_disconnects += 1
                     break
         finally:
+            self._inflight_tcp -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -360,6 +537,10 @@ class ZoneServer:
             payload["ratelimit"] = self.limiter.as_dict()
         if self.selfcheck is not None:
             payload["selfcheck"] = self.selfcheck.as_dict()
+        if self.degrade is not None:
+            payload["degrade"] = self.degrade.as_dict()
+        if self.recovered_sequence is not None:
+            payload["recovered_sequence"] = self.recovered_sequence
         return payload
 
     async def _serve_status(self, reader: asyncio.StreamReader,

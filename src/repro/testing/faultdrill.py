@@ -170,6 +170,181 @@ def _drill_watch(site: str, version: str) -> SiteOutcome:
     )
 
 
+class _SendRecorder:
+    """A stand-in datagram transport that remembers what was sent."""
+
+    def __init__(self):
+        self.sent = []
+
+    def sendto(self, data, addr) -> None:
+        self.sent.append((data, addr))
+
+
+def _drill_serve_udp(site: str, version: str) -> SiteOutcome:
+    from repro.dns.message import Query
+    from repro.dns.rtypes import RRType
+    from repro.dns.wire import build_query
+    from repro.serve.server import ZoneServer, _UdpProtocol
+    from repro.zonegen import corpus
+
+    zone = corpus.minimal_zone()
+    server = ZoneServer(zone, version, status_port=None)
+    wire = build_query(0x1234, Query(zone.origin, RRType.SOA))
+    plan = faults.FaultPlan.scripted({site: 1})
+    with faults.active(plan):
+        if site == faults.SITE_SERVE_UDP_RECV:
+            reply = server.handle_packet(wire, "198.51.100.1", "udp")
+            ok = reply == b"" and server.metrics.dropped_fault == 1
+            verdict = "dropped"
+            detail = f"dropped_fault={server.metrics.dropped_fault}"
+        else:  # serve.udp.send: the reply is built, delivery fails
+            proto = _UdpProtocol(server)
+            proto.transport = _SendRecorder()
+            proto.datagram_received(wire, ("198.51.100.1", 12345))
+            ok = server.metrics.send_failures == 1 and not proto.transport.sent
+            verdict = "reply-lost"
+            detail = f"send_failures={server.metrics.send_failures}"
+    conserved = bool(server.metrics.conservation()["conserved"])
+    return SiteOutcome(site, plan.fired.get(site, 0), verdict, detail,
+                       typed=ok and conserved)
+
+
+def _drill_serve_tcp(site: str, version: str) -> SiteOutcome:
+    import asyncio
+    import struct
+
+    from repro.dns.message import Query
+    from repro.dns.rtypes import RRType
+    from repro.dns.wire import build_query
+    from repro.serve.server import ZoneServer
+    from repro.zonegen import corpus
+
+    zone = corpus.minimal_zone()
+    wire = build_query(0x2345, Query(zone.origin, RRType.SOA))
+    plan = faults.FaultPlan.scripted({site: 1})
+
+    async def scenario():
+        server = ZoneServer(zone, version, status_port=None)
+        await server.start()
+        try:
+            with faults.active(plan):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(struct.pack("!H", len(wire)) + wire)
+                await writer.drain()
+                try:
+                    # EOF — or RST, when the server broke off with our
+                    # frame still unread in its receive buffer.
+                    data = await reader.read(65536)
+                except ConnectionError:
+                    data = b""
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            await server.stop()
+        return server.metrics, data
+
+    metrics, data = asyncio.run(scenario())
+    if site == faults.SITE_SERVE_TCP_READ:
+        ok = metrics.tcp_read_faults == 1 and data == b""
+        detail = f"tcp_read_faults={metrics.tcp_read_faults}"
+    else:  # serve.tcp.write: reply built and counted, write failed
+        ok = metrics.tcp_disconnects == 1 and data == b""
+        detail = f"tcp_disconnects={metrics.tcp_disconnects}"
+    conserved = bool(metrics.conservation()["conserved"])
+    return SiteOutcome(site, plan.fired.get(site, 0), "connection-closed",
+                       detail, typed=ok and conserved)
+
+
+def _drill_serve_reload(version: str) -> SiteOutcome:
+    import os
+
+    from repro.dns.zonefile import zone_to_text
+    from repro.resilience.supervise import RetryPolicy
+    from repro.serve.gate import PublishGate
+    from repro.serve.reload import ZoneReloader
+    from repro.serve.snapshot import build_snapshot
+    from repro.zonegen import corpus
+
+    site = faults.SITE_SERVE_RELOAD_READ
+    zone = corpus.minimal_zone()
+    retry = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "zone.db")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(zone_to_text(zone))
+        gate = PublishGate(build_snapshot(zone, version))
+        reloader = ZoneReloader(path, gate, retry=retry,
+                                sleep=lambda _delay: None)
+        # One transient read fault: the retry must absorb it and the
+        # reload still verify and publish.
+        plan = faults.FaultPlan.scripted({site: 1})
+        with faults.active(plan):
+            result = reloader.poll_once()
+    fired = plan.fired.get(site, 0)
+    if result is None:
+        return SiteOutcome(site, fired, "no-result",
+                           reloader.last_error or "", typed=False)
+    return SiteOutcome(
+        site, fired, result.verdict,
+        f"absorbed by retry, reloads={reloader.reloads}",
+        typed=result.verdict == verdicts_mod.VERIFIED
+        and reloader.failures == 0,
+    )
+
+
+def _drill_serve_gate(site: str, version: str) -> SiteOutcome:
+    import os
+
+    from repro.resilience import verdicts
+    from repro.serve.gate import PublishGate
+    from repro.serve.journal import PublishJournal
+    from repro.serve.snapshot import build_snapshot
+    from repro.zonegen import corpus
+
+    zone = corpus.minimal_zone()
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = PublishJournal(os.path.join(tmp, "publish.journal"))
+        gate = PublishGate(build_snapshot(zone, version), journal=journal)
+        before = gate.snapshot
+        plan = faults.FaultPlan.scripted({site: 1})
+        with faults.active(plan):
+            result = gate.submit(zone)
+        held_clean = (
+            not result.accepted
+            and result.verdict == verdicts.ERROR
+            and gate.snapshot is before
+            and gate.alarm is not None
+        )
+        if site == faults.SITE_SERVE_GATE_VERIFY:
+            typed = held_clean and result.reason == verdicts.ERR_INJECTED
+            detail = "prover crash: typed hold, snapshot untouched"
+        elif site == faults.SITE_SERVE_SNAPSHOT_SWAP:
+            # Journal-before-swap means the failed swap leaves a record
+            # the serving state never reached — legal (journal is an
+            # upper bound), and the retry below reconciles it.
+            typed = held_clean and journal.head() is not None
+            detail = "swap failed post-append: journal ahead (legal)"
+        else:  # serve.journal.write
+            typed = (
+                held_clean
+                and result.reason == verdicts.ERR_IO
+                and gate.journal_failures == 1
+                and journal.head() is None
+            )
+            detail = f"torn append held publish, journal_failures={gate.journal_failures}"
+        # With the fault gone the same delta must publish cleanly —
+        # degradation, not wedging.
+        recovered = gate.submit(zone)
+        typed = typed and recovered.accepted
+    return SiteOutcome(site, plan.fired.get(site, 0), result.verdict, detail,
+                       typed=typed)
+
+
 def fault_drill(version: str = "verified") -> FaultDrillReport:
     """Exercise every known injection site against ``version``."""
     report = FaultDrillReport(version)
@@ -180,4 +355,13 @@ def fault_drill(version: str = "verified") -> FaultDrillReport:
         report.outcomes.append(_drill_cache(site, version))
     for site in (faults.SITE_WATCH_STAT, faults.SITE_WATCH_READ):
         report.outcomes.append(_drill_watch(site, version))
+    for site in (faults.SITE_SERVE_UDP_RECV, faults.SITE_SERVE_UDP_SEND):
+        report.outcomes.append(_drill_serve_udp(site, version))
+    for site in (faults.SITE_SERVE_TCP_READ, faults.SITE_SERVE_TCP_WRITE):
+        report.outcomes.append(_drill_serve_tcp(site, version))
+    report.outcomes.append(_drill_serve_reload(version))
+    for site in (faults.SITE_SERVE_GATE_VERIFY,
+                 faults.SITE_SERVE_SNAPSHOT_SWAP,
+                 faults.SITE_SERVE_JOURNAL_WRITE):
+        report.outcomes.append(_drill_serve_gate(site, version))
     return report

@@ -12,6 +12,7 @@ from repro.dns.wire import (
     build_error_response,
     build_query,
     build_response,
+    build_truncated_response,
     parse_name,
     parse_query,
     parse_response,
@@ -177,3 +178,42 @@ class TestErrorResponses:
         assert parsed.rcode is RCode.SERVFAIL
         assert parsed.query == query
         assert not parsed.answer and not parsed.authority
+
+
+class TestTruncatedResponses:
+    def test_tc_round_trip(self):
+        # RFC 1035 4.2.1: QR|TC set, question echoed, all sections empty
+        # — the overload reply that pushes the client onto TCP.
+        query = Query(name("www.example.com."), RRType.A)
+        wire = build_truncated_response(0x5150, query)
+        txid, parsed = parse_response(wire)
+        assert txid == 0x5150
+        assert parsed.tc is True
+        assert parsed.rcode is RCode.NOERROR
+        assert parsed.query == query
+        assert parsed.answer == ()
+        assert parsed.authority == ()
+        assert parsed.additional == ()
+
+    def test_tc_flag_bit_on_the_wire(self):
+        query = Query(name("example.com."), RRType.SOA)
+        wire = build_truncated_response(1, query)
+        flags = int.from_bytes(wire[2:4], "big")
+        assert flags & 0x0200  # TC
+        assert flags & 0x8000  # QR
+
+    def test_build_response_carries_tc(self):
+        # The generic builder honours Response.tc too (parse symmetry).
+        query = Query(name("www.example.com."), RRType.A)
+        full = Response(query=query, rcode=RCode.NOERROR, aa=True, tc=True)
+        _, parsed = parse_response(build_response(9, full))
+        assert parsed.tc is True
+
+    def test_tc_is_a_transport_artifact_not_semantic(self):
+        # Semantic equality drives the self-checker and differential
+        # tester; a truncation decision must not register as divergence.
+        query = Query(name("www.example.com."), RRType.A)
+        plain = Response(query=query, rcode=RCode.NOERROR, aa=True)
+        truncated = Response(query=query, rcode=RCode.NOERROR, aa=True,
+                             tc=True)
+        assert plain.semantically_equal(truncated)

@@ -1,0 +1,255 @@
+"""The graceful-degradation ladder: thresholds, hysteresis, serving behaviour.
+
+Controller unit tests drive :class:`OverloadController` with a fake clock
+and hand-built signals; the integration tests pin the controller at each
+rung and assert what ``handle_packet`` actually sends on the wire —
+TC=1 truncation (RFC 1035 4.2.1), header-only SERVFAIL shedding,
+unanswered drops — and that every rung keeps the metrics ledger conserved.
+"""
+
+import struct
+
+import pytest
+
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RCode, RRType
+from repro.dns.wire import build_query, parse_response
+from repro.serve import ZoneServer
+from repro.serve import degrade
+from repro.zonegen import evaluation_zone
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_controller(**kwargs):
+    kwargs.setdefault("qps_capacity", 100.0)
+    kwargs.setdefault("hold_seconds", 1.0)
+    clock = kwargs.pop("clock", FakeClock())
+    return degrade.OverloadController(clock=clock, **kwargs), clock
+
+
+def signals(qps=0.0, inflight=0, error_rate=0.0):
+    return degrade.LoadSignals(qps=qps, inflight=inflight,
+                               error_rate=error_rate)
+
+
+class TestRung:
+    def test_exit_must_be_below_enter(self):
+        with pytest.raises(ValueError):
+            degrade.Rung(degrade.TRUNCATE, enter=1.0, exit=1.0)
+
+    def test_ladder_must_be_contiguous(self):
+        with pytest.raises(ValueError):
+            degrade.OverloadController(
+                100.0,
+                ladder=(degrade.Rung(degrade.TRUNCATE, 1.5, 1.0),),
+            )
+
+
+class TestEscalation:
+    def test_normal_below_first_threshold(self):
+        ctrl, _ = make_controller()
+        assert ctrl.update(signals(qps=99.0)) == degrade.NORMAL
+
+    def test_each_rung_has_a_threshold(self):
+        # DEFAULT_LADDER: 1.0 / 1.5 / 2.5 / 4.0 x capacity.
+        ctrl, _ = make_controller()
+        assert ctrl.update(signals(qps=100.0)) == degrade.SHED_SELFCHECK
+        assert ctrl.update(signals(qps=150.0)) == degrade.TRUNCATE
+        assert ctrl.update(signals(qps=250.0)) == degrade.SERVFAIL_SHED
+        assert ctrl.update(signals(qps=400.0)) == degrade.DROP
+
+    def test_escalation_jumps_straight_to_the_justified_rung(self):
+        # Overload is *now*: no laddering up through intermediate levels.
+        ctrl, _ = make_controller()
+        assert ctrl.update(signals(qps=500.0)) == degrade.DROP
+        assert ctrl.transitions == {"NORMAL->DROP": 1}
+        assert ctrl.escalations == 1
+
+    def test_pressure_is_the_worst_signal(self):
+        ctrl, _ = make_controller(inflight_capacity=10)
+        # qps is calm but inflight is 4x capacity: inflight wins.
+        assert ctrl.compute_pressure(signals(qps=10.0, inflight=40)) == 4.0
+
+    def test_error_rate_is_a_signal(self):
+        ctrl, _ = make_controller(error_capacity=0.5)
+        # 100% SERVFAIL = pressure 2.0: a crashing engine degrades
+        # the plane even at low qps.
+        assert ctrl.update(signals(error_rate=1.0)) == degrade.TRUNCATE
+
+
+class TestHysteresis:
+    def test_no_step_down_before_hold(self):
+        ctrl, clock = make_controller(hold_seconds=1.0)
+        ctrl.update(signals(qps=150.0))
+        assert ctrl.level == degrade.TRUNCATE
+        clock.advance(0.5)
+        assert ctrl.update(signals(qps=0.0)) == degrade.TRUNCATE
+
+    def test_step_down_one_rung_after_hold(self):
+        ctrl, clock = make_controller(hold_seconds=1.0)
+        ctrl.update(signals(qps=150.0))
+        ctrl.update(signals(qps=0.0))  # hysteresis clock starts
+        clock.advance(1.0)
+        assert ctrl.update(signals(qps=0.0)) == degrade.SHED_SELFCHECK
+        clock.advance(1.0)
+        assert ctrl.update(signals(qps=0.0)) == degrade.NORMAL
+        assert ctrl.de_escalations == 2
+
+    def test_pressure_spike_resets_the_hold(self):
+        ctrl, clock = make_controller(hold_seconds=1.0)
+        ctrl.update(signals(qps=150.0))
+        ctrl.update(signals(qps=0.0))
+        clock.advance(0.9)
+        # TRUNCATE's exit is 1.0 x capacity: 120 qps is above it, so the
+        # 0.9s of quiet is forgotten.
+        ctrl.update(signals(qps=120.0))
+        clock.advance(0.9)
+        # The hold restarted at the spike: 0.9s quiet is not 1.0s.
+        assert ctrl.update(signals(qps=0.0)) == degrade.TRUNCATE
+        # 1.1 not 1.0: the accumulated clock is binary floating point and
+        # (0.9 + 0.9 + 1.0) - 1.8 falls a hair short of 1.0.
+        clock.advance(1.1)
+        assert ctrl.update(signals(qps=0.0)) == degrade.SHED_SELFCHECK
+
+    def test_exit_below_enter_means_no_flapping_at_the_threshold(self):
+        ctrl, clock = make_controller(hold_seconds=1.0)
+        ctrl.update(signals(qps=150.0))  # enter TRUNCATE at 1.5x
+        for _ in range(10):
+            # Sitting between exit (1.0x) and enter (1.5x): stays put.
+            clock.advance(5.0)
+            assert ctrl.update(signals(qps=120.0)) == degrade.TRUNCATE
+
+
+class TestTick:
+    def test_tick_is_rate_limited(self):
+        ctrl, clock = make_controller(interval=0.25)
+
+        class M:
+            @staticmethod
+            def qps():
+                return 500.0
+
+            @staticmethod
+            def recent_error_rate():
+                return 0.0
+
+        clock.advance(0.25)
+        assert ctrl.tick(M, 0) == degrade.DROP
+        # Within the interval the (now calm) metrics are not even read.
+        M.qps = staticmethod(lambda: 0.0)
+        assert ctrl.tick(M, 0) == degrade.DROP
+
+    def test_should_shed_is_deterministic_per_client(self):
+        ctrl, _ = make_controller()
+        clients = [f"192.0.2.{i}" for i in range(64)]
+        first = [ctrl.should_shed(c) for c in clients]
+        assert first == [ctrl.should_shed(c) for c in clients]
+        shed = sum(first)
+        # ~SHED_FRACTION of clients shed; crucially not all, not none.
+        assert 0 < shed < len(clients)
+
+
+def pinned_server(level, **kwargs):
+    """A server whose controller is pinned at ``level`` (the tick is
+    disabled by a huge interval, so handle_packet sees exactly it)."""
+    clock = FakeClock()
+    ctrl = degrade.OverloadController(100.0, interval=1e9, clock=clock)
+    ctrl.level = level
+    return ZoneServer(evaluation_zone(), degrade=ctrl,
+                      selfcheck_every=kwargs.pop("selfcheck_every", 0),
+                      **kwargs)
+
+
+def query_wire(text="www.example.com.", qtype=RRType.A, txid=0x7777):
+    return build_query(txid, Query(DnsName.from_text(text), qtype))
+
+
+class TestServingLadder:
+    def test_truncate_sets_tc_on_udp(self):
+        server = pinned_server(degrade.TRUNCATE)
+        reply = server.handle_packet(query_wire(), "198.51.100.1", "udp")
+        txid, response = parse_response(reply)
+        assert txid == 0x7777
+        assert response.tc is True  # RFC 1035 4.2.1: retry over TCP
+        assert response.rcode is RCode.NOERROR
+        assert response.answer == ()
+        assert server.metrics.truncated == 1
+
+    def test_truncate_leaves_tcp_untouched(self):
+        # TCP has no 512-byte ceiling and its own back-pressure: full
+        # answers keep flowing there — that is where TC sends clients.
+        server = pinned_server(degrade.TRUNCATE)
+        reply = server.handle_packet(query_wire(), "198.51.100.1", "tcp")
+        _, response = parse_response(reply)
+        assert response.tc is False
+        assert response.answer  # resolved for real
+        assert server.metrics.truncated == 0
+
+    def test_servfail_shed_is_a_header_only_reply(self):
+        # The shed reply is the cheapest wire-legal SERVFAIL: 12 header
+        # bytes, question not even echoed (qdcount=0), so unpack the raw
+        # header instead of parse_response (which requires one question).
+        server = pinned_server(degrade.SERVFAIL_SHED)
+        shed_client = next(
+            c for c in (f"198.51.100.{i}" for i in range(256))
+            if server.degrade.should_shed(c)
+        )
+        reply = server.handle_packet(query_wire(), shed_client, "udp")
+        assert len(reply) == 12
+        txid, flags, qd, an, ns, ar = struct.unpack("!HHHHHH", reply)
+        assert txid == 0x7777
+        assert flags & 0x8000  # QR: it is a response
+        assert flags & 0xF == int(RCode.SERVFAIL)
+        assert (qd, an, ns, ar) == (0, 0, 0, 0)
+        assert server.metrics.shed_servfail == 1
+
+    def test_unshed_client_still_truncated_not_servfailed(self):
+        server = pinned_server(degrade.SERVFAIL_SHED)
+        lucky = next(
+            c for c in (f"198.51.100.{i}" for i in range(256))
+            if not server.degrade.should_shed(c)
+        )
+        reply = server.handle_packet(query_wire(), lucky, "udp")
+        _, response = parse_response(reply)
+        assert response.rcode is RCode.NOERROR
+        assert response.tc is True
+
+    def test_drop_answers_nothing_and_counts(self):
+        server = pinned_server(degrade.DROP)
+        assert server.handle_packet(query_wire(), "198.51.100.1") == b""
+        assert server.metrics.dropped_overload == 1
+
+    def test_shed_selfcheck_suspends_sampling_only(self):
+        server = pinned_server(degrade.SHED_SELFCHECK, selfcheck_every=1)
+        reply = server.handle_packet(query_wire(), "198.51.100.1")
+        _, response = parse_response(reply)
+        assert response.answer  # client-visible behaviour untouched
+        assert server.metrics.selfcheck_suspended == 1
+        assert server.selfcheck.pending == 0  # nothing sampled
+
+    def test_every_rung_conserves_the_ledger(self):
+        for level in (degrade.NORMAL, degrade.SHED_SELFCHECK,
+                      degrade.TRUNCATE, degrade.SERVFAIL_SHED, degrade.DROP):
+            server = pinned_server(level)
+            for i in range(8):
+                server.handle_packet(query_wire(), f"198.51.100.{i}")
+            ledger = server.metrics.conservation()
+            assert ledger["conserved"], (level, ledger)
+
+    def test_transitions_surface_on_status(self):
+        server = pinned_server(degrade.NORMAL)
+        server.degrade.update(signals(qps=500.0))
+        status = server.status()
+        assert status["degrade"]["level_name"] == "DROP"
+        assert status["degrade"]["transitions"] == {"NORMAL->DROP": 1}

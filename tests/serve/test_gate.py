@@ -129,6 +129,67 @@ class TestConcurrency:
         assert len(gate.history) == len(deltas) + 1  # + the bootstrap
 
 
+class TestCoalescing:
+    def test_superseded_submission_is_dropped_unverified(self):
+        # Hold the gate lock so two coalescing submissions queue behind
+        # an "in-flight verification"; only the newest content should
+        # ever run the prover.
+        import threading
+
+        gate = make_gate()
+        results = {}
+
+        def submit(tag, text):
+            results[tag] = gate.submit_coalescing(
+                parse_zone_text(text), source=tag)
+
+        with gate._lock:  # the pretend in-flight verification
+            first = threading.Thread(
+                target=submit,
+                args=("stale", MINIMAL_ZONE_TEXT.replace(
+                    "192.0.2.10", "192.0.2.51")))
+            first.start()
+            # Wait until the stale delta is actually queued before
+            # superseding it, or the race could resolve either way.
+            while gate._queued is None:
+                pass
+            second = threading.Thread(
+                target=submit,
+                args=("fresh", MINIMAL_ZONE_TEXT.replace(
+                    "192.0.2.10", "192.0.2.52")))
+            second.start()
+            while gate.publishes_coalesced == 0:
+                pass
+        first.join()
+        second.join()
+        # Exactly one verification ran, for the newest content; the
+        # superseded caller got None back.
+        assert gate.publishes_coalesced == 1
+        assert gate.publishes == 1
+        coalesced = [tag for tag, result in results.items()
+                     if result is None]
+        assert len(coalesced) == 1
+        winner = next(result for result in results.values()
+                      if result is not None)
+        assert winner.accepted
+
+        from repro.dns.message import Query
+        from repro.dns.name import DnsName
+        from repro.dns.rtypes import RRType
+
+        served = gate.snapshot.resolve(
+            Query(DnsName.from_text("www.example.com."), RRType.A)
+        )
+        assert served.answer[0].rdata.to_text() in ("192.0.2.51",
+                                                    "192.0.2.52")
+
+    def test_uncontended_coalescing_submit_just_publishes(self):
+        gate = make_gate()
+        result = gate.submit_coalescing(parse_zone_text(BENIGN_DELTA_TEXT))
+        assert result is not None and result.accepted
+        assert gate.publishes_coalesced == 0
+
+
 class TestBootstrap:
     def test_clean_bootstrap_no_swap_no_alarm(self):
         gate = make_gate()

@@ -1,0 +1,280 @@
+"""The crash-safe publish journal: append/replay, torn tails, recovery.
+
+The invariant under test: the journal head is an *upper bound* on the
+serving state (journal-before-swap), and everything in the journal was
+VERIFIED first. The SIGKILL test kills a real child process mid-lifecycle
+and asserts the restart is bit-identical to never having crashed —
+including when the kill (simulated by the ``serve.journal.write`` fault)
+tears the final record in half.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.dns.zonefile import parse_zone_text, zone_to_text
+from repro.incremental.digest import zone_digest
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+from repro.serve import (
+    JournalError,
+    JournalRecord,
+    PublishGate,
+    PublishJournal,
+    RecoveryError,
+    ZoneServer,
+    build_snapshot,
+)
+from repro.zonegen.corpus import MINIMAL_ZONE_TEXT
+
+BENIGN_DELTA_TEXT = MINIMAL_ZONE_TEXT.replace("192.0.2.10", "192.0.2.99")
+
+
+def record(sequence=0, digest="d" * 16, verdict="VERIFIED",
+           source="publish"):
+    return JournalRecord(sequence=sequence, digest=digest,
+                         verdict=verdict, source=source, at=1.5)
+
+
+class TestJournalFile:
+    def test_fresh_journal_has_no_head(self, tmp_path):
+        journal = PublishJournal(tmp_path / "publish.journal")
+        assert journal.head() is None
+        assert journal.replay() == []
+
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = PublishJournal(tmp_path / "publish.journal")
+        first = record(sequence=1, digest="aa")
+        second = record(sequence=2, digest="bb", source="reload:zone")
+        journal.append(first)
+        journal.append(second)
+        assert journal.replay() == [first, second]
+        assert journal.head() == second
+        assert journal.appends == 2
+
+    def test_records_are_one_json_line_each(self, tmp_path):
+        path = tmp_path / "publish.journal"
+        journal = PublishJournal(path)
+        journal.append(record(sequence=3))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["sequence"] == 3
+        assert payload["verdict"] == "VERIFIED"
+
+    def test_replay_skips_torn_tail_and_counts_it(self, tmp_path):
+        path = tmp_path / "publish.journal"
+        journal = PublishJournal(path)
+        journal.append(record(sequence=1))
+        with open(path, "a") as handle:
+            handle.write('{"format": 1, "seq')  # crash mid-append
+        assert journal.head() == record(sequence=1)
+        assert journal.torn_records_skipped == 1
+
+    def test_next_append_seals_a_torn_tail(self, tmp_path):
+        # Without the seal, the new record would be glued onto the
+        # garbage line and *both* would be lost on replay.
+        path = tmp_path / "publish.journal"
+        journal = PublishJournal(path)
+        journal.append(record(sequence=1))
+        with open(path, "a") as handle:
+            handle.write('{"half')
+        journal.append(record(sequence=2))
+        replayed = journal.replay()
+        assert [r.sequence for r in replayed] == [1, 2]
+        assert journal.torn_records_skipped == 1
+
+
+class TestTornWriteFault:
+    def test_injected_torn_write_raises_and_replay_recovers(self, tmp_path):
+        # `serve.journal.write` leaves exactly what SIGKILL mid-append
+        # leaves: half a line, no newline, and an OSError in the caller.
+        path = tmp_path / "publish.journal"
+        journal = PublishJournal(path)
+        journal.append(record(sequence=1))
+        plan = FaultPlan.scripted({faults.SITE_SERVE_JOURNAL_WRITE: 1})
+        with faults.active(plan):
+            with pytest.raises(JournalError):
+                journal.append(record(sequence=2))
+        assert journal.append_failures == 1
+        assert journal.head() == record(sequence=1)  # torn line skipped
+        assert journal.torn_records_skipped == 1
+        # The journal heals: the next append seals the torn tail.
+        journal.append(record(sequence=2))
+        assert journal.head() == record(sequence=2)
+
+
+class TestGateJournal:
+    def make_gate(self, tmp_path, version="verified"):
+        zone = parse_zone_text(MINIMAL_ZONE_TEXT)
+        journal = PublishJournal(tmp_path / "publish.journal")
+        return PublishGate(build_snapshot(zone, version), journal=journal)
+
+    def test_publish_journals_before_swap(self, tmp_path):
+        gate = self.make_gate(tmp_path)
+        delta = parse_zone_text(BENIGN_DELTA_TEXT)
+        result = gate.submit(delta)
+        assert result.accepted
+        head = gate.journal.head()
+        assert head.sequence == 1
+        assert head.digest == zone_digest(delta) == gate.snapshot.digest
+        assert head.verdict == "VERIFIED"
+
+    def test_held_delta_never_enters_the_journal(self, tmp_path):
+        # Only VERIFIED zones are journaled: a BUG hold leaves no record.
+        gate = self.make_gate(tmp_path, version="v2.0")
+        buggy = parse_zone_text(
+            MINIMAL_ZONE_TEXT
+            + "*.wild IN A 192.0.2.20\n"
+            + "*.wild IN MX 10 ns1.example.com.\n"
+        )
+        result = gate.submit(buggy)
+        assert not result.accepted
+        assert gate.journal.head() is None
+
+    def test_journal_failure_holds_the_publish(self, tmp_path):
+        # No durable record -> no swap: serving state must never run
+        # ahead of the journal.
+        gate = self.make_gate(tmp_path)
+        before = gate.snapshot
+        plan = FaultPlan.scripted({faults.SITE_SERVE_JOURNAL_WRITE: 1})
+        with faults.active(plan):
+            result = gate.submit(parse_zone_text(BENIGN_DELTA_TEXT))
+        assert not result.accepted
+        assert gate.snapshot is before
+        assert gate.journal_failures == 1
+        assert gate.journal.head() is None
+
+    def test_swap_fault_leaves_journal_legally_ahead(self, tmp_path):
+        # Crash *between* append and swap: the record exists, the swap
+        # never happened. That is the legal direction — head is an upper
+        # bound on the serving state, recovery re-verifies from it.
+        gate = self.make_gate(tmp_path)
+        before = gate.snapshot
+        plan = FaultPlan.scripted({faults.SITE_SERVE_SNAPSHOT_SWAP: 1})
+        with faults.active(plan):
+            result = gate.submit(parse_zone_text(BENIGN_DELTA_TEXT))
+        assert not result.accepted
+        assert gate.snapshot is before
+        assert gate.journal.head().sequence == before.sequence + 1
+
+
+class TestServerRecovery:
+    def test_digest_match_adopts_journaled_sequence(self, tmp_path):
+        # Boot zone == journal head: serve immediately at the journaled
+        # sequence, as if the process had never died.
+        zone = parse_zone_text(BENIGN_DELTA_TEXT)
+        journal = PublishJournal(tmp_path / "publish.journal")
+        journal.append(record(sequence=5, digest=zone_digest(zone)))
+        server = ZoneServer(zone, journal=journal, status_port=None)
+        assert server.recovered_sequence == 5
+        assert server.snapshot.sequence == 5
+        assert server.snapshot.digest == zone_digest(zone)
+
+    def test_digest_mismatch_reverifies_on_start(self, tmp_path):
+        # Boot zone != journal head: verification status unknown, so
+        # start() re-verifies before binding a single socket, adopts a
+        # sequence past the head, and journals the adoption.
+        import asyncio
+
+        zone = parse_zone_text(MINIMAL_ZONE_TEXT)
+        journal = PublishJournal(tmp_path / "publish.journal")
+        journal.append(record(sequence=3, digest="someone-else"))
+        server = ZoneServer(zone, journal=journal, status_port=None)
+        assert server.recovered_sequence is None  # not yet: start() does it
+
+        async def run():
+            await server.start()
+            await server.stop()
+
+        asyncio.run(run())
+        assert server.recovered_sequence == 4
+        head = server.journal.head()
+        assert head.sequence == 4
+        assert head.source == "recovery"
+        assert head.digest == zone_digest(zone)
+
+    def test_failed_reverification_refuses_to_serve(self, tmp_path):
+        # Mismatched journal AND a failing re-verify (injected prover
+        # crash): the server must not start.
+        import asyncio
+
+        zone = parse_zone_text(MINIMAL_ZONE_TEXT)
+        journal = PublishJournal(tmp_path / "publish.journal")
+        journal.append(record(sequence=3, digest="someone-else"))
+        server = ZoneServer(zone, journal=journal, status_port=None)
+        plan = FaultPlan.scripted({faults.SITE_SERVE_GATE_VERIFY: 1})
+        with faults.active(plan):
+            with pytest.raises(RecoveryError):
+                asyncio.run(server.start())
+
+
+CHILD_SCRIPT = textwrap.dedent("""
+    import os, signal, sys
+    from repro.dns.zonefile import parse_zone_text, zone_to_text
+    from repro.resilience import faults
+    from repro.serve import PublishGate, PublishJournal, build_snapshot
+    from repro.serve.journal import JournalError, JournalRecord
+    from repro.zonegen.corpus import MINIMAL_ZONE_TEXT
+
+    zone_path, journal_path, tear = sys.argv[1], sys.argv[2], sys.argv[3]
+    gate = PublishGate(
+        build_snapshot(parse_zone_text(MINIMAL_ZONE_TEXT), "verified"),
+        journal=PublishJournal(journal_path),
+    )
+    delta = parse_zone_text(
+        MINIMAL_ZONE_TEXT.replace("192.0.2.10", "192.0.2.99"))
+    result = gate.submit(delta)
+    assert result.accepted, result.verdict
+    with open(zone_path, "w") as handle:
+        handle.write(zone_to_text(gate.snapshot.zone))
+    if tear == "torn":
+        # A second publish dies mid-journal-append: half a record on
+        # disk, exactly the shape SIGKILL mid-write leaves.
+        plan = faults.FaultPlan.scripted(
+            {faults.SITE_SERVE_JOURNAL_WRITE: 1})
+        with faults.active(plan):
+            try:
+                gate.journal.append(JournalRecord(
+                    sequence=2, digest="never-made-it",
+                    verdict="VERIFIED", source="publish"))
+            except JournalError:
+                pass
+    os.kill(os.getpid(), signal.SIGKILL)
+""")
+
+
+class TestSigkillRestart:
+    @pytest.mark.parametrize("tear", ["clean", "torn"])
+    def test_restart_after_sigkill_is_bit_identical(self, tmp_path, tear):
+        zone_path = tmp_path / "zone.db"
+        journal_path = tmp_path / "publish.journal"
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.run(
+            [sys.executable, "-c", CHILD_SCRIPT,
+             str(zone_path), str(journal_path), tear],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        # The restart: boot from what the dead process left on disk.
+        zone = parse_zone_text(zone_path.read_text())
+        journal = PublishJournal(journal_path)
+        server = ZoneServer(zone, journal=journal, status_port=None)
+        # Digest match against the last *durable* record: the server
+        # adopts sequence 1 and serves, bit-identical to no crash.
+        assert server.recovered_sequence == 1
+        assert server.snapshot.sequence == 1
+        assert server.snapshot.digest == zone_digest(zone)
+        assert server.snapshot.digest == journal.head().digest
+        if tear == "torn":
+            assert journal.torn_records_skipped == 1

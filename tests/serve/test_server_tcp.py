@@ -181,6 +181,59 @@ class TestDisconnects:
         with_server(run)
 
 
+class TestIdleDeadline:
+    def test_idle_connection_closed_and_counted(self):
+        # The slowloris guard: a connection that never sends a frame is
+        # closed at the deadline, not held open forever.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            data = await asyncio.wait_for(reader.read(), 5.0)
+            assert data == b""  # server hung up on us
+            await wait_for_metric(
+                lambda: server.metrics.tcp_idle_timeouts, 1
+            )
+            writer.close()
+            await writer.wait_closed()
+
+        with_server(run, tcp_idle_timeout=0.1)
+
+    def test_trickled_header_times_out_too(self):
+        # One byte of the length prefix, then silence: the deadline
+        # covers a partial frame, not just a silent socket.
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"\x00")
+            await writer.drain()
+            assert await asyncio.wait_for(reader.read(), 5.0) == b""
+            await wait_for_metric(
+                lambda: server.metrics.tcp_idle_timeouts, 1
+            )
+            writer.close()
+            await writer.wait_closed()
+
+        with_server(run, tcp_idle_timeout=0.1)
+
+    def test_active_connection_not_penalized(self):
+        async def run(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(frame(query_wire("www.example.com.")))
+            await writer.drain()
+            reply = await read_framed(reader)
+            _, response = parse_response(reply)
+            assert response.rcode is RCode.NOERROR
+            writer.close()
+            await writer.wait_closed()
+            assert server.metrics.tcp_idle_timeouts == 0
+
+        with_server(run, tcp_idle_timeout=0.5)
+
+
 class TestTcpDrops:
     def test_rate_limited_connection_closed(self):
         # burst = 2*rate = 2 tokens: the third pipelined query trips the
