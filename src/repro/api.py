@@ -176,6 +176,52 @@ class Session:
             )
         return reports[versions] if single else reports
 
+    def campaign_service(
+        self,
+        corpus_dir,
+        versions: Iterable[str] = ("verified", "v2.0"),
+        seed: int = 2023,
+        units: Optional[int] = None,
+        duration: Optional[float] = None,
+        resume: bool = False,
+        status_port: Optional[int] = 0,
+        **overrides,
+    ):
+        """A :class:`~repro.campaign.CampaignService` rooted at
+        ``corpus_dir``, using this session's worker/budget/fault options.
+
+        The service is returned un-started: ``run()`` blocks until the
+        campaign drains (``units``/``duration`` bound it;
+        ``request_stop()`` from another thread or a signal handler drains
+        gracefully). Extra keyword arguments override
+        :class:`VerifyOptions` fields for this service, or — when they
+        name a :class:`~repro.campaign.CampaignServiceConfig` field such
+        as ``batch_tasks``, ``weights``, ``minimize`` or
+        ``max_failures`` — configure the service itself.
+        """
+        import dataclasses
+
+        from repro.campaign import CampaignService, CampaignServiceConfig
+
+        config_names = {f.name for f in
+                        dataclasses.fields(CampaignServiceConfig)}
+        config_kwargs = {k: v for k, v in overrides.items()
+                         if k in config_names}
+        option_overrides = {k: v for k, v in overrides.items()
+                            if k not in config_names}
+        config = CampaignServiceConfig(
+            corpus_dir=str(corpus_dir),
+            seed=seed,
+            versions=tuple(versions),
+            units=units,
+            duration=duration,
+            resume=resume,
+            status_port=status_port,
+            **config_kwargs,
+        )
+        return CampaignService(config,
+                               options=self._options(option_overrides))
+
     def watch(self, path, version: str = "verified", interval: float = 1.0,
               max_failures: int = 5, log=None, **overrides):
         """A :class:`~repro.incremental.watch.WatchDaemon` tailing

@@ -1,0 +1,91 @@
+"""repro.campaign — the continuous differential-fuzzing campaign service.
+
+A standing daemon (``repro campaign --serve``) that mixes adversarial
+zone generation, delta mutation of prior zones, and regression-corpus
+replay into a continuous stream of verification units, fans them across
+engine versions through :mod:`repro.parallel`, captures every finding
+into a persistent minimized regression store, and exposes a JSONL event
+stream plus a one-shot JSON status socket. Crash-safe (PR-2 checkpoints,
+``--resume`` is bit-identical) and supervised (seeded backoff + circuit
+breaker).
+"""
+
+from repro.campaign.events import (
+    EV_BATCH,
+    EV_BREAKER,
+    EV_CHECKPOINT,
+    EV_COMPLETED,
+    EV_DRAIN,
+    EV_REGRESSION,
+    EV_REQUEUED,
+    EV_SCHEDULED,
+    EV_START,
+    EV_STOP,
+    EventLog,
+    conservation,
+    last_event,
+    read_events,
+)
+from repro.campaign.scheduler import (
+    KIND_GENERATED,
+    KIND_MUTATION,
+    KIND_REGRESSION,
+    KINDS,
+    PROFILES,
+    CorpusScheduler,
+    SchedulerState,
+    WorkUnit,
+)
+from repro.campaign.service import (
+    LEDGER_FORMAT,
+    SERVICE_FILE,
+    CampaignService,
+    CampaignServiceConfig,
+    CampaignServiceReport,
+    StatusChannel,
+    query_status,
+    read_ledger,
+)
+from repro.campaign.store import (
+    STORE_FORMAT,
+    RegressionEntry,
+    RegressionStore,
+    minimize_zone,
+)
+
+__all__ = [
+    "EV_BATCH",
+    "EV_BREAKER",
+    "EV_CHECKPOINT",
+    "EV_COMPLETED",
+    "EV_DRAIN",
+    "EV_REGRESSION",
+    "EV_REQUEUED",
+    "EV_SCHEDULED",
+    "EV_START",
+    "EV_STOP",
+    "EventLog",
+    "conservation",
+    "last_event",
+    "read_events",
+    "KIND_GENERATED",
+    "KIND_MUTATION",
+    "KIND_REGRESSION",
+    "KINDS",
+    "PROFILES",
+    "CorpusScheduler",
+    "SchedulerState",
+    "WorkUnit",
+    "LEDGER_FORMAT",
+    "SERVICE_FILE",
+    "CampaignService",
+    "CampaignServiceConfig",
+    "CampaignServiceReport",
+    "StatusChannel",
+    "query_status",
+    "read_ledger",
+    "STORE_FORMAT",
+    "RegressionEntry",
+    "RegressionStore",
+    "minimize_zone",
+]

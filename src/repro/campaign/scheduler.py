@@ -1,0 +1,249 @@
+"""The campaign's corpus scheduler: what to verify next.
+
+Every campaign *task* is one zone; a task fans out into one *unit* per
+engine version under test. Tasks come from three sources, mixed by
+weight:
+
+- ``generated`` — fresh adversarial zones from :mod:`repro.zonegen`,
+  drawn through seeded *profiles* biased toward the paper's §9
+  intertwinings (wildcard-heavy, CNAME-chain, delegation-mesh, and a
+  combined profile);
+- ``mutation`` — seeded delta-mutations of zones the campaign already
+  ran (:mod:`repro.zonegen.mutate`), preferring zones that produced
+  bugs. Mutation units carry their base zone, so the execution loop can
+  drive them through the *incremental* verifier
+  (:meth:`IncrementalVerifier.diff_to`) instead of from scratch;
+- ``regression`` — replay of the persistent corpus
+  (:class:`~repro.campaign.store.RegressionStore`), each entry once per
+  campaign, in entry-id order.
+
+Determinism contract (resume depends on it): the schedule is a pure
+function of ``(seed, initial regression listing, the verdict stream in
+unit order)``. Task ``t`` draws only from ``Random(f"{seed}:sched:{t}")``
+and from feedback state built by :meth:`note_result` calls for units
+``uid < first uid of t`` — state a resumed run reconstructs exactly by
+replaying checkpointed verdicts in order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.zone import Zone
+from repro.resilience import verdicts as verdicts_mod
+from repro.zonegen import GeneratorConfig, ZoneGenerator
+from repro.zonegen.mutate import MutationConfig, ZoneMutator
+
+KIND_GENERATED = "generated"
+KIND_MUTATION = "mutation"
+KIND_REGRESSION = "regression"
+KINDS = (KIND_GENERATED, KIND_MUTATION, KIND_REGRESSION)
+
+#: Adversarial generation profiles (§9 weighting): each biases one
+#: intertwining family. All stay small — campaign throughput comes from
+#: many diverse zones, not big ones.
+PROFILES: Dict[str, Dict] = {
+    "wildcard-heavy": dict(num_hosts=2, num_wildcards=3, num_cnames=1,
+                           num_delegations=1, num_mx=1),
+    "cname-chain": dict(num_hosts=3, num_wildcards=1, num_cnames=4,
+                        num_delegations=0, num_mx=1,
+                        external_cname_probability=0.4),
+    "delegation-mesh": dict(num_hosts=2, num_wildcards=1, num_cnames=0,
+                            num_delegations=3, num_mx=0,
+                            two_ns_probability=0.8),
+    "intertwined": dict(num_hosts=3, num_wildcards=2, num_cnames=2,
+                        num_delegations=2, num_mx=1),
+}
+
+#: Profile draw weights (intertwined counted twice: it is the closest to
+#: the paper's production corpus shape).
+_PROFILE_NAMES = sorted(PROFILES)
+_PROFILE_WEIGHTS = [2 if name == "intertwined" else 1
+                    for name in _PROFILE_NAMES]
+
+#: How many prior zones the mutation pool remembers.
+_POOL_CAP = 32
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (zone, engine version) verification unit."""
+
+    uid: int                #: global unit id — checkpoint/fault-plan/ledger key
+    task: int               #: zone-task id (units of one task share a zone)
+    kind: str               #: generated | mutation | regression
+    version: str
+    provenance: str         #: where the zone came from, human-readable
+    zone: Zone
+    base_zone: Optional[Zone] = None  #: mutation units: the predecessor
+
+
+@dataclass
+class SchedulerState:
+    """Telemetry the status channel reports."""
+
+    tasks: int = 0
+    units: int = 0
+    kinds: Dict[str, int] = field(default_factory=lambda: {k: 0 for k in KINDS})
+    profiles: Dict[str, int] = field(default_factory=dict)
+    pool_size: int = 0
+    bug_pool_size: int = 0
+    regressions_total: int = 0
+    regressions_replayed: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "tasks": self.tasks,
+            "units": self.units,
+            "kinds": dict(self.kinds),
+            "profiles": dict(self.profiles),
+            "pool_size": self.pool_size,
+            "bug_pool_size": self.bug_pool_size,
+            "regressions_total": self.regressions_total,
+            "regressions_replayed": self.regressions_replayed,
+        }
+
+
+class CorpusScheduler:
+    """Deterministic prioritized mixing of the three corpus sources."""
+
+    def __init__(
+        self,
+        seed: int,
+        versions: Sequence[str],
+        regression_entries: Sequence = (),
+        weights: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+        mutation_config: Optional[MutationConfig] = None,
+    ) -> None:
+        if not versions:
+            raise ValueError("at least one engine version is required")
+        if len(weights) != 3 or any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be three non-negative floats")
+        self.seed = seed
+        self.versions = tuple(versions)
+        self.weights = tuple(float(w) for w in weights)
+        #: The regression listing is pinned at construction (and recorded
+        #: in the checkpoint header): entries captured *during* this run
+        #: feed future campaigns, not this one — otherwise a resumed run
+        #: would see a different corpus than the uninterrupted run it
+        #: must replay bit-identically.
+        self._regressions = sorted(regression_entries,
+                                   key=lambda e: e.entry_id)
+        self._regression_cursor = 0
+        self._mutator = ZoneMutator(
+            mutation_config or MutationConfig(seed=seed))
+        self._task = 0
+        self._uid = 0
+        #: Mutation bases: every completed zone (bounded FIFO), plus the
+        #: subset that produced bugs/divergences (preferred).
+        self._pool: List[Tuple[str, Zone]] = []
+        self._pool_digests: set = set()
+        self._bug_pool: List[Tuple[str, Zone]] = []
+        self._bug_digests: set = set()
+        self.state = SchedulerState(
+            regressions_total=len(self._regressions))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def next_task(self) -> List[WorkUnit]:
+        """The next zone-task, fanned into one unit per engine version."""
+        task = self._task
+        self._task += 1
+        rng = random.Random(f"{self.seed}:sched:{task}")
+        kind = self._pick_kind(rng)
+        if kind == KIND_REGRESSION:
+            entry = self._regressions[self._regression_cursor]
+            self._regression_cursor += 1
+            self.state.regressions_replayed += 1
+            zone = entry.zone()
+            base = None
+            provenance = f"reg:{entry.entry_id}"
+        elif kind == KIND_MUTATION:
+            provenance_base, base = self._pick_base(rng)
+            zone = self._mutator.mutate(base, index=task)
+            provenance = f"mut:{task}:{provenance_base}"
+        else:
+            profile = rng.choices(_PROFILE_NAMES, weights=_PROFILE_WEIGHTS,
+                                  k=1)[0]
+            config = GeneratorConfig(seed=self.seed, **PROFILES[profile])
+            zone = ZoneGenerator(config).generate(index=task)
+            base = None
+            provenance = f"gen:{profile}:{task}"
+            self.state.profiles[profile] = (
+                self.state.profiles.get(profile, 0) + 1)
+        units = []
+        for version in self.versions:
+            units.append(WorkUnit(
+                uid=self._uid, task=task, kind=kind, version=version,
+                provenance=provenance, zone=zone, base_zone=base,
+            ))
+            self._uid += 1
+        self.state.tasks += 1
+        self.state.units += len(units)
+        self.state.kinds[kind] += len(units)
+        return units
+
+    def next_batch(self, tasks: int) -> List[WorkUnit]:
+        units: List[WorkUnit] = []
+        for _ in range(max(1, tasks)):
+            units.extend(self.next_task())
+        return units
+
+    def _pick_kind(self, rng: random.Random) -> str:
+        names = [KIND_GENERATED]
+        weights = [self.weights[0]]
+        if self._pool or self._bug_pool:
+            names.append(KIND_MUTATION)
+            weights.append(self.weights[1])
+        if self._regression_cursor < len(self._regressions):
+            names.append(KIND_REGRESSION)
+            weights.append(self.weights[2])
+        if sum(weights) <= 0:
+            return KIND_GENERATED
+        return rng.choices(names, weights=weights, k=1)[0]
+
+    def _pick_base(self, rng: random.Random) -> Tuple[str, Zone]:
+        if self._bug_pool and (not self._pool or rng.random() < 0.4):
+            return rng.choice(self._bug_pool)
+        return rng.choice(self._pool or self._bug_pool)
+
+    # -- feedback ------------------------------------------------------------
+
+    def note_result(self, unit: WorkUnit, verdict: Dict) -> None:
+        """Feed one completed unit's verdict back into the mix.
+
+        MUST be called in ``uid`` order for every completed unit —
+        replayed-from-checkpoint ones included — so a resumed schedule
+        reconstructs the exact feedback state of the original run.
+        """
+        digest = unit.provenance  # one pool entry per task, not per version
+        buggy = (verdict.get("verdict") == verdicts_mod.BUG
+                 or verdict.get("differential_divergences", 0) > 0)
+        if buggy and digest not in self._bug_digests:
+            self._bug_digests.add(digest)
+            self._bug_pool.append((digest, unit.zone))
+            if len(self._bug_pool) > _POOL_CAP:
+                evicted, _ = self._bug_pool.pop(0)
+                self._bug_digests.discard(evicted)
+        if digest not in self._pool_digests:
+            self._pool_digests.add(digest)
+            self._pool.append((digest, unit.zone))
+            if len(self._pool) > _POOL_CAP:
+                evicted, _ = self._pool.pop(0)
+                self._pool_digests.discard(evicted)
+        self.state.pool_size = len(self._pool)
+        self.state.bug_pool_size = len(self._bug_pool)
+
+    # -- identity ------------------------------------------------------------
+
+    def header_material(self) -> Dict:
+        """What pins this schedule (goes into the checkpoint header)."""
+        return {
+            "seed": self.seed,
+            "versions": list(self.versions),
+            "weights": list(self.weights),
+            "regressions": [e.entry_id for e in self._regressions],
+            "profiles": sorted(PROFILES),
+        }

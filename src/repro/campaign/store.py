@@ -1,0 +1,267 @@
+"""The campaign's regression corpus: every bug becomes a permanent test.
+
+A :class:`RegressionStore` is a directory of self-contained corpus
+entries, one JSON file per distinct zone, content-addressed by the zone's
+digest (so re-recording the same finding — e.g. after a ``--resume``
+replay — is idempotent). Entries come from two feeds:
+
+- **capture**: the campaign loop records every zone whose unit came back
+  BUG or with differential divergences. When the differential tester
+  refutes the zone, the zone is first *minimized*: records are greedily
+  dropped while the divergence persists, so the stored corpus entry is
+  close to a minimal reproducer rather than the whole random zone;
+- **ingest**: the serving plane's self-checker exports its live
+  divergence records (zone snapshot + offending query,
+  :meth:`repro.serve.selfcheck.SelfChecker.export_divergences`) and
+  :meth:`RegressionStore.ingest` files them — a divergence seen once in
+  production becomes a regression unit every future campaign replays.
+
+The scheduler replays entries in deterministic (entry-id) order; the
+store never deletes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dns.zone import Zone, ZoneValidationError
+from repro.dns.zonefile import parse_zone_text, zone_to_text
+from repro.incremental.digest import zone_digest
+
+#: Bump when the entry layout changes.
+STORE_FORMAT = 1
+
+#: Entry-id length (hex prefix of the zone digest): collision-safe at any
+#: plausible corpus size while keeping filenames readable.
+_ID_HEX = 16
+
+
+@dataclass
+class RegressionEntry:
+    """One stored reproducer: a zone plus what went wrong on it."""
+
+    entry_id: str
+    origin: str
+    zone_text: str
+    source: str               # "campaign:<kind>" | "selfcheck" | caller-defined
+    version: str              # engine version the finding was made against
+    categories: List[str]
+    queries: List[Dict]       # [{"qname": ..., "qtype": int}, ...]
+    detail: str = ""
+    minimized_from: Optional[int] = None  # record count before minimization
+
+    def to_json(self) -> Dict:
+        return {
+            "format": STORE_FORMAT,
+            "entry_id": self.entry_id,
+            "origin": self.origin,
+            "zone_text": self.zone_text,
+            "source": self.source,
+            "version": self.version,
+            "categories": list(self.categories),
+            "queries": list(self.queries),
+            "detail": self.detail,
+            "minimized_from": self.minimized_from,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "RegressionEntry":
+        return cls(
+            entry_id=data["entry_id"],
+            origin=data["origin"],
+            zone_text=data["zone_text"],
+            source=data["source"],
+            version=data["version"],
+            categories=list(data.get("categories", ())),
+            queries=list(data.get("queries", ())),
+            detail=data.get("detail", ""),
+            minimized_from=data.get("minimized_from"),
+        )
+
+    def zone(self) -> Zone:
+        return parse_zone_text(self.zone_text)
+
+
+class RegressionStore:
+    """A directory of regression corpus entries.
+
+    Writes are atomic (temp file + ``os.replace``) and idempotent: an
+    entry whose zone is already stored is skipped, so concurrent or
+    replayed recorders cannot corrupt or duplicate the corpus.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.captured = 0   # new entries written via record()
+        self.ingested = 0   # new entries written via ingest()
+
+    # -- reads ---------------------------------------------------------------
+
+    def entry_ids(self) -> List[str]:
+        """All stored entry ids, sorted (the scheduler's replay order)."""
+        return sorted(
+            path.stem for path in self.entries_dir.glob("*.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.entry_ids())
+
+    def get(self, entry_id: str) -> RegressionEntry:
+        path = self.entries_dir / f"{entry_id}.json"
+        with open(path, "r", encoding="utf-8") as handle:
+            return RegressionEntry.from_json(json.load(handle))
+
+    def entries(self) -> List[RegressionEntry]:
+        return [self.get(entry_id) for entry_id in self.entry_ids()]
+
+    # -- capture (campaign findings) ----------------------------------------
+
+    def record(
+        self,
+        zone: Zone,
+        version: str,
+        source: str = "campaign",
+        categories: Sequence[str] = (),
+        queries: Sequence[Dict] = (),
+        detail: str = "",
+        minimize: bool = True,
+    ) -> str:
+        """Store ``zone`` as a regression entry; returns its entry id.
+
+        With ``minimize`` (and a differential oracle that still refutes),
+        the zone is shrunk record-by-record first. Idempotent: an already
+        stored zone is not rewritten and does not bump the counters.
+        """
+        minimized_from: Optional[int] = None
+        if minimize:
+            shrunk = minimize_zone(zone, version)
+            if len(shrunk) < len(zone):
+                minimized_from = len(zone)
+                zone = shrunk
+        entry_id = zone_digest(zone)[:_ID_HEX]
+        entry = RegressionEntry(
+            entry_id=entry_id,
+            origin=zone.origin.to_text(),
+            zone_text=zone_to_text(zone),
+            source=source,
+            version=version,
+            categories=list(dict.fromkeys(categories)),
+            queries=list(queries),
+            detail=detail,
+            minimized_from=minimized_from,
+        )
+        if self._write(entry):
+            self.captured += 1
+        return entry_id
+
+    # -- ingest (serve-plane self-check divergences) ------------------------
+
+    def ingest(self, divergence_records: Iterable[Dict],
+               source: str = "selfcheck") -> List[str]:
+        """File exported self-check divergence records as corpus entries.
+
+        Records are the dicts
+        :meth:`repro.serve.selfcheck.SelfChecker.export_divergences`
+        produces (``zone_text``, ``query``, ``version``, ``kind``,
+        ``detail``). Records sharing a zone snapshot are merged into one
+        entry carrying every offending query. Returns the entry ids that
+        were newly written.
+        """
+        by_zone: Dict[str, List[Dict]] = {}
+        for rec in divergence_records:
+            by_zone.setdefault(rec["zone_text"], []).append(rec)
+        written: List[str] = []
+        for zone_text, recs in sorted(by_zone.items()):
+            try:
+                zone = parse_zone_text(zone_text)
+            except (ZoneValidationError, ValueError):
+                continue  # a snapshot that no longer parses is not replayable
+            entry_id = zone_digest(zone)[:_ID_HEX]
+            entry = RegressionEntry(
+                entry_id=entry_id,
+                origin=zone.origin.to_text(),
+                zone_text=zone_to_text(zone),
+                source=source,
+                version=recs[0].get("version", "unknown"),
+                categories=sorted({r["kind"] for r in recs}),
+                queries=[r["query"] for r in recs],
+                detail="; ".join(r.get("detail", "") for r in recs[:3]),
+            )
+            if self._write(entry):
+                self.ingested += 1
+                written.append(entry_id)
+        return written
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _write(self, entry: RegressionEntry) -> bool:
+        """Atomically publish ``entry``; False when it already exists."""
+        path = self.entries_dir / f"{entry.entry_id}.json"
+        if path.exists():
+            return False
+        fd, tmp = tempfile.mkstemp(dir=self.entries_dir, suffix=".entry.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_json(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dir": str(self.root),
+            "entries": len(self),
+            "captured": self.captured,
+            "ingested": self.ingested,
+        }
+
+
+def minimize_zone(zone: Zone, version: str) -> Zone:
+    """Greedy record-level minimization against the differential oracle.
+
+    Drops records one at a time (back to front, so glue and targets go
+    before the names that reference them) while the differential tester
+    still reports at least one divergence for ``version``. Zones the
+    differential does not refute (symbolic-only findings, fault-injected
+    ERRORs) are returned unchanged — there is no cheap oracle to minimize
+    against.
+    """
+    from repro.testing.differential import differential_test
+
+    def diverges(candidate: Zone) -> bool:
+        result = differential_test(candidate, version, check_reference=False)
+        return bool(result.divergences)
+
+    try:
+        if not diverges(zone):
+            return zone
+    except Exception:
+        return zone  # oracle itself unusable on this zone: keep as-is
+    current = zone
+    for record in list(reversed(current.records)):
+        if record not in current.records:
+            continue
+        remaining = list(current.records)
+        remaining.remove(record)
+        try:
+            candidate = Zone(current.origin, tuple(remaining))
+        except ZoneValidationError:
+            continue
+        try:
+            if diverges(candidate):
+                current = candidate
+        except Exception:
+            continue
+    return current

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import control
@@ -151,6 +152,10 @@ def cmd_campaign(args) -> int:
     from repro.core import run_campaign
     from repro.resilience import faults, verdicts
 
+    if args.status:
+        return _campaign_status(args)
+    if args.serve:
+        return _campaign_serve(args)
     cache = _make_cache(args)
     workers = args.workers
     plan = None if workers is not None else _parse_faults(args.faults)
@@ -183,6 +188,93 @@ def cmd_campaign(args) -> int:
     if report.zones_unknown or report.zones_errored:
         return 2
     return 0 if report.zones_refuted == 0 else 1
+
+
+def _campaign_versions(args) -> tuple:
+    raw = args.versions or "verified,v2.0"
+    versions = tuple(v.strip() for v in raw.split(",") if v.strip())
+    unknown = [v for v in versions if v not in control.ENGINE_VERSIONS]
+    if unknown:
+        raise SystemExit(
+            f"unknown engine version(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(control.ENGINE_VERSIONS))})"
+        )
+    return versions
+
+
+def _campaign_serve(args) -> int:
+    """``repro campaign --serve``: the continuous campaign service.
+
+    Runs until drained (SIGTERM/SIGINT), ``--duration`` elapses, or
+    ``--units`` have been scheduled. Exit 0 on a clean drain (BUG
+    findings are the service's product, not a failure), 2 when the
+    supervision circuit breaker opened.
+    """
+    import json
+    import signal
+
+    from repro.campaign import CampaignService, CampaignServiceConfig
+    from repro.core import VerifyOptions
+
+    config = CampaignServiceConfig(
+        corpus_dir=args.corpus_dir,
+        seed=args.seed,
+        versions=_campaign_versions(args),
+        units=args.units,
+        duration=args.duration,
+        batch_tasks=args.batch_tasks,
+        checkpoint=args.checkpoint,
+        events=args.events,
+        ledger=args.ledger,
+        resume=args.resume,
+        status_port=args.status_port,
+        host=args.host,
+        minimize=not args.no_minimize,
+        max_failures=args.max_failures,
+    )
+    options = VerifyOptions.from_args(args)
+    service = CampaignService(config, options=options)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: service.request_stop())
+        except ValueError:
+            pass  # not the main thread
+    report = service.run()
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return report.exit_code
+
+
+def _campaign_status(args) -> int:
+    """``repro campaign --status``: one status snapshot, as JSON.
+
+    A running service is discovered through ``<corpus-dir>/service.json``
+    and queried over its one-shot status socket; once the service has
+    stopped the registry file carries its final snapshot instead.
+    """
+    import json
+
+    from repro.campaign import SERVICE_FILE, query_status
+
+    registry = Path(args.corpus_dir) / SERVICE_FILE
+    if not registry.exists():
+        print(f"no campaign service registry at {registry}", file=sys.stderr)
+        return 2
+    with open(registry, "r", encoding="utf-8") as handle:
+        info = json.load(handle)
+    status = None
+    if info.get("state") == "running" and info.get("status_port"):
+        try:
+            status = query_status(info.get("host", "127.0.0.1"),
+                                  info["status_port"])
+        except OSError:
+            status = None  # stale registry (SIGKILL): fall through
+    if status is None:
+        status = info.get("status", info)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_watch(args) -> int:
@@ -473,15 +565,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", default="verified", choices=versions)
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("campaign", help="verify across N random zones",
-                       parents=[runtime])
+    p = sub.add_parser(
+        "campaign",
+        help="verify across N random zones, or run the continuous "
+        "differential-fuzzing campaign service (--serve)",
+        parents=[runtime],
+    )
     p.add_argument("--version", default="verified", choices=versions)
     p.add_argument("--zones", type=int, default=5)
     p.add_argument("--seed", type=int, default=2023)
     p.add_argument("--checkpoint", default=None, metavar="FILE",
-                   help="JSONL checkpoint: one atomic record per finished zone")
+                   help="JSONL checkpoint: one atomic record per finished zone "
+                   "(service default: <corpus-dir>/checkpoint.jsonl)")
     p.add_argument("--resume", action="store_true",
-                   help="replay finished units from --checkpoint instead of re-running")
+                   help="replay finished units from the checkpoint instead of "
+                   "re-running; a resumed service's ledger is bit-identical "
+                   "to an uninterrupted run's")
+    service_group = p.add_argument_group(
+        "campaign service (continuous differential fuzzing)")
+    service_group.add_argument(
+        "--serve", action="store_true",
+        help="run the continuous campaign service: generated + mutated + "
+        "regression zones across --versions, with a regression store, "
+        "JSONL events and a status socket")
+    service_group.add_argument(
+        "--status", action="store_true",
+        help="print one JSON status snapshot of the service registered "
+        "in --corpus-dir and exit")
+    service_group.add_argument(
+        "--versions", default=None, metavar="V1,V2",
+        help="comma-separated engine versions each zone fans across "
+        "(default: verified,v2.0)")
+    service_group.add_argument(
+        "--units", type=int, default=None, metavar="N",
+        help="stop once at least N units were scheduled (deterministic "
+        "schedule; default: unbounded)")
+    service_group.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop after S wall-clock seconds (checked between batches)")
+    service_group.add_argument(
+        "--corpus-dir", default="campaign-corpus", metavar="DIR",
+        help="regression store + default checkpoint/events/ledger/registry "
+        "location (default: campaign-corpus)")
+    service_group.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="append-only JSONL event stream "
+        "(default: <corpus-dir>/events.jsonl)")
+    service_group.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="canonical verdict ledger, rewritten per run "
+        "(default: <corpus-dir>/ledger.jsonl)")
+    service_group.add_argument(
+        "--status-port", type=int, default=0, metavar="PORT",
+        help="one-shot JSON status socket port (0 picks a free one)")
+    service_group.add_argument("--host", default="127.0.0.1")
+    service_group.add_argument(
+        "--batch-tasks", type=int, default=None, metavar="N",
+        help="zone-tasks per scheduling batch (default: worker count)")
+    service_group.add_argument(
+        "--no-minimize", action="store_true",
+        help="store captured regression zones as-is instead of minimizing "
+        "them against the differential oracle")
+    service_group.add_argument(
+        "--max-failures", type=int, default=5,
+        help="consecutive batch failures before the supervision circuit "
+        "breaker stops the service (exit 2)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("differential", help="concrete cross-checking on a zone")

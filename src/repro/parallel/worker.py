@@ -71,6 +71,128 @@ def campaign_unit_worker(payload: Dict) -> Dict:
     }
 
 
+def mutation_unit_worker(payload: Dict) -> Dict:
+    """Verify one campaign *mutation* unit through the incremental path.
+
+    Payload: ``index`` (stable unit id), ``zone_pickle`` (the mutated
+    zone), ``base_zone_pickle`` (its predecessor), ``version``,
+    ``options``. The worker verifies the base with
+    :class:`~repro.incremental.engine.IncrementalVerifier` (warming the
+    partition cache), then adopts the mutant via :meth:`diff_to` — so the
+    unit exercises exactly the delta-invalidation machinery the watch
+    daemon and the serve-plane gate rely on, with real partition reuse.
+    The unit's verdict is the *mutant's*; reuse statistics ride along as
+    telemetry (they depend on cache warmth and are never canonical).
+
+    The unsoundness cross-check matches :func:`repro.core.campaign.run_unit`:
+    a differential-refuted mutant whose incremental proof passes raises.
+    """
+    import time
+
+    from repro.core.campaign import UNIT_ERRORS
+    from repro.incremental.engine import IncrementalVerifier
+    from repro.parallel.counters import unit_perf
+    from repro.resilience import verdicts as verdicts_mod
+    from repro.testing import differential_test
+
+    index = payload["index"]
+    zone = pickle.loads(payload["zone_pickle"])
+    base_zone = pickle.loads(payload["base_zone_pickle"])
+    options = _options_of(payload)
+    cache = options.make_cache()
+    if cache is None:
+        from repro.incremental.cache import SummaryCache
+
+        cache = SummaryCache(memory_only=True)
+    plan = faults_mod.unit_plan(options.faults, index)
+    scope = faults_mod.active(plan) if plan is not None else nullcontext()
+    version = payload["version"]
+    started = time.perf_counter()
+    divergences = 0
+    incremental = None
+    with scope:
+        try:
+            if options.smoke_first:
+                smoke = differential_test(zone, version, check_reference=False)
+                divergences = len(smoke.divergences)
+            verifier = IncrementalVerifier(
+                base_zone, version, cache=cache, options=options,
+                **options.session_kwargs(),
+            )
+            verifier.verify_current()  # warm the base's partition verdicts
+            outcome = verifier.diff_to(zone)
+            result = outcome.result
+            incremental = {
+                "records_changed": outcome.reuse.records_changed,
+                "partitions_total": outcome.reuse.partitions_total,
+                "partitions_reused": outcome.reuse.partitions_reused,
+                "partitions_recomputed": outcome.reuse.partitions_recomputed,
+            }
+        except UNIT_ERRORS as exc:
+            error_class, detail = verdicts_mod.classify_error(exc)
+            verdict = {
+                "zone_index": index,
+                "zone_origin": zone.origin.to_text(),
+                "records": len(zone),
+                "verified": False,
+                "bug_categories": [],
+                "elapsed_seconds": time.perf_counter() - started,
+                "solver_checks": 0,
+                "differential_divergences": divergences,
+                "verdict": verdicts_mod.ERROR,
+                "unknown_reason": None,
+                "error_class": error_class,
+                "error_detail": detail,
+            }
+            return {"index": index, "verdict": verdict, "perf": None,
+                    "incremental": None}
+    if (
+        divergences
+        and result.verified
+        and result.verdict == verdicts_mod.VERIFIED
+    ):
+        raise RuntimeError(
+            f"unsound: differential refuted mutation unit {index} but the "
+            f"incremental proof passed ({version})"
+        )
+    verdict = {
+        "zone_index": index,
+        "zone_origin": zone.origin.to_text(),
+        "records": len(zone),
+        "verified": result.verified,
+        "bug_categories": list(result.bug_categories()),
+        "elapsed_seconds": time.perf_counter() - started,
+        "solver_checks": result.solver_checks,
+        "differential_divergences": divergences,
+        "verdict": result.verdict,
+        "unknown_reason": result.unknown_reason,
+        "error_class": result.error_class,
+        "error_detail": result.error_detail or "",
+    }
+    return {
+        "index": index,
+        "verdict": verdict,
+        "perf": unit_perf(result, cache),
+        "incremental": incremental,
+    }
+
+
+def campaign_service_worker(payload: Dict) -> Dict:
+    """The campaign service's pool entry point: dispatch by unit shape.
+
+    ``run_units`` fans one worker function over a whole batch; a service
+    batch mixes from-scratch units (generated/regression zones) with
+    incremental mutation units, so this thin dispatcher routes each
+    payload to the right specialist. Presence of ``base_zone_pickle`` is
+    the discriminator — only mutation units carry a predecessor.
+    """
+    if payload.get("base_zone_pickle") is not None:
+        return mutation_unit_worker(payload)
+    value = campaign_unit_worker(payload)
+    value.setdefault("incremental", None)
+    return value
+
+
 def partition_worker(payload: Dict) -> Dict:
     """Verify one query-space partition of one zone.
 

@@ -24,8 +24,13 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.dns.message import Query
+from repro.dns.zonefile import zone_to_text
 from repro.serve.snapshot import ResolveError, ServingSnapshot, build_snapshot
 from repro.testing.differential import differential_test
+
+#: Bound on retained structured divergence records (each carries a full
+#: zone snapshot text; an alarming server must not grow without bound).
+_EXPORT_CAP = 128
 
 
 class SelfChecker:
@@ -48,6 +53,11 @@ class SelfChecker:
         self.spec_divergences = 0
         self.last_run_at: Optional[float] = None
         self.last_divergence: Optional[str] = None
+        #: Structured divergence records awaiting export — each one is a
+        #: replayable (zone snapshot, offending query) pair in the exact
+        #: shape :meth:`repro.campaign.store.RegressionStore.ingest`
+        #: files as a regression corpus entry.
+        self._export: Deque[Dict] = deque(maxlen=_EXPORT_CAP)
 
     @property
     def alarm(self) -> bool:
@@ -86,6 +96,20 @@ class SelfChecker:
         self.runs += 1
         self.last_run_at = self._clock()
         found: List[str] = []
+        zone_text: Optional[str] = None
+
+        def export(query: Query, kind: str, detail: str) -> None:
+            nonlocal zone_text
+            if zone_text is None:  # serialize the snapshot at most once
+                zone_text = zone_to_text(snapshot.zone)
+            self._export.append({
+                "zone_text": zone_text,
+                "query": {"qname": query.qname.to_text(),
+                          "qtype": query.qtype},
+                "version": snapshot.version,
+                "kind": kind,
+                "detail": detail,
+            })
 
         if queries and snapshot.version != self.reference_version:
             reference = self._reference_for(snapshot)
@@ -94,6 +118,7 @@ class SelfChecker:
                     served = snapshot.resolve(query)
                 except ResolveError as exc:
                     found.append(f"{query.to_text()}: serving engine crashed: {exc}")
+                    export(query, "serving-crash", str(exc))
                     continue
                 expected = reference.resolve(query)
                 if not served.semantically_equal(expected):
@@ -101,6 +126,8 @@ class SelfChecker:
                         f"{query.to_text()}: {snapshot.version} diverges from "
                         f"{self.reference_version}"
                     )
+                    export(query, "engine-divergence",
+                           f"{snapshot.version} vs {self.reference_version}")
         spec_divergences = 0
         if queries:
             spec_result = differential_test(
@@ -109,6 +136,9 @@ class SelfChecker:
             )
             spec_divergences = len(spec_result.divergences)
             self.spec_divergences += spec_divergences
+            for divergence in spec_result.divergences:
+                export(divergence.query, "spec-divergence",
+                       divergence.describe())
 
         self.queries_checked += len(queries)
         self.divergences += len(found)
@@ -121,6 +151,26 @@ class SelfChecker:
             "details": found[:10],
         }
 
+    # -- export (feeds the campaign's regression corpus) ---------------------
+
+    @property
+    def exportable(self) -> int:
+        return len(self._export)
+
+    def export_divergences(self, clear: bool = True) -> List[Dict]:
+        """Drain the structured divergence records seen so far.
+
+        Each record is a self-contained reproducer — the zone snapshot
+        text plus the offending query — ready for
+        :meth:`repro.campaign.store.RegressionStore.ingest`, which turns
+        a divergence seen once in production into a regression unit every
+        future campaign replays.
+        """
+        records = list(self._export)
+        if clear:
+            self._export.clear()
+        return records
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "every": self.every,
@@ -131,4 +181,5 @@ class SelfChecker:
             "spec_divergences": self.spec_divergences,
             "alarm": self.alarm,
             "last_divergence": self.last_divergence,
+            "exportable_records": len(self._export),
         }

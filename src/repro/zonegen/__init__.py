@@ -16,6 +16,7 @@ from repro.zonegen.corpus import (
     paper_example_zone,
     chain_zone,
 )
+from repro.zonegen.mutate import MutationConfig, ZoneMutator, mutate_zone
 
 __all__ = [
     "ZoneGenerator",
@@ -26,4 +27,7 @@ __all__ = [
     "minimal_zone",
     "paper_example_zone",
     "chain_zone",
+    "MutationConfig",
+    "ZoneMutator",
+    "mutate_zone",
 ]

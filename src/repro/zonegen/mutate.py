@@ -1,0 +1,225 @@
+"""Seeded delta-mutation of existing zones.
+
+The campaign service exercises two verification paths: from-scratch
+proofs of freshly generated zones, and *incremental* re-verification of a
+mutated zone against its predecessor (:meth:`IncrementalVerifier.diff_to`).
+This module supplies the second input: a :class:`ZoneMutator` that applies
+a small, seeded edit script — record adds, removes and rdata rewrites —
+to a valid zone and returns another valid zone.
+
+Determinism contract (the campaign's resume path depends on it): the
+mutated zone is a pure function of ``(config.seed, index, zone content)``.
+The PRNG is seeded from the zone's content digest rather than any
+process-local identity (``id()``, ``hash()`` — both vary across
+interpreter runs), so identical seeds reproduce identical mutants
+byte-for-byte in any process, under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dns.name import DnsName
+from repro.dns.rdata import ARdata, CNAMERdata, MXRdata, NSRdata, TXTRdata
+from repro.dns.records import ResourceRecord
+from repro.dns.rtypes import RRType
+from repro.dns.zone import Zone, ZoneValidationError
+from repro.incremental.digest import zone_digest
+from repro.zonegen.generator import _LABELS
+
+#: Mutation operators, drawn by weight. Adds are biased toward the
+#: adversarial record families (wildcards, CNAMEs, delegations — the §9
+#: intertwinings) so that mutation chains drift toward the interesting
+#: corner of the zone space rather than away from it.
+_OPS = (
+    ("add-host", 3),
+    ("add-wildcard", 2),
+    ("add-cname", 2),
+    ("add-delegation", 1),
+    ("delete-record", 3),
+    ("rewrite-address", 2),
+)
+
+
+@dataclass
+class MutationConfig:
+    """Knobs for one mutation stream."""
+
+    seed: int = 2023
+    #: Edit-script length bounds per mutant (each op is one add/remove/
+    #: rewrite; a rewrite counts as one op but two delta changes).
+    min_changes: int = 1
+    max_changes: int = 3
+
+
+class ZoneMutator:
+    """Applies seeded record-level deltas to existing zones."""
+
+    def __init__(self, config: Optional[MutationConfig] = None):
+        self.config = config or MutationConfig()
+
+    def mutate(self, zone: Zone, index: int = 0) -> Zone:
+        """A valid mutant of ``zone``, deterministic per
+        ``(seed, index, zone content)``. Guaranteed to differ from the
+        input (the campaign's incremental units need a non-empty delta).
+        """
+        cfg = self.config
+        rng = random.Random(f"{cfg.seed}:{index}:{zone_digest(zone)}")
+        ops = rng.randint(cfg.min_changes, cfg.max_changes)
+        current = zone
+        applied = 0
+        # Each op attempt draws from the PRNG whether it lands or not, so
+        # the stream position — and therefore every later draw — depends
+        # only on the seed material, never on wall clock or retry timing.
+        for _attempt in range(16 * ops):
+            if applied >= ops:
+                break
+            op = _pick_op(rng)
+            mutated = _apply_op(current, op, rng)
+            if mutated is not None:
+                current = mutated
+                applied += 1
+        if current is zone:
+            # Pathological zone where nothing landed: force the one op
+            # that cannot fail (a fresh host at a fresh name).
+            forced = _apply_op(current, "add-host", rng)
+            if forced is None:  # pragma: no cover - add-host retries names
+                raise RuntimeError("zone mutation failed to land any change")
+            current = forced
+        return current
+
+    def stream(self, zone: Zone, count: int, start: int = 0) -> List[Zone]:
+        """A chain of mutants: each element mutates its predecessor."""
+        chain: List[Zone] = []
+        current = zone
+        for index in range(start, start + count):
+            current = self.mutate(current, index)
+            chain.append(current)
+        return chain
+
+
+def mutate_zone(zone: Zone, seed: int = 2023, index: int = 0,
+                **overrides) -> Zone:
+    """Convenience wrapper around :class:`ZoneMutator`."""
+    return ZoneMutator(MutationConfig(seed=seed, **overrides)).mutate(zone, index)
+
+
+# -- operator implementations ------------------------------------------------
+
+
+def _pick_op(rng: random.Random) -> str:
+    names = [name for name, _ in _OPS]
+    weights = [weight for _, weight in _OPS]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def _rebuild(zone: Zone, records: List[ResourceRecord]) -> Optional[Zone]:
+    """A new :class:`Zone` when the record set validates, else None (the
+    op draws again)."""
+    try:
+        return Zone(zone.origin, tuple(records))
+    except ZoneValidationError:
+        return None
+
+
+def _fresh_name(zone: Zone, rng: random.Random,
+                depth_max: int = 3) -> Optional[DnsName]:
+    existing = set(zone.names())
+    for _ in range(24):
+        depth = rng.randint(1, depth_max)
+        labels = tuple(rng.choice(_LABELS) for _ in range(depth))
+        name = DnsName(labels).concat(zone.origin)
+        if name not in existing:
+            return name
+    return None
+
+
+def _hosts_of(zone: Zone) -> List[DnsName]:
+    return sorted({rec.rname for rec in zone.records
+                   if rec.rtype is RRType.A and not rec.rname.is_wildcard})
+
+
+def _next_ip(rng: random.Random) -> str:
+    return f"192.0.2.{rng.randint(1, 254)}"
+
+
+def _apply_op(zone: Zone, op: str, rng: random.Random) -> Optional[Zone]:
+    records = list(zone.records)
+    if op == "add-host":
+        name = _fresh_name(zone, rng)
+        if name is None:
+            return None
+        records.append(ResourceRecord(name, RRType.A, ARdata(_next_ip(rng))))
+        if rng.random() < 0.3:
+            records.append(ResourceRecord(
+                name, RRType.TXT, TXTRdata(f"mut {name.labels[0]}")))
+        return _rebuild(zone, records)
+
+    if op == "add-wildcard":
+        parent = _fresh_name(zone, rng, depth_max=2)
+        if parent is None:
+            return None
+        wild = parent.with_wildcard()
+        hosts = _hosts_of(zone)
+        kind = rng.choice(["a", "mx", "cname"]) if hosts else "a"
+        if kind == "a":
+            records.append(ResourceRecord(wild, RRType.A, ARdata(_next_ip(rng))))
+        elif kind == "mx":
+            records.append(ResourceRecord(
+                wild, RRType.MX, MXRdata(10, rng.choice(hosts))))
+        else:
+            records.append(ResourceRecord(
+                wild, RRType.CNAME, CNAMERdata(rng.choice(hosts))))
+        return _rebuild(zone, records)
+
+    if op == "add-cname":
+        name = _fresh_name(zone, rng)
+        hosts = _hosts_of(zone)
+        if name is None or not hosts:
+            return None
+        if rng.random() < 0.25:
+            target = DnsName.from_text("www.elsewhere.org.")
+        else:
+            target = rng.choice(hosts)
+        records.append(ResourceRecord(name, RRType.CNAME, CNAMERdata(target)))
+        return _rebuild(zone, records)
+
+    if op == "add-delegation":
+        cut = _fresh_name(zone, rng, depth_max=2)
+        if cut is None:
+            return None
+        target = DnsName.from_text("ns1", cut)
+        records.append(ResourceRecord(cut, RRType.NS, NSRdata(target)))
+        records.append(ResourceRecord(target, RRType.A, ARdata(_next_ip(rng))))
+        return _rebuild(zone, records)
+
+    if op == "delete-record":
+        # Never touch the SOA or the apex NS set (structurally required);
+        # everything else is fair game — validation vetoes removals that
+        # would strand the zone (the op then simply fails to land).
+        candidates = [
+            rec for rec in records
+            if rec.rtype is not RRType.SOA
+            and not (rec.rtype is RRType.NS and rec.rname == zone.origin)
+        ]
+        if not candidates:
+            return None
+        victim = rng.choice(sorted(candidates, key=ResourceRecord.sort_key))
+        records.remove(victim)
+        return _rebuild(zone, records)
+
+    if op == "rewrite-address":
+        candidates = [rec for rec in records if rec.rtype is RRType.A]
+        if not candidates:
+            return None
+        victim = rng.choice(sorted(candidates, key=ResourceRecord.sort_key))
+        replacement = ResourceRecord(
+            victim.rname, RRType.A, ARdata(_next_ip(rng)))
+        if replacement == victim:
+            return None
+        records[records.index(victim)] = replacement
+        return _rebuild(zone, records)
+
+    raise ValueError(f"unknown mutation op {op!r}")  # pragma: no cover

