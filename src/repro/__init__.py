@@ -52,6 +52,11 @@ _LAZY = {
     "run_campaign": ("repro.core.campaign", "run_campaign"),
     "CampaignReport": ("repro.core.campaign", "CampaignReport"),
     "ZoneVerdict": ("repro.core.campaign", "ZoneVerdict"),
+    "QueryPlanner": ("repro.incremental.planner.protocol", "QueryPlanner"),
+    "PlanUnit": ("repro.incremental.planner.protocol", "PlanUnit"),
+    "make_planner": ("repro.incremental.planner.protocol", "make_planner"),
+    "ByLabelPlanner": ("repro.incremental.planner.by_label", "ByLabelPlanner"),
+    "ECPlanner": ("repro.incremental.planner.ec", "ECPlanner"),
 }
 
 

@@ -62,6 +62,12 @@ def _runtime_parent() -> argparse.ArgumentParser:
     group.add_argument("--faults", default=None, metavar="SPEC",
                        help="fault plan: 'seed:<N>[:<rate>]' or "
                        "'site=count,...' (see repro.resilience.faults)")
+    group.add_argument("--planner", default=None,
+                       choices=["by-label", "equivalence-class"],
+                       help="query planner: 'by-label' (one unit per "
+                       "below-apex subtree; the default) or "
+                       "'equivalence-class' (one unit per behavioural "
+                       "class; O(classes) solver work on large zones)")
     group.add_argument("--no-analysis", action="store_true",
                        help="skip the static panic-pruning pass (ablation: "
                        "every panic guard goes to the solver)")
@@ -436,8 +442,20 @@ def cmd_tables(args) -> int:
 
 def cmd_zonegen(args) -> int:
     from repro.dns.zonefile import zone_to_text
-    from repro.zonegen import GeneratorConfig, ZoneGenerator
+    from repro.zonegen import GeneratorConfig, ZoneGenerator, tld_zone
 
+    if args.scale is not None:
+        zone = tld_zone(args.scale, seed=args.seed)
+        text = zone_to_text(zone)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                if not text.endswith("\n"):
+                    handle.write("\n")
+            print(f"wrote {len(zone)} records to {args.out}")
+        else:
+            print(text)
+        return 0
     generator = ZoneGenerator(GeneratorConfig(seed=args.seed))
     for index, zone in enumerate(generator.stream(args.count)):
         if args.count > 1:
@@ -652,6 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("zonegen", help="emit random zone files")
     p.add_argument("--count", type=int, default=1)
     p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--scale", type=int, default=None, metavar="N",
+                   help="emit one TLD-shaped zone with exactly N records "
+                   "(deterministic per seed; up to millions) instead of "
+                   "--count random zones")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the zone file to FILE instead of stdout "
+                   "(--scale mode)")
     p.set_defaults(func=cmd_zonegen)
 
     p = sub.add_parser(

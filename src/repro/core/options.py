@@ -66,6 +66,10 @@ class VerifyOptions:
     #: Debug cross-check: at the first symbolic crossing of each elided
     #: guard, re-ask the solver that the panic side really is infeasible.
     analysis_check: bool = False
+    #: Query planner: ``"by-label"`` (one unit per below-apex subtree, the
+    #: historical default and reference oracle) or ``"equivalence-class"``
+    #: (one unit per behavioural class — O(classes) solver work).
+    planner: str = "by-label"
 
     # -- derivation ---------------------------------------------------------
 
@@ -127,6 +131,7 @@ class VerifyOptions:
             "cache_dir": getattr(args, "cache", None),
             "workers": getattr(args, "workers", None),
             "faults": getattr(args, "faults", None),
+            "planner": getattr(args, "planner", None),
         }
         options = cls(**{k: v for k, v in fields.items() if v is not None})
         if getattr(args, "no_analysis", False):

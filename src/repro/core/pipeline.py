@@ -717,6 +717,26 @@ def verify_engine(
         from repro.parallel import verify_partitioned
 
         return verify_partitioned(zone, version, options=options, cache=cache)
+    if options.planner not in (None, "by-label"):
+        # Non-default planners are inherently unit-based: route the
+        # sequential run through the incremental engine, which plans,
+        # verifies and merges per unit (same merge the pooled path uses).
+        from repro.incremental.engine import IncrementalVerifier
+
+        verifier = IncrementalVerifier(
+            zone,
+            version,
+            cache=cache,
+            depth=options.depth,
+            options=options,
+            max_paths=options.max_paths,
+            max_steps=options.max_steps,
+        )
+        outcome = verifier.verify_current()
+        result = outcome.result
+        if result.cache_stats is None:
+            result.cache_stats = outcome.reuse.cache
+        return result
     if budget is None:
         budget = options.make_budget()
     session = VerificationSession(

@@ -36,6 +36,15 @@ class Zone:
 
     def __post_init__(self) -> None:
         _validate(self.origin, self.records)
+        # Materialized once: every verification unit keys on the encoding
+        # depth, and rescanning a million records per unit would put an
+        # O(zone) term back into the per-delta verify path.
+        depth = len(self.origin)
+        for rec in self.records:
+            depth = max(depth, len(rec.rname))
+            for name in rec.rdata.names():
+                depth = max(depth, len(name))
+        object.__setattr__(self, "_max_name_depth", depth)
 
     # -- basic views ------------------------------------------------------
 
@@ -119,12 +128,7 @@ class Zone:
         return sorted(labels)
 
     def max_name_depth(self) -> int:
-        depth = len(self.origin)
-        for rec in self.records:
-            depth = max(depth, len(rec.rname))
-            for name in rec.rdata.names():
-                depth = max(depth, len(name))
-        return depth
+        return self._max_name_depth
 
 
 def _validate(origin: DnsName, records: Tuple[ResourceRecord, ...]) -> None:
@@ -182,8 +186,14 @@ def _validate(origin: DnsName, records: Tuple[ResourceRecord, ...]) -> None:
         rec.rname for rec in records if rec.rtype is RRType.NS and rec.rname != origin
     }
     for name, recs in by_name.items():
-        for cut in cuts:
-            if name.is_proper_subdomain_of(cut):
+        # Walk the name's own ancestor chain against the cut set rather
+        # than scanning every cut per name: chains are bounded by name
+        # depth while cut count grows with zone size (a TLD-shaped zone
+        # is mostly delegations).
+        labels = name.labels
+        for i in range(1, len(labels)):
+            cut = DnsName(labels[i:])
+            if cut in cuts:
                 bad = [r for r in recs if r.rtype not in (RRType.A, RRType.AAAA)]
                 if bad:
                     raise ZoneValidationError(

@@ -35,6 +35,12 @@ from repro.incremental.digest import (
 )
 
 _LAZY = {
+    "QueryPlanner": ("repro.incremental.planner.protocol", "QueryPlanner"),
+    "PlanUnit": ("repro.incremental.planner.protocol", "PlanUnit"),
+    "make_planner": ("repro.incremental.planner.protocol", "make_planner"),
+    "ByLabelPlanner": ("repro.incremental.planner.by_label", "ByLabelPlanner"),
+    "ECPlanner": ("repro.incremental.planner.ec", "ECPlanner"),
+    "LabelGraph": ("repro.incremental.planner.label_graph", "LabelGraph"),
     "IncrementalVerifier": ("repro.incremental.engine", "IncrementalVerifier"),
     "IncrementalOutcome": ("repro.incremental.engine", "IncrementalOutcome"),
     "ReuseStats": ("repro.incremental.engine", "ReuseStats"),
@@ -78,6 +84,12 @@ __all__ = [
     "subtree_records",
     "top_labels",
     "zone_digest",
+    "QueryPlanner",
+    "PlanUnit",
+    "make_planner",
+    "ByLabelPlanner",
+    "ECPlanner",
+    "LabelGraph",
     "IncrementalVerifier",
     "IncrementalOutcome",
     "ReuseStats",

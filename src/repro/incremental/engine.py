@@ -43,11 +43,13 @@ from repro.core.pipeline import (
 )
 from repro.dns.zone import Zone
 from repro.incremental.cache import SummaryCache
-from repro.incremental.delta import (
-    Partition,
-    ZoneDelta,
-    partition_digest,
-    zone_partitions,
+from repro.incremental.delta import ZoneDelta, partition_digest
+from repro.incremental.planner.protocol import (
+    KIND_PARTITION,
+    KIND_SUB,
+    PlanUnit,
+    make_planner,
+    unit_preconditions,
 )
 from repro.incremental.digest import (
     engine_digest,
@@ -126,7 +128,7 @@ def replay_bugs(verdict: Dict) -> Optional[List[BugReport]]:
 def merge_partition(merged: VerificationResult, part_key: str, verdict: Dict,
                     bugs: List[BugReport], cached: bool) -> None:
     """Fold one partition verdict into the merged result. Called in the
-    stable :meth:`IncrementalVerifier._partitions` order regardless of
+    stable :meth:`IncrementalVerifier._plan_units` order regardless of
     how (or where) the verdicts were computed."""
     merged.bugs.extend(bugs)
     merged.verified = merged.verified and verdict["verified"]
@@ -266,6 +268,7 @@ class IncrementalVerifier:
         depth: Optional[int] = None,
         workers: Optional[int] = None,
         options=None,
+        planner=None,
         **session_kwargs,
     ) -> None:
         self.zone = zone
@@ -283,20 +286,36 @@ class IncrementalVerifier:
         #: only honoured on the sequential path).
         self.options = options
         self.session_kwargs = session_kwargs
+        #: The query planner: an explicit instance/name wins, then
+        #: ``options.planner``, then the by-label default.
+        if planner is None and options is not None:
+            planner = getattr(options, "planner", None)
+        self.planner = make_planner(planner)
 
     # -- the delta entry point -----------------------------------------------
 
     def apply(self, delta: ZoneDelta) -> IncrementalOutcome:
         """Apply a delta to the current snapshot and re-verify; only
-        partitions the delta invalidates are recomputed."""
-        self.zone = delta.apply(self.zone)
-        return self.verify_current(records_changed=len(delta))
+        units the delta invalidates are recomputed."""
+        return self.adopt(delta.apply(self.zone), delta)
 
     def diff_to(self, new_zone: Zone) -> IncrementalOutcome:
         """Adopt ``new_zone`` (diffing against the current snapshot for the
         change count) and re-verify. The watch daemon's entry point."""
-        delta = delta_mod.diff_zones(self.zone, new_zone)
+        return self.adopt(new_zone)
+
+    def adopt(self, new_zone: Zone, delta: Optional[ZoneDelta] = None) -> IncrementalOutcome:
+        """Adopt a pre-built zone snapshot (with the delta that produced
+        it, when the caller has one) and re-verify.
+
+        This is the flat-cost entry point for large zones: when ``delta``
+        is given, no O(records) diff runs here, and a delta-maintaining
+        planner advances its plan in O(affected) — the benchmark drives
+        this path to show per-delta cost independent of zone size."""
+        if delta is None:
+            delta = delta_mod.diff_zones(self.zone, new_zone)
         self.zone = new_zone
+        self.planner.notify_delta(delta)
         return self.verify_current(records_changed=len(delta))
 
     # -- verification ----------------------------------------------------------
@@ -310,14 +329,14 @@ class IncrementalVerifier:
         reused: List[str] = []
         recomputed: List[str] = []
 
-        # Plan first: partitions in stable order, each with its cache
-        # verdict (when replayable). Misses are then recomputed — live and
-        # in order on the sequential path, pooled when ``workers`` is set —
+        # Plan first: units in stable order, each with its cache verdict
+        # (when replayable). Misses are then recomputed — live and in
+        # order on the sequential path, pooled when ``workers`` is set —
         # and everything merges back in plan order, so the merged result
         # is independent of where or in what order misses were computed.
-        plan = [(part, self._verdict_key(part)) for part in self._partitions()]
+        plan = [(unit, self._verdict_key(unit)) for unit in self._plan_units()]
         cached: Dict[int, Tuple[Dict, List[BugReport]]] = {}
-        for position, (part, key) in enumerate(plan):
+        for position, (unit, key) in enumerate(plan):
             verdict = self.cache.get("partition", key)
             if verdict is not None:
                 replayed = replay_bugs(verdict)
@@ -330,19 +349,23 @@ class IncrementalVerifier:
             fresh = self._recompute_pooled(plan, misses)
 
         phase_totals: Dict[str, float] = {}
-        for position, (part, key) in enumerate(plan):
+        for position, (unit, key) in enumerate(plan):
             if position in cached:
                 verdict, bugs = cached[position]
-                reused.append(part.key)
+                reused.append(unit.id)
                 stats.reused_checks += verdict.get("solver_checks", 0)
-                merge_partition(merged, part.key, verdict, bugs, cached=True)
+                verdict, bugs, extra = self._expand_unit(unit, verdict, bugs)
+                merged.solver_checks += extra
+                merge_partition(merged, unit.id, verdict, bugs, cached=True)
                 continue
             verdict, bugs, checks, phases = fresh[position]
-            recomputed.append(part.key)
+            recomputed.append(unit.id)
             merged.solver_checks += checks
             for phase, seconds in (phases or {}).items():
                 phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
-            merge_partition(merged, part.key, verdict, bugs, cached=False)
+            verdict, bugs, extra = self._expand_unit(unit, verdict, bugs)
+            merged.solver_checks += extra
+            merge_partition(merged, unit.id, verdict, bugs, cached=False)
 
         finalize_merged(merged)
         merged.elapsed_seconds = time.perf_counter() - started
@@ -363,12 +386,12 @@ class IncrementalVerifier:
     # -- miss recomputation ----------------------------------------------------
 
     def _recompute_live(
-        self, part: Partition, key: Dict
+        self, unit: PlanUnit, key: Dict
     ) -> Tuple[Dict, List[BugReport], int, Dict[str, float]]:
         """One cache miss, computed in-process with a live session (the
         sequential path; also the fallback when a pool worker's bugs do
         not serialize — live objects never cross a process boundary)."""
-        result = self._verify_partition(part)
+        result = self._verify_unit(unit)
         verdict = verdict_of(result)
         cacheable = verdict is not None and result.verdict in (
             verdicts_mod.VERIFIED, verdicts_mod.BUG
@@ -382,7 +405,7 @@ class IncrementalVerifier:
         return verdict, result.bugs, result.solver_checks, result.phase_seconds
 
     def _recompute_pooled(
-        self, plan: List[Tuple[Partition, Dict]], misses: List[int]
+        self, plan: List[Tuple[PlanUnit, Dict]], misses: List[int]
     ) -> Dict[int, Tuple[Dict, List[BugReport], int, Dict[str, float]]]:
         """Cache misses through the process pool (``workers`` set).
 
@@ -390,7 +413,12 @@ class IncrementalVerifier:
         write summary/refinement entries through their own handles). A
         worker death falls back to a live in-parent recompute — same
         inputs, same deterministic outcome; a stall degrades the
-        partition to ``UNKNOWN(wall-clock-deadline)``.
+        unit to ``UNKNOWN(wall-clock-deadline)``.
+
+        Partition units ship the full zone (pickled once, shared);
+        equivalence-class units ship their small projected zones — at
+        million-record scale the full zone never crosses the pool
+        boundary at all.
         """
         import pickle
 
@@ -399,17 +427,31 @@ class IncrementalVerifier:
         from repro.parallel.worker import partition_worker
 
         options = self._worker_options()
-        zone_blob = pickle.dumps(self.zone)
-        payloads = [
-            {
-                "index": p,  # stable plan position → deterministic fault plan
-                "zone_pickle": zone_blob,
-                "part_key": plan[p][0].key,
-                "version": self.version,
-                "options": options.to_json(),
-            }
-            for p in misses
-        ]
+        zone_blob = None
+        payloads = []
+        for p in misses:
+            unit = plan[p][0]
+            if unit.kind == KIND_PARTITION:
+                if zone_blob is None:
+                    zone_blob = pickle.dumps(self.zone)
+                blob = zone_blob
+                unit_options = options
+            else:
+                blob = pickle.dumps(self.planner.projected_zone(unit))
+                # Pin the projected session to the full zone's encoding
+                # depth so gap decoding and witness codes line up with the
+                # cache key.
+                unit_options = options.with_(depth=self._encoding_depth())
+            payloads.append(
+                {
+                    "index": p,  # stable plan position → deterministic fault plan
+                    "zone_pickle": blob,
+                    "part_key": unit.part_key,
+                    "gap_code": unit.gap_code,
+                    "version": self.version,
+                    "options": unit_options.to_json(),
+                }
+            )
         grace = None
         if options.budget_seconds is not None:
             grace = 3.0 * options.budget_seconds + 30.0
@@ -465,13 +507,20 @@ class IncrementalVerifier:
 
     # -- internals -------------------------------------------------------------
 
-    def _partitions(self) -> List[Partition]:
+    def _plan_units(self) -> List[PlanUnit]:
         origin_depth = len(self.zone.origin)
         if origin_depth == 0 or self._encoding_depth() <= origin_depth:
             # The query space cannot be split below this origin; fall back
-            # to one unrestricted pseudo-partition.
-            return [Partition("full")]
-        return zone_partitions(self.zone)
+            # to one unrestricted pseudo-unit regardless of planner.
+            return [
+                PlanUnit(
+                    id="full",
+                    kind=KIND_PARTITION,
+                    part_key="full",
+                    members=("full",),
+                )
+            ]
+        return self.planner.plan(self.zone)
 
     def _encoding_depth(self) -> int:
         from repro.dns.name import MAX_NAME_DEPTH
@@ -479,45 +528,140 @@ class IncrementalVerifier:
         base = self.depth if self.depth is not None else self.zone.max_name_depth() + 2
         return min(base, MAX_NAME_DEPTH)
 
-    def _verdict_key(self, part: Partition) -> Dict:
-        if part.key == "full":
-            closure = zone_digest(self.zone)
-        else:
-            closure = partition_digest(self.zone, part.key)
+    def _verdict_key(self, unit: PlanUnit) -> Dict:
+        if unit.kind == KIND_PARTITION:
+            # The historical by-label key, byte for byte: the restricted
+            # run observes the full zone, so the full label universe and
+            # top set are pinned (see the module docstring).
+            if unit.part_key == "full":
+                closure = zone_digest(self.zone)
+            else:
+                closure = partition_digest(self.zone, unit.part_key)
+            return {
+                "engine": engine_digest(self.version),
+                "layers": layers_digest(),
+                "origin": self.zone.origin.to_text(),
+                "depth": self._encoding_depth(),
+                "universe": self.zone.label_universe(),
+                "tops": top_labels(self.zone),
+                "partition": unit.part_key,
+                "closure": closure,
+                # Verdicts are bit-identical with pruning on or off, but the
+                # counters a cached verdict replays (solver_checks, analysis
+                # telemetry) are not — keep the two populations apart.
+                "analysis": self._analysis_enabled(),
+            }
+        # Equivalence-class keys deliberately omit the zone-wide universe
+        # and top set — the whole point of the planner. What they pin
+        # instead fully determines the projected session: the unit's
+        # α-abstracted content digest, the concrete representative label
+        # (α⁻¹), and the concrete gap code the miss unit's witness uses.
         return {
+            "planner": self.planner.name,
             "engine": engine_digest(self.version),
             "layers": layers_digest(),
             "origin": self.zone.origin.to_text(),
             "depth": self._encoding_depth(),
-            "universe": self.zone.label_universe(),
-            "tops": top_labels(self.zone),
-            "partition": part.key,
-            "closure": closure,
-            # Verdicts are bit-identical with pruning on or off, but the
-            # counters a cached verdict replays (solver_checks, analysis
-            # telemetry) are not — keep the two populations apart.
+            "unit": unit.id,
+            "kind": unit.kind,
+            "digest": unit.digest,
+            "representative": unit.representative,
+            "gap_code": unit.gap_code,
             "analysis": self._analysis_enabled(),
         }
 
-    def _verify_partition(self, part: Partition) -> VerificationResult:
+    def _session_kwargs_with_budget(self) -> Dict:
         kwargs = dict(self.session_kwargs)
         if self.options is not None and "budget" not in kwargs:
-            # Same rule as the pool workers: a fresh budget per partition,
-            # so the in-parent fallback is indistinguishable from a worker.
+            # Same rule as the pool workers: a fresh budget per unit, so
+            # the in-parent fallback is indistinguishable from a worker.
             kwargs["budget"] = self.options.make_budget()
+        return kwargs
+
+    def _use_summaries(self) -> bool:
+        return self.options.use_summaries if self.options is not None else True
+
+    def _verify_unit(self, unit: PlanUnit) -> VerificationResult:
+        if unit.kind == KIND_PARTITION:
+            zone, depth = self.zone, self.depth
+        else:
+            # Equivalence-class units verify against their projected zone
+            # — the representative's dependency closure — with the depth
+            # pinned to the full zone's so query encodings stay aligned.
+            zone, depth = self.planner.projected_zone(unit), self._encoding_depth()
         session = VerificationSession(
-            self.zone,
+            zone,
             self.version,
-            depth=self.depth,
+            depth=depth,
             cache=self.cache,
-            **kwargs,
+            **self._session_kwargs_with_budget(),
         )
-        if part.key != "full":
-            session.restrict(part.preconditions(session.query_encoding))
-        use_summaries = True
-        if self.options is not None:
-            use_summaries = self.options.use_summaries
-        return session.verify(use_summaries=use_summaries)
+        pre = unit_preconditions(
+            unit.part_key, unit.gap_code, session.query_encoding
+        )
+        if pre:
+            session.restrict(pre)
+        return session.verify(use_summaries=self._use_summaries())
+
+    # -- class-member expansion ------------------------------------------------
+
+    def _expand_unit(
+        self, unit: PlanUnit, verdict: Dict, bugs: List[BugReport]
+    ) -> Tuple[Dict, List[BugReport], int]:
+        """Expand a class unit's representative verdict to its members.
+
+        Always live, never cached: the cache stores only the
+        representative's verdict, and translation re-validates every
+        member natively against its own closure (with symbolic fallback
+        when the collapse hypothesis fails). Non-class units pass through
+        untouched."""
+        if unit.kind != KIND_SUB or len(unit.members) == 0:
+            return verdict, bugs, 0
+        from repro.incremental import expand
+
+        if verdict.get("verdict") == verdicts_mod.BUG or bugs:
+            member_bugs, checks, reason = expand.expand_bugs(
+                self.planner, unit, self.version, self.zone.origin, bugs,
+                self._member_fallback,
+            )
+            bugs = []  # superseded by the per-member re-validated reports
+        elif verdict.get("verdict") == verdicts_mod.VERIFIED:
+            member_bugs, checks, reason = expand.expand_verified(
+                self.planner, unit, self.version, self.zone.origin,
+                self._member_fallback,
+            )
+        else:
+            # UNKNOWN/ERROR: the unit-level verdict already covers every
+            # member; expansion has nothing sound to add.
+            return verdict, bugs, 0
+        if member_bugs or reason is not None or not bugs:
+            verdict = dict(verdict)
+            verdict["verified"] = bool(verdict.get("verified")) and not any(
+                b.validated for b in member_bugs
+            )
+            if reason is not None and verdict.get("unknown_reason") is None:
+                verdict["verdict"] = verdicts_mod.UNKNOWN
+                verdict["unknown_reason"] = reason
+            elif any(b.validated for b in member_bugs):
+                verdict["verdict"] = verdicts_mod.BUG
+        return verdict, bugs + member_bugs, checks
+
+    def _member_fallback(self, member: str) -> VerificationResult:
+        """Full symbolic verify of one class member (hypothesis-violation
+        escape hatch), restricted to the member's own subtree."""
+        session = VerificationSession(
+            self.planner.member_zone(member),
+            self.version,
+            depth=self._encoding_depth(),
+            cache=self.cache,
+            **self._session_kwargs_with_budget(),
+        )
+        session.restrict(
+            unit_preconditions(
+                delta_mod.SUB_PREFIX + member, None, session.query_encoding
+            )
+        )
+        return session.verify(use_summaries=self._use_summaries())
 
     # Kept as aliases for backward compatibility; the logic moved to the
     # module level so pool workers can share it.

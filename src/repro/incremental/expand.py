@@ -1,0 +1,224 @@
+"""Class-member expansion: from one representative verdict to every member.
+
+The equivalence-class planner verifies one representative per class
+symbolically. This module translates that verdict to the remaining members
+— and, crucially, *checks* the translation instead of trusting it:
+
+- a representative **bug** is translated member by member (the
+  representative's label is substituted in the witness qname) and then
+  re-executed natively — real engine, real spec, concrete query — against
+  the member's own dependency-closure zone. The member's report carries
+  the categories, diffs and summaries of *its* native run, so payload
+  differences between members are reported faithfully. A translated bug
+  that does not reproduce natively is a violation of the collapse
+  hypothesis: the member is handed back for a full symbolic verify.
+- a representative **VERIFIED** verdict is spot-checked with bounded
+  native probes on a deterministic sample of members (existing-name,
+  TXT-type and below-member queries). Any probe divergence likewise
+  escalates that member to a symbolic verify.
+
+Native re-execution costs no solver checks — the whole point of the
+planner — so expansion keeps the solver budget O(classes) while the
+reported bug list stays O(members), exactly like the by-label oracle's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import (
+    RUNTIME_ERROR,
+    BugReport,
+    VerificationResult,
+    _summarise_response,
+    classify_divergence,
+)
+from repro.dns.message import Query
+from repro.dns.name import DnsName
+from repro.dns.rtypes import RRType
+from repro.dns.zone import Zone
+from repro.engine import control
+from repro.engine.encoding import ZoneEncoder
+from repro.engine.gopy.structs import Response as GoResponse
+from repro.incremental.planner.ec import translate_name
+from repro.resilience import verdicts as verdicts_mod
+from repro.spec import toplevel
+
+#: A symbolic fallback verifier for one class member (engine-provided).
+MemberFallback = Callable[[str], VerificationResult]
+
+
+class NativeRunner:
+    """One member zone compiled for repeated concrete engine/spec runs."""
+
+    def __init__(self, zone: Zone, version: str,
+                 queries: Sequence[Tuple[DnsName, int]]):
+        extra = sorted(
+            {lab for qname, _ in queries for lab in qname.labels}
+            - set(zone.label_universe())
+            - {"*"}
+        )
+        self._encoder = ZoneEncoder(zone, extra_labels=extra)
+        self._tree = control.build_domain_tree(self._encoder)
+        self._flat = control.build_flat_zone(self._encoder)
+        self._module = control.ENGINE_VERSIONS[version]
+
+    def codes(self, qname: DnsName) -> Tuple[int, ...]:
+        return tuple(
+            self._encoder.interner.code(lab) for lab in qname.reversed_labels
+        )
+
+    def divergence(self, qname: DnsName, qtype_code: int):
+        """Run engine and spec on one concrete query.
+
+        Returns ``(codes, categories, diffs, engine_summary,
+        expected_summary)``; empty categories mean agreement. An engine
+        crash is the RUNTIME_ERROR category, mirroring
+        :meth:`VerificationSession._decode_mismatch`.
+        """
+        codes = self.codes(qname)
+        spec = GoResponse()
+        toplevel.rrlookup(self._flat, list(codes), int(qtype_code), spec)
+        try:
+            engine = control.run_engine_concrete(
+                self._module, self._tree, list(codes), int(qtype_code)
+            )
+        except (IndexError, AttributeError, TypeError) as exc:
+            crash = f"{type(exc).__name__}: {exc}"
+            return (
+                codes,
+                [RUNTIME_ERROR],
+                [f"engine crashed natively: {crash}"],
+                "",
+                _summarise_response(spec),
+            )
+        categories, diffs = classify_divergence(engine, spec)
+        return (
+            codes,
+            categories,
+            diffs,
+            _summarise_response(engine),
+            _summarise_response(spec),
+        )
+
+
+def _merge_fallback(result: VerificationResult, out: List[BugReport],
+                    reason: Optional[str]) -> Tuple[int, Optional[str]]:
+    out.extend(result.bugs)
+    if reason is None and result.verdict == verdicts_mod.UNKNOWN:
+        reason = result.unknown_reason or verdicts_mod.REASON_UNVALIDATED
+    return result.solver_checks, reason
+
+
+def expand_bugs(
+    planner,
+    unit,
+    version: str,
+    origin: DnsName,
+    rep_bugs: Sequence[BugReport],
+    fallback: MemberFallback,
+) -> Tuple[List[BugReport], int, Optional[str]]:
+    """Translate a representative's bugs to every class member.
+
+    Returns ``(bugs, extra_solver_checks, unknown_reason)``. The returned
+    bug list covers *all* members, the representative included — its bugs
+    are re-executed too, which both refreshes payload summaries after
+    α-equivalent churn and re-checks the cached verdict against today's
+    engine build.
+    """
+    rep = unit.representative
+    out: List[BugReport] = []
+    checks = 0
+    reason: Optional[str] = None
+    for member in unit.members:
+        translated: List[Tuple[BugReport, DnsName]] = []
+        need_fallback = False
+        for bug in rep_bugs:
+            if bug.query is None:
+                # No concrete witness to translate (solver returned
+                # unknown). The representative keeps its unvalidated
+                # report; other members get the full symbolic treatment.
+                if member == rep:
+                    out.append(bug)
+                else:
+                    need_fallback = True
+                continue
+            translated.append(
+                (bug, translate_name(bug.query.qname, rep, member, origin))
+            )
+        if not need_fallback and translated:
+            member_zone = planner.member_zone(member)
+            runner = NativeRunner(
+                member_zone,
+                version,
+                [(qname, bug.qtype_code) for bug, qname in translated],
+            )
+            for bug, qname in translated:
+                codes, cats, diffs, esum, ssum = runner.divergence(
+                    qname, bug.qtype_code
+                )
+                if not cats:
+                    # The representative's bug does not reproduce on this
+                    # member: the collapse hypothesis failed here. Discard
+                    # the translations and verify the member symbolically.
+                    need_fallback = True
+                    break
+                out.append(
+                    BugReport(
+                        version,
+                        tuple(cats),
+                        Query(qname, bug.query.qtype),
+                        codes,
+                        bug.qtype_code,
+                        "; ".join(diffs[:4]),
+                        validated=True,
+                        engine_summary=esum,
+                        expected_summary=ssum,
+                    )
+                )
+        if need_fallback:
+            fresh, reason = _merge_fallback(fallback(member), out, reason)
+            checks += fresh
+    return out, checks, reason
+
+
+#: Native probe shapes per sampled member: the member name itself at two
+#: types, plus a below-member name (NXDOMAIN or member-wildcard space).
+def _probe_queries(member: str, origin: DnsName) -> List[Tuple[DnsName, int]]:
+    mname = DnsName((member,) + tuple(origin.labels))
+    return [
+        (mname, int(RRType.A)),
+        (mname, int(RRType.TXT)),
+        (mname.prepend("zz"), int(RRType.A)),
+    ]
+
+
+def expand_verified(
+    planner,
+    unit,
+    version: str,
+    origin: DnsName,
+    fallback: MemberFallback,
+    sample: int = 3,
+) -> Tuple[List[BugReport], int, Optional[str]]:
+    """Spot-check a VERIFIED representative verdict on sampled members.
+
+    A deterministic sample (first, middle and last non-representative
+    members) is probed natively; a diverging probe escalates that member
+    to a symbolic verify. Returns ``(bugs, extra_checks, unknown_reason)``
+    — all empty/None in the overwhelmingly common clean case.
+    """
+    others = [m for m in unit.members if m != unit.representative]
+    if not others:
+        return [], 0, None
+    picks = sorted({others[0], others[len(others) // 2], others[-1]})[:sample]
+    out: List[BugReport] = []
+    checks = 0
+    reason: Optional[str] = None
+    for member in picks:
+        probes = _probe_queries(member, origin)
+        runner = NativeRunner(planner.member_zone(member), version, probes)
+        if any(runner.divergence(q, t)[1] for q, t in probes):
+            fresh, reason = _merge_fallback(fallback(member), out, reason)
+            checks += fresh
+    return out, checks, reason

@@ -194,27 +194,29 @@ def campaign_service_worker(payload: Dict) -> Dict:
 
 
 def partition_worker(payload: Dict) -> Dict:
-    """Verify one query-space partition of one zone.
+    """Verify one query-plan unit of one zone.
 
-    Payload: ``zone_pickle``, ``part_key`` (a
-    :class:`~repro.incremental.delta.Partition` key string — the
-    partition is reconstructed from it alone), ``version``, ``options``,
-    and optionally ``index`` (the partition's stable plan position,
-    seeding its per-unit fault plan).
+    Payload: ``zone_pickle`` (the full zone for by-label partitions, a
+    projected closure zone for equivalence-class units), ``part_key``
+    (either a :class:`~repro.incremental.delta.Partition` key string or
+    one of the planner-level ``gap``/``star`` keys), the optional
+    ``gap_code`` pinning a gap unit's query label, ``version``,
+    ``options``, and optionally ``index`` (the unit's stable plan
+    position, seeding its per-unit fault plan).
 
-    Returns the partition's cacheable verdict dict (the same shape
+    Returns the unit's cacheable verdict dict (the same shape
     :class:`~repro.incremental.engine.IncrementalVerifier` stores) plus
-    perf. ``verdict`` is None when the partition's bugs do not
-    serialize; the parent then recomputes that partition in-process to
-    keep the live bug objects, exactly as the sequential path would.
+    perf. ``verdict`` is None when the unit's bugs do not serialize; the
+    parent then recomputes that unit in-process to keep the live bug
+    objects, exactly as the sequential path would.
     """
     from repro.core.pipeline import VerificationSession
-    from repro.incremental.delta import Partition
     from repro.incremental.engine import verdict_of
+    from repro.incremental.planner.protocol import unit_preconditions
     from repro.parallel.counters import unit_perf
 
     zone = pickle.loads(payload["zone_pickle"])
-    part = Partition(payload["part_key"])
+    part_key = payload["part_key"]
     options = _options_of(payload)
     cache = options.make_cache()
     if cache is None:
@@ -231,11 +233,14 @@ def partition_worker(payload: Dict) -> Dict:
             budget=options.make_budget(),
             **options.session_kwargs(),
         )
-        if part.key != "full":
-            session.restrict(part.preconditions(session.query_encoding))
+        pre = unit_preconditions(
+            part_key, payload.get("gap_code"), session.query_encoding
+        )
+        if pre:
+            session.restrict(pre)
         result = session.verify(use_summaries=options.use_summaries)
     return {
-        "part_key": part.key,
+        "part_key": part_key,
         "verdict": verdict_of(result),
         "solver_checks": result.solver_checks,
         "perf": unit_perf(result, cache),

@@ -8,7 +8,12 @@ that generator, plus a small corpus of hand-written zones the evaluation
 benchmarks pin down.
 """
 
-from repro.zonegen.generator import ZoneGenerator, GeneratorConfig, generate_zone
+from repro.zonegen.generator import (
+    ZoneGenerator,
+    GeneratorConfig,
+    generate_zone,
+    tld_zone,
+)
 from repro.zonegen.corpus import (
     alias_zone,
     evaluation_zone,
@@ -22,6 +27,7 @@ __all__ = [
     "ZoneGenerator",
     "GeneratorConfig",
     "generate_zone",
+    "tld_zone",
     "alias_zone",
     "evaluation_zone",
     "minimal_zone",

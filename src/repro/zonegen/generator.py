@@ -211,3 +211,134 @@ def generate_zone(seed: int = 2023, index: int = 0, **overrides) -> Zone:
     """Convenience wrapper around :class:`ZoneGenerator`."""
     config = GeneratorConfig(seed=seed, **overrides)
     return ZoneGenerator(config).generate(index)
+
+
+# -- TLD-shaped scale generation -------------------------------------------
+
+_TLD_SYLLABLES = [
+    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na",
+    "pe", "qi", "ro", "su", "ta", "ve", "wi", "xu", "yo", "zan",
+]
+
+#: (weight, shape, records emitted) — the registration mix of a real TLD:
+#: overwhelmingly delegations (most with in-zone glue), a tail of hosted
+#: names, CNAMEs into a hosting provider, MX-only domains, per-name
+#: wildcards and deep empty-non-terminal names.
+_TLD_SHAPES = (
+    (0.55, "deleg_glue2", 4),
+    (0.20, "deleg_ext", 2),
+    (0.10, "host", 1),
+    (0.06, "host_www", 2),
+    (0.04, "cname", 1),
+    (0.02, "mx", 1),
+    (0.02, "wild", 2),
+    (0.01, "deep", 1),
+)
+
+_BASE36 = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _base36(value: int) -> str:
+    if value == 0:
+        return "0"
+    out = []
+    while value:
+        value, rem = divmod(value, 36)
+        out.append(_BASE36[rem])
+    return "".join(reversed(out))
+
+
+def tld_zone(scale: int, seed: int = 2023, origin: str = "test.") -> Zone:
+    """A TLD-shaped zone with exactly ``scale`` records.
+
+    Deterministic and byte-for-byte reproducible per ``(scale, seed)``:
+    one sequential ``random.Random(f"tld:{seed}")`` stream drives every
+    choice, and the exact record count is hit by falling back to
+    single-record hosts when the drawn shape would overshoot.
+
+    The shape mix (:data:`_TLD_SHAPES`) is the point: each shape's
+    registrations are behaviourally identical up to their own label and
+    address payloads, so the zone has a *bounded* number of equivalence
+    classes (~a dozen) no matter how many records it holds — the workload
+    the equivalence-class planner exists for. Infrastructure is fixed:
+    apex SOA + two NS into a ``nic`` operator subtree, a ``hosting``
+    CNAME target, a ``mail`` MX target, and an apex wildcard TXT.
+    """
+    floor = 16
+    if scale < floor:
+        raise ValueError(f"TLD zones need at least {floor} records, got {scale}")
+    rng = random.Random(f"tld:{seed}")
+    origin_name = DnsName.from_text(origin)
+
+    def sub(*labels: str) -> DnsName:
+        return DnsName(tuple(labels)).concat(origin_name)
+
+    ip_counter = [0]
+
+    def next_ip() -> str:
+        ip_counter[0] += 1
+        value = ip_counter[0]
+        return f"10.{(value >> 16) & 255}.{(value >> 8) & 255}.{value & 255}"
+
+    ns1, ns2, nic = sub("ns1", "nic"), sub("ns2", "nic"), sub("nic")
+    hosting, mail = sub("hosting"), sub("mail")
+    records: List[ResourceRecord] = [
+        ResourceRecord(
+            origin_name, RRType.SOA, SOARdata(ns1, sub("admin", "nic"), 1)
+        ),
+        ResourceRecord(origin_name, RRType.NS, NSRdata(ns1)),
+        ResourceRecord(origin_name, RRType.NS, NSRdata(ns2)),
+        ResourceRecord(nic, RRType.A, ARdata(next_ip())),
+        ResourceRecord(ns1, RRType.A, ARdata(next_ip())),
+        ResourceRecord(ns2, RRType.A, ARdata(next_ip())),
+        ResourceRecord(hosting, RRType.A, ARdata(next_ip())),
+        ResourceRecord(mail, RRType.A, ARdata(next_ip())),
+        ResourceRecord(
+            origin_name.with_wildcard(), RRType.TXT, TXTRdata("tld wildcard")
+        ),
+    ]
+    append = records.append
+    index = 0
+    while len(records) < scale:
+        room = scale - len(records)
+        roll = rng.random()
+        shape = "host"
+        acc = 0.0
+        for weight, candidate, size in _TLD_SHAPES:
+            acc += weight
+            if roll < acc:
+                shape = candidate if size <= room else "host"
+                break
+        top = (
+            rng.choice(_TLD_SYLLABLES)
+            + rng.choice(_TLD_SYLLABLES)
+            + _base36(index)
+        )
+        index += 1
+        owner = sub(top)
+        if shape == "deleg_glue2":
+            glue1, glue2 = sub("ns1", top), sub("ns2", top)
+            append(ResourceRecord(owner, RRType.NS, NSRdata(glue1)))
+            append(ResourceRecord(owner, RRType.NS, NSRdata(glue2)))
+            append(ResourceRecord(glue1, RRType.A, ARdata(next_ip())))
+            append(ResourceRecord(glue2, RRType.A, ARdata(next_ip())))
+        elif shape == "deleg_ext":
+            append(ResourceRecord(owner, RRType.NS, NSRdata(ns1)))
+            append(ResourceRecord(owner, RRType.NS, NSRdata(ns2)))
+        elif shape == "host_www":
+            append(ResourceRecord(owner, RRType.A, ARdata(next_ip())))
+            append(ResourceRecord(sub("www", top), RRType.A, ARdata(next_ip())))
+        elif shape == "cname":
+            append(ResourceRecord(owner, RRType.CNAME, CNAMERdata(hosting)))
+        elif shape == "mx":
+            append(ResourceRecord(owner, RRType.MX, MXRdata(10, mail)))
+        elif shape == "wild":
+            append(ResourceRecord(owner, RRType.A, ARdata(next_ip())))
+            append(
+                ResourceRecord(owner.with_wildcard(), RRType.A, ARdata(next_ip()))
+            )
+        elif shape == "deep":
+            append(ResourceRecord(sub("a", "b", top), RRType.A, ARdata(next_ip())))
+        else:
+            append(ResourceRecord(owner, RRType.A, ARdata(next_ip())))
+    return Zone(origin_name, tuple(records))
