@@ -42,6 +42,7 @@ from repro.ir import (
     ConstBool,
     ConstInt,
     ConstNull,
+    ElidedGuardBr,
     GEP,
     ICmp,
     Load,
@@ -275,11 +276,23 @@ class SlotAddr:
 class Bool:
     """A boolean: a known constant, or a refinable test. ``weak`` limits
     which branch edge may refine with the test after a join mixed it
-    with a constant ("" = both, "true"/"false" = that edge only)."""
+    with a constant ("" = both, "true"/"false" = that edge only).
+
+    ``carry`` rides the short-circuit join: when a symbolic test is
+    joined with a constant, the difference facts that held on the
+    symbolic side but not the constant side would otherwise be lost —
+    yet on the one edge the constant cannot reach, control *must* have
+    come through the symbolic side, so those facts hold there. They are
+    re-applied on that edge, but only while the branch sits in the same
+    block as the join (``carry_at``): within a straight-line block no
+    join variable is renamed and frontend registers are SSA-fresh, so
+    the carried constraints still describe live values."""
 
     val: Optional[bool] = None
     test: Optional[tuple] = None
     weak: str = ""
+    carry: tuple = ()
+    carry_at: str = ""
 
 
 @dataclass(frozen=True)
@@ -302,22 +315,83 @@ def _negate_bool(b: Bool) -> Bool:
     if b.test is None:
         return Bool()
     kind = b.test[0]
+    # Negation flips which edge is the weak one; the carry flips with it
+    # (it still marks "control came through the symbolic side").
     weak = {"true": "false", "false": "true", "": ""}[b.weak]
     if kind == "icmp":
         _, pred, l, r = b.test
-        return Bool(None, ("icmp", _NEG_PRED[pred], l, r), weak)
+        return Bool(None, ("icmp", _NEG_PRED[pred], l, r), weak,
+                    b.carry, b.carry_at)
     if kind == "nil":
         _, tv, pred = b.test
-        return Bool(None, ("nil", tv, _NEG_PRED[pred]), weak)
+        return Bool(None, ("nil", tv, _NEG_PRED[pred]), weak,
+                    b.carry, b.carry_at)
+    if kind == "summary":
+        _, true_facts, false_facts = b.test
+        return Bool(None, ("summary", false_facts, true_facts), weak,
+                    b.carry, b.carry_at)
     if kind == "and":
-        return Bool(None, ("or", _neg_test(b.test[1]), _neg_test(b.test[2])), weak)
+        return Bool(None, ("or", _neg_test(b.test[1]), _neg_test(b.test[2])),
+                    weak, b.carry, b.carry_at)
     if kind == "or":
-        return Bool(None, ("and", _neg_test(b.test[1]), _neg_test(b.test[2])), weak)
+        return Bool(None, ("and", _neg_test(b.test[1]), _neg_test(b.test[2])),
+                    weak, b.carry, b.carry_at)
     return Bool()
 
 
 def _neg_test(test: tuple) -> tuple:
     return _negate_bool(Bool(None, test)).test
+
+
+def _durable_var(var: str) -> bool:
+    """Carry only facts over join/length/param variables (and the zero
+    anchor): they name loop-invariant or canonicalized values, which is
+    what the short-circuit joins actually lose — register-named facts
+    die with their block anyway and would crowd the cap."""
+    return var == ZERO or var.startswith(("J!", "L!", "P!"))
+
+
+def _dropped_facts(sym: DiffBounds, const: DiffBounds) -> tuple:
+    """Difference facts holding on the symbolic side of a short-circuit
+    join but not on the constant side — the carry a :class:`Bool` rides.
+    Capped so a pathological join cannot blow up the value."""
+    dropped = [
+        (u, v, c)
+        for (u, v), c in sym.items()
+        if _durable_var(u) and _durable_var(v) and not const.entails(u, v, c)
+    ]
+    dropped.sort()
+    return tuple(dropped[:64])
+
+
+def _carry_closure(state: "GState", carry: tuple) -> DiffBounds:
+    """The side's facts with its own carry conjoined (what provably holds
+    when control came through that side's symbolic provenance)."""
+    if not carry:
+        return state.facts
+    facts = state.facts.copy()
+    for u, v, c in carry:
+        facts.add(u, v, c)
+    return facts
+
+
+def _subst_facts(facts: tuple, subst: Dict[str, Tuple[str, int]]) -> tuple:
+    """Substitute summary tokens with caller-side ``(var, off)`` views.
+
+    A token fact ``u - v <= c`` with caller views ``u = u_var + u_off``
+    and ``v = v_var + v_off`` becomes ``u_var - v_var <= c - u_off +
+    v_off``. Facts mentioning a token the call site could not bind (an
+    argument outside the abstraction) are dropped, not approximated.
+    """
+    out = []
+    for u_tok, v_tok, c in facts:
+        u = subst.get(u_tok)
+        v = subst.get(v_tok)
+        if u is None or v is None:
+            continue
+        (u_var, u_off), (v_var, v_off) = u, v
+        out.append((u_var, v_var, c - u_off + v_off))
+    return tuple(out)
 
 
 # ---------------------------------------------------------------------------
@@ -364,7 +438,7 @@ class GuardDomain(Domain):
     :class:`Unknown` — the analysis only ever *prunes* on definite
     proofs, so imprecision costs queries, never soundness."""
 
-    def __init__(self, cfg=None):
+    def __init__(self, cfg=None, summaries=None):
         #: Optional CFG: when present, numeric slot values are renamed to
         #: canonical per-(join point, slot) variables on edges into
         #: multi-predecessor blocks, so every fixpoint iteration (and both
@@ -372,6 +446,12 @@ class GuardDomain(Domain):
         #: minting a fresh one per visit — the difference between proving
         #: ``i < len(prefix)`` inside a loop body and losing it.
         self.cfg = cfg
+        #: Optional ``{name: FunctionSummary}`` table (see
+        #: :mod:`repro.analysis.interproc`). When a call site's callee has
+        #: a summary, the transfer applies it instead of havocking: a
+        #: pure callee keeps the list epoch, and the summary's token
+        #: facts are substituted into the caller's difference bounds.
+        self.summaries = summaries or {}
 
     # -- lattice ------------------------------------------------------------
 
@@ -402,7 +482,7 @@ class GuardDomain(Domain):
             out.epoch = f"E!{label}"
         for name in a.regs.keys() & b.regs.keys():
             va, vb = a.regs[name], b.regs[name]
-            merged = self._join_reg(va, vb)
+            merged = self._join_reg(va, vb, a, b, label)
             if merged is not None:
                 out.regs[name] = merged
         for slot in a.slots.keys() & b.slots.keys():
@@ -422,14 +502,14 @@ class GuardDomain(Domain):
         j.facts = DiffBounds(kept)
         return j
 
-    def _join_reg(self, va, vb):
+    def _join_reg(self, va, vb, a: GState, b: GState, label: str):
         if va == vb:
             return va
         if isinstance(va, Ptr) and isinstance(vb, Ptr) and va.pid == vb.pid:
             return Ptr(va.pid, join_nullness(va.null, vb.null),
                        va.origin if va.origin == vb.origin else None)
         if isinstance(va, Bool) and isinstance(vb, Bool):
-            return self._join_bool(va, vb)
+            return self._join_bool(va, vb, a, b, label)
         return None  # dominance makes a post-join read impossible; drop
 
     def _join_slot(self, out: GState, a: GState, b: GState, slot: str,
@@ -445,36 +525,70 @@ class GuardDomain(Domain):
             null_b = vb.null if isinstance(vb, Ptr) else MAYBE
             return Ptr(f"J!{label}!{slot}", join_nullness(null_a, null_b), slot)
         if isinstance(va, Bool) and isinstance(vb, Bool):
-            return self._join_bool(va, vb)
+            return self._join_bool(va, vb, a, b, label)
         na = self._as_num(va)
         nb = self._as_num(vb)
         if na is not None and nb is not None:
             return self._hull(out, a, b, slot, na, nb, label)
         return None
 
-    def _join_bool(self, va: Bool, vb: Bool) -> Bool:
+    def _join_bool(self, va: Bool, vb: Bool, sa: GState, sb: GState,
+                   label: str) -> Bool:
         if va == vb:
             return va
         if va.val is not None and vb.val is not None:
             return Bool()  # True vs False
         if va.val is not None:
             va, vb = vb, va  # va symbolic, vb constant (or both symbolic)
+            sa, sb = sb, sa
         if vb.val is None:
             # Two different symbolic tests: same test, different weakness.
             if va.test is not None and va.test == vb.test:
+                carry, carry_at = self._merge_carries(va, vb, sa, sb, label)
                 if va.weak == "" or va.weak == vb.weak:
-                    return Bool(None, va.test, vb.weak if va.weak == "" else va.weak)
+                    return Bool(None, va.test,
+                                vb.weak if va.weak == "" else va.weak,
+                                carry, carry_at)
                 if vb.weak == "":
-                    return Bool(None, va.test, va.weak)
+                    return Bool(None, va.test, va.weak, carry, carry_at)
             return Bool()
         if va.test is None:
             return Bool()
         # Constant ⊔ test: the test stays usable only on the edge the
-        # constant cannot reach.
+        # constant cannot reach — and on that edge control *must* have
+        # come through the symbolic side, so the difference facts the
+        # join is about to drop still hold there. Carry them (plus any
+        # still-valid carry the symbolic side already rode).
         need = "true" if vb.val is False else "false"
         if va.weak in ("", need):
-            return Bool(None, va.test, need)
+            base = (
+                _carry_closure(sa, va.carry)
+                if va.carry and va.carry_at == label else sa.facts
+            )
+            return Bool(None, va.test, need,
+                        _dropped_facts(base, sb.facts), label)
         return Bool()
+
+    def _merge_carries(self, va: Bool, vb: Bool, sa: GState, sb: GState,
+                       label: str):
+        """Sound carry for a same-test join: a fact survives only if it is
+        entailed on *both* sides' symbolic provenance — each side's own
+        facts plus its own carry — and only while every contributing carry
+        was minted at this very join block (its variables still describe
+        current-iteration values there)."""
+        if not va.carry and not vb.carry:
+            return (), ""
+        minted_at = {x.carry_at for x in (va, vb) if x.carry}
+        if minted_at != {label}:
+            return (), ""
+        fa = _carry_closure(sa, va.carry)
+        fb = _carry_closure(sb, vb.carry)
+        candidates = set(va.carry) | set(vb.carry)
+        carry = tuple(sorted(
+            fact for fact in candidates
+            if fa.entails(*fact) and fb.entails(*fact)
+        ))
+        return carry, (label if carry else "")
 
     def _hull(self, out: GState, a: GState, b: GState, slot: str,
               na: Num, nb: Num, label: str) -> Num:
@@ -725,11 +839,69 @@ class GuardDomain(Domain):
                 if refined is not None:
                     return  # state refined in place
             return
+        summary = self.summaries.get(callee)
+        if summary is not None:
+            self._apply_summary(state, insn, summary, label, index)
+            return
         # An opaque GoPy callee: it may append to any reachable list (so
         # the epoch turns) but cannot reassign caller slots.
         state.epoch = f"{label}:{index}"
         if insn.dest is not None:
             self._set_unknown(state, insn.dest)
+
+    def _apply_summary(self, state: GState, insn: Call, summary,
+                       label: str, index: int) -> None:
+        """Apply a :class:`~repro.analysis.interproc.FunctionSummary` at a
+        call site instead of havocking: purity decides whether the list
+        epoch turns, and the summary's token facts are substituted with
+        the caller-side views of the arguments."""
+        # Bind tokens against the entry state of the call — ``len{i}``
+        # means "argument length at entry", so its caller-side variable
+        # must use the epoch *before* any turn below.
+        subst: Dict[str, Tuple[str, int]] = {"": (ZERO, 0)}
+        for i, arg in enumerate(insn.args):
+            value = self._eval(state, arg)
+            if isinstance(value, (Num, Unknown)):
+                num = self._as_num(value)
+                subst[f"arg{i}"] = (num.var, num.off)
+                continue
+            pv = self._as_ptr(value)
+            if pv is not None:
+                lenvar = f"L!{pv.pid}!{state.epoch}"
+                state.facts.add(ZERO, lenvar, 0)  # lengths are non-negative
+                subst[f"len{i}"] = (lenvar, 0)
+        if not summary.pure:
+            state.epoch = f"{label}:{index}"
+        if insn.dest is None:
+            return
+        dest = insn.dest
+        if summary.havocked:
+            self._set_unknown(state, dest)
+            return
+        if summary.ret_kind == "int":
+            state.facts.kill(dest.name)
+            state.regs[dest.name] = Num(dest.name, 0)
+            ret_subst = dict(subst)
+            ret_subst["ret"] = (dest.name, 0)
+            for u, v, c in _subst_facts(summary.ret_facts, ret_subst):
+                # ``add`` returning False means this program point is
+                # abstractly dead; the (true) facts stay recorded.
+                state.facts.add(u, v, c)
+            return
+        if summary.ret_kind == "bool":
+            if not summary.may_false:
+                state.regs[dest.name] = Bool(True)
+            elif not summary.may_true:
+                state.regs[dest.name] = Bool(False)
+            else:
+                t = _subst_facts(summary.true_facts, subst)
+                f = _subst_facts(summary.false_facts, subst)
+                if t or f:
+                    state.regs[dest.name] = Bool(None, ("summary", t, f))
+                else:
+                    state.regs[dest.name] = Bool()
+            return
+        self._set_unknown(state, dest)
 
     # -- edge refinement ------------------------------------------------------
 
@@ -742,6 +914,26 @@ class GuardDomain(Domain):
 
     def _refine_edge(self, state: GState, block: BasicBlock, succ: str):
         term = block.terminator
+        if isinstance(term, ElidedGuardBr):
+            # The executor assumes the surviving side's condition on this
+            # edge (keeping path conditions bit-identical to the unpruned
+            # run), so the analysis may assume it too — this regains
+            # precision when summarizing modules that were already pruned.
+            cond = self._eval(state, term.cond)
+            positive = not term.panic_on_true
+            if not isinstance(cond, Bool):
+                return state
+            if cond.val is not None:
+                return state if cond.val == positive else None
+            if cond.test is None:
+                return state
+            need = "true" if positive else "false"
+            if cond.weak in ("", need):
+                state = self._apply_carry(state, cond, block.label, need)
+                if state is None:
+                    return None
+                return self._apply_test(state, cond.test, positive=positive)
+            return state
         if not isinstance(term, CondBr):
             return state
         cond = self._eval(state, term.cond)
@@ -755,10 +947,25 @@ class GuardDomain(Domain):
             return state if cond.val == on_true else None
         if cond.test is None:
             return state
-        if on_true and cond.weak in ("", "true"):
-            return self._apply_test(state, cond.test, positive=True)
-        if not on_true and cond.weak in ("", "false"):
-            return self._apply_test(state, cond.test, positive=False)
+        need = "true" if on_true else "false"
+        if cond.weak in ("", need):
+            state = self._apply_carry(state, cond, block.label, need)
+            if state is None:
+                return None
+            return self._apply_test(state, cond.test, positive=on_true)
+        return state
+
+    def _apply_carry(self, state: GState, cond: Bool, label: str,
+                     need: str) -> Optional[GState]:
+        """Re-apply the facts a short-circuit join dropped, on the edge
+        the joined-in constant cannot reach (see :class:`Bool`). Only
+        valid while the branch sits in the carry's own block and on the
+        weak-designated edge; None means the edge is infeasible."""
+        if not cond.carry or cond.weak != need or cond.carry_at != label:
+            return state
+        for u, v, c in cond.carry:
+            if not state.facts.add(u, v, c):
+                return None
         return state
 
     def _canonicalize(self, state: GState, succ: str) -> None:
@@ -805,6 +1012,14 @@ class GuardDomain(Domain):
             _, tv, pred = test
             is_null = (pred == "eq") == positive
             return self._refine_nullness(state, tv, NULL if is_null else NONNULL)
+        if kind == "summary":
+            # The facts a summarized boolean callee guarantees on the
+            # branch taken (already substituted to caller variables).
+            _, true_facts, false_facts = test
+            for u, v, c in (true_facts if positive else false_facts):
+                if not state.facts.add(u, v, c):
+                    return None
+            return state
         if kind == "and":
             if positive:
                 for sub in (test[1], test[2]):

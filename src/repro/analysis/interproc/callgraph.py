@@ -1,0 +1,121 @@
+"""Whole-program call graph over AbsLLVM modules, with bottom-up SCCs.
+
+Function names are a single global namespace (the executor resolves a
+callee by searching its module list in order), so the graph is keyed by
+bare function name. Primitives the executor interprets directly
+(``list.len`` and friends) are not nodes — they appear as the
+``primitive_calls`` of their callers instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.ir import Call
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+#: Callees the symbolic executor interprets without GoPy code. None of
+#: them appends to a caller-reachable list except ``list.append`` itself.
+PRIMITIVES = frozenset({"list.new", "list.len", "list.append", "newobject",
+                        "assume"})
+
+
+class CallGraph:
+    """Direct-call graph over ``modules``, in deterministic order.
+
+    ``edges[f]`` are the GoPy callees of ``f`` (defined somewhere in the
+    module set); ``primitive_calls[f]`` the interpreter primitives it
+    invokes; ``unknown_calls[f]`` any callee defined nowhere — treated
+    as worst-case by every client.
+    """
+
+    def __init__(self, modules: Sequence[Module]):
+        self.functions: Dict[str, Function] = {}
+        for module in modules:
+            for name, function in module.functions.items():
+                # First definition wins, matching the executor's search.
+                self.functions.setdefault(name, function)
+        self.edges: Dict[str, List[str]] = {}
+        self.primitive_calls: Dict[str, Set[str]] = {}
+        self.unknown_calls: Dict[str, Set[str]] = {}
+        for name, function in self.functions.items():
+            callees: List[str] = []
+            prims: Set[str] = set()
+            unknown: Set[str] = set()
+            for block in function.blocks.values():
+                for insn in block.instructions:
+                    if not isinstance(insn, Call):
+                        continue
+                    callee = insn.callee
+                    if callee in self.functions:
+                        if callee not in callees:
+                            callees.append(callee)
+                    elif callee in PRIMITIVES:
+                        prims.add(callee)
+                    else:
+                        unknown.add(callee)
+            self.edges[name] = callees
+            self.primitive_calls[name] = prims
+            self.unknown_calls[name] = unknown
+
+    def sccs_bottom_up(self) -> List[Tuple[str, ...]]:
+        """Strongly connected components, callees before callers.
+
+        Iterative Tarjan keyed by the deterministic function order, so
+        the output — and everything derived from it, including the
+        summary digest — is stable across runs.
+        """
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[Tuple[str, ...]] = []
+        counter = [0]
+
+        for root in self.functions:
+            if root in index:
+                continue
+            # Iterative DFS: (node, iterator position over its edges).
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, pos = work.pop()
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                edges = self.edges[node]
+                while pos < len(edges):
+                    succ = edges[pos]
+                    pos += 1
+                    if succ not in index:
+                        work.append((node, pos))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sccs
+
+    def is_recursive(self, component: Iterable[str]) -> bool:
+        members = set(component)
+        if len(members) > 1:
+            return True
+        (only,) = members
+        return only in self.edges.get(only, ())

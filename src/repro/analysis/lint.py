@@ -20,14 +20,24 @@ GP302     boolean control-flag parameter steers branches in the callee
 GP303     struct field read directly, bypassing the owner's accessors
 ========  ==================================================================
 
+The GP4xx async-safety pack (:mod:`repro.analysis.lint_async`) extends the
+catalog to the serving and campaign planes — blocking calls inside
+``async def``, await-spanning read-modify-write without a lock, and
+write-then-replace without an fsync. Its rule ids live in the same
+:data:`RULES` table so baselines and ``--format`` outputs are uniform.
+
 Layer boundaries come from :mod:`repro.core.layers` (the structs named as
 ``ResultStruct`` in the interface config cross layer interfaces); accessor
 ownership is inferred from the GoPy library modules themselves — a module
 that defines two or more functions taking a struct as first parameter owns
-that struct (``nodestack`` owns ``NodeStack``). Baselines make the linter
-adoptable on a codebase that already exhibits the smells: findings are
-keyed *without* line numbers, so CI fails only on new findings, not on
-existing code drifting a few lines.
+that struct (``nodestack`` owns ``NodeStack``). GP303 additionally requires
+the owner to export at least one *read* accessor (a first-parameter
+function returning a value): result structs with write-only accessor
+modules (``respops``) are produced on one side of a layer interface and
+read on the other, so consumer reads are the protocol, not a smell.
+Baselines make the linter adoptable on a codebase that already exhibits
+the smells: findings are keyed *without* line numbers, so CI fails only on
+new findings, not on existing code drifting a few lines.
 """
 
 from __future__ import annotations
@@ -51,6 +61,9 @@ RULES: Dict[str, str] = {
     "GP301": "exposed struct field written across a layer boundary",
     "GP302": "boolean control-flag parameter",
     "GP303": "struct field read bypassing the owner module's accessors",
+    "GP401": "blocking call inside an async function",
+    "GP402": "await-spanning shared-state mutation without a lock",
+    "GP403": "file written and swapped into place without fsync",
 }
 
 
@@ -140,9 +153,9 @@ def accessor_owners(
     outside the owner are the Figure 3 anti-pattern.
     """
     if library_modules is None:
-        from repro.engine.gopy import nameops, nodestack, rawname
+        from repro.engine.gopy import nameops, nodestack, rawname, respops
 
-        library_modules = (nameops, nodestack, rawname)
+        library_modules = (nameops, nodestack, rawname, respops)
     owners: Dict[str, str] = {}
     for module in library_modules:
         tree = _module_ast(module)
@@ -170,9 +183,9 @@ def library_signatures(
     caught, not just reads on annotated parameters.
     """
     if library_modules is None:
-        from repro.engine.gopy import nameops, nodestack, rawname
+        from repro.engine.gopy import nameops, nodestack, rawname, respops
 
-        library_modules = (nameops, nodestack, rawname)
+        library_modules = (nameops, nodestack, rawname, respops)
     returns: Dict[str, str] = {}
     for module in library_modules:
         for node in _module_ast(module).body:
@@ -181,6 +194,34 @@ def library_signatures(
                     and node.returns.id[:1].isupper()):
                 returns[node.name] = node.returns.id
     return returns
+
+
+def readable_structs(
+    library_modules: Optional[Sequence[object]] = None,
+) -> Set[str]:
+    """Structs whose owner module exports at least one *read* accessor — a
+    function taking the struct as first annotated parameter and returning
+    a value. Only these participate in GP303: ``nodestack`` offers
+    ``stack_top``/``stack_is_empty`` so raw ``stack.nodes`` indexing
+    bypasses something; ``respops`` is write-only, so reading the result
+    structs it guards is the layer protocol, not a bypass."""
+    if library_modules is None:
+        from repro.engine.gopy import nameops, nodestack, rawname, respops
+
+        library_modules = (nameops, nodestack, rawname, respops)
+    readable: Set[str] = set()
+    for module in library_modules:
+        for node in _module_ast(module).body:
+            if not isinstance(node, ast.FunctionDef) or not node.args.args:
+                continue
+            first = node.args.args[0].annotation
+            returns = node.returns
+            if (isinstance(first, ast.Name)
+                    and returns is not None
+                    and not (isinstance(returns, ast.Constant)
+                             and returns.value is None)):
+                readable.add(first.id)
+    return readable
 
 
 # ---------------------------------------------------------------------------
@@ -236,6 +277,7 @@ def _lint_function_ast(
     layer_structs: Set[str],
     owners: Dict[str, str],
     lib_returns: Dict[str, str],
+    readable: Optional[Set[str]] = None,
 ) -> List[Finding]:
     findings: List[Finding] = []
     structs = _param_struct_types(fdef)
@@ -306,6 +348,8 @@ def _lint_function_ast(
             owner = owners.get(struct) if struct else None
             if owner is None or owner == module:
                 continue
+            if readable is not None and struct not in readable:
+                continue  # write-only accessor owner: reads are the protocol
             key = ("GP303", f"{struct}.{node.attr}")
             if key in seen:
                 continue
@@ -446,6 +490,7 @@ def lint_module(
     layer_structs: Optional[Set[str]] = None,
     owners: Optional[Dict[str, str]] = None,
     lib_returns: Optional[Dict[str, str]] = None,
+    readable: Optional[Set[str]] = None,
 ) -> List[Finding]:
     """Lint one GoPy module: AST rules, then (if it compiles) IR rules.
 
@@ -459,6 +504,12 @@ def lint_module(
     if layer_structs is None:
         layer_structs = interface_structs()
     if owners is None:
+        # Owners computed from the default library set: gate GP303 on the
+        # same set's read accessors. Explicit owners keep readable=None
+        # (every owned struct participates) unless the caller says
+        # otherwise.
+        if readable is None:
+            readable = readable_structs()
         owners = accessor_owners()
     if lib_returns is None:
         lib_returns = library_signatures()
@@ -471,7 +522,7 @@ def lint_module(
         if isinstance(node, ast.FunctionDef):
             findings.extend(
                 _lint_function_ast(node, module, path, layer_structs,
-                                   owners, lib_returns)
+                                   owners, lib_returns, readable)
             )
 
     try:
@@ -492,23 +543,27 @@ def lint_version(version: str) -> List[Finding]:
     resolution module, and the top-level specification — the same module
     set the verification pipeline compiles."""
     from repro.engine import control
-    from repro.engine.gopy import nameops, nodestack
+    from repro.engine.gopy import nameops, nodestack, respops
     from repro.frontend import compile_module
     from repro.spec import toplevel
 
     layer_structs = interface_structs()
     owners = accessor_owners()
     lib_returns = library_signatures()
-    base_ir = [compile_module(nameops), compile_module(nodestack)]
+    readable = readable_structs()
+    base_ir = [compile_module(nameops), compile_module(nodestack),
+               compile_module(respops)]
     findings: List[Finding] = []
     for py_module, externs in (
         (nameops, ()),
         (nodestack, ()),
+        (respops, ()),
         (control.ENGINE_VERSIONS[version], base_ir),
         (toplevel, base_ir),
     ):
         findings.extend(lint_module(
-            py_module, externs, layer_structs, owners, lib_returns))
+            py_module, externs, layer_structs, owners, lib_returns,
+            readable))
     return sorted(findings, key=_sort_key)
 
 

@@ -1,0 +1,368 @@
+"""The GP4xx async-safety lint pack: the serving and campaign planes.
+
+The GoPy linter (:mod:`repro.analysis.lint`) covers the verified data
+plane; the code that *hosts* it — the asyncio authoritative server and the
+campaign service — has its own failure modes that no symbolic executor
+sees: a blocking call stalling the event loop, a read-modify-write of
+shared state losing an update across an ``await``, a checkpoint swapped
+into place before its bytes reach disk. This pack walks the runtime
+modules' ASTs for exactly those three hazards:
+
+========  ==================================================================
+GP401     blocking call (``time.sleep``, ``subprocess.run`` …) inside an
+          ``async def`` — stalls every connection on the loop; use
+          ``asyncio.to_thread`` / ``asyncio.sleep``
+GP402     ``self`` attribute read before an ``await`` and written after it
+          without a lock spanning both — the classic asyncio lost update
+          (plain ``self.x += 1`` with no intervening ``await`` is atomic
+          under cooperative scheduling and is *not* flagged)
+GP403     file written and swapped into place (``os.replace``/``os.rename``)
+          without an ``os.fsync`` inside the write block — a crash can
+          publish a zero-length or torn file (the journal-before-swap
+          ordering rule)
+========  ==================================================================
+
+Findings reuse :class:`repro.analysis.lint.Finding` — same baseline keys,
+same ``--format`` outputs — with the runtime module's dotted short name
+(``serve.server``, ``campaign.service``) in the module column.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint import Finding, _sort_key
+
+#: Dotted call names that block the event loop. Matched against the
+#: textual form of the call target (``time.sleep``, ``subprocess.run``);
+#: calls routed through ``asyncio.to_thread`` are by construction not
+#: direct calls to these names and never match.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+})
+
+
+def runtime_modules() -> List[object]:
+    """The serving-plane and campaign-plane modules the pack covers."""
+    from repro.campaign import events, scheduler, service, store
+    from repro.serve import (
+        degrade,
+        gate,
+        journal,
+        metrics,
+        ratelimit,
+        reload as reload_mod,
+        selfcheck,
+        server,
+        snapshot,
+    )
+
+    return [
+        server, reload_mod, journal, gate, snapshot, degrade,
+        selfcheck, ratelimit, metrics,
+        service, store, scheduler, events,
+    ]
+
+
+def lint_runtime(modules: Optional[Sequence[object]] = None) -> List[Finding]:
+    """Run the GP4xx pack over ``modules`` (default: the runtime planes)."""
+    if modules is None:
+        modules = runtime_modules()
+    findings: List[Finding] = []
+    for module in modules:
+        findings.extend(lint_runtime_module(module))
+    return sorted(findings, key=_sort_key)
+
+
+def lint_runtime_module(py_module) -> List[Finding]:
+    name = _short_name(py_module)
+    path = getattr(py_module, "__file__", None) or f"<{name}>"
+    tree = ast.parse(textwrap.dedent(inspect.getsource(py_module)))
+    return lint_runtime_source(tree, name, path)
+
+
+def lint_runtime_source(tree: ast.Module, module: str, path: str,
+                        ) -> List[Finding]:
+    """AST-level entry point (tests feed synthetic sources through here)."""
+    findings: List[Finding] = []
+    for qualname, fdef in _functions(tree):
+        if isinstance(fdef, ast.AsyncFunctionDef):
+            findings.extend(_gp401(fdef, qualname, module, path))
+            findings.extend(_gp402(fdef, qualname, module, path))
+        findings.extend(_gp403(fdef, qualname, module, path))
+    return sorted(findings, key=_sort_key)
+
+
+def _short_name(py_module) -> str:
+    parts = py_module.__name__.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+
+
+def _functions(tree: ast.Module) -> Iterable[Tuple[str, ast.AST]]:
+    """Every function in the module, methods qualified ``Class.method``."""
+    def walk(nodes, prefix):
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield prefix + node.name, node
+                # Nested defs are rare in this codebase; scan them too.
+                yield from walk(node.body, prefix + node.name + ".")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, prefix + node.name + ".")
+    yield from walk(tree.body, "")
+
+
+# ---------------------------------------------------------------------------
+# GP401 — blocking call in an async function
+# ---------------------------------------------------------------------------
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _dotted(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    return None
+
+
+def _gp401(fdef: ast.AsyncFunctionDef, qualname: str, module: str,
+           path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    seen = set()
+    for node in ast.walk(fdef):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _dotted(node.func)
+        if target in BLOCKING_CALLS and target not in seen:
+            seen.add(target)
+            findings.append(Finding(
+                "GP401", path, node.lineno, node.col_offset, module,
+                qualname,
+                f"blocking call {target}() stalls the event loop inside "
+                f"async '{qualname}'",
+                detail=target,
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GP402 — await-spanning read-modify-write without a lock
+# ---------------------------------------------------------------------------
+
+
+def _is_lock_with(stmt: ast.AST) -> bool:
+    """``[async] with <something lock-ish>:`` — any context manager whose
+    textual name mentions lock/mutex/sem. Coarse on purpose: holding *any*
+    lock across the read and the write is what the rule checks for."""
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        text = _dotted(expr) or ""
+        if any(word in text.lower() for word in ("lock", "mutex", "sem")):
+            return True
+    return False
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _gp402(fdef: ast.AsyncFunctionDef, qualname: str, module: str,
+           path: str) -> List[Finding]:
+    """Flag the asyncio lost update: a value read from ``self.X`` flows
+    through a local, an ``await`` yields the loop, and the stale value is
+    written back to ``self.X`` — all without a lock spanning the three.
+
+    The body is linearized into (assign / write / await) events — branch
+    bodies in order, lock-guarded regions skipped. Plain ``self.x += 1``
+    or ``self.x = None`` after an await is *not* flagged: the read-write
+    pair is atomic under cooperative scheduling (or there is no stale
+    read at all); only cross-await dataflow loses updates."""
+    events: List[Tuple[str, object]] = []
+
+    def expr_events(node):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Await):
+                events.append(("await", None))
+
+    def stmt_events(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if _is_lock_with(stmt):
+                    # Everything under the lock is guarded; an await inside
+                    # still yields the loop, so surface only the await.
+                    if any(isinstance(s, ast.Await) for s in ast.walk(stmt)):
+                        events.append(("await", None))
+                    continue
+                for item in stmt.items:
+                    expr_events(item.context_expr)
+                stmt_events(stmt.body)
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                expr_events(stmt.value)
+                events.append(("assign", stmt))
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs are linted as their own functions
+            # Generic statement: expression parts first (in evaluation
+            # order), then nested bodies in source order.
+            has_body = any(
+                isinstance(getattr(stmt, field, None), list)
+                for field in ("body", "orelse", "finalbody")
+            )
+            if has_body:
+                for field in ("test", "iter"):
+                    sub = getattr(stmt, field, None)
+                    if isinstance(sub, ast.expr):
+                        expr_events(sub)
+                for field in ("body", "orelse", "finalbody"):
+                    sub = getattr(stmt, field, None)
+                    if isinstance(sub, list):
+                        stmt_events(sub)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        stmt_events(handler.body)
+            else:
+                expr_events(stmt)
+
+    stmt_events(fdef.body)
+
+    findings: List[Finding] = []
+    flagged: set = set()
+    taint: dict = {}  # local name -> (self attr it was read from, await #)
+    awaits = 0
+
+    def rhs_taints(value) -> List[Tuple[str, int]]:
+        return [
+            taint[sub.id]
+            for sub in ast.walk(value)
+            if isinstance(sub, ast.Name) and sub.id in taint
+        ]
+
+    for kind, payload in events:
+        if kind == "await":
+            awaits += 1
+            continue
+        if kind != "assign":
+            continue
+        stmt = payload
+        value = stmt.value
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        # Writes to self.X: stale if the RHS carries a value read from
+        # self.X on the other side of an await.
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None or attr in flagged:
+                continue
+            stale = [
+                t for t in rhs_taints(value)
+                if t[0] == attr and t[1] < awaits
+            ]
+            if stale:
+                flagged.add(attr)
+                findings.append(Finding(
+                    "GP402", path, stmt.lineno, stmt.col_offset, module,
+                    qualname,
+                    f"self.{attr} written from a value read before an "
+                    f"await — lost update in '{qualname}'; hold a lock "
+                    f"across the read-modify-write",
+                    detail=attr,
+                ))
+        # Taint propagation into locals: direct self.X reads in the RHS
+        # taint the target now; existing taints flow through.
+        carried = rhs_taints(value)
+        direct = [
+            (read_attr, awaits)
+            for sub in ast.walk(value)
+            if isinstance(sub, ast.Attribute)
+            and isinstance(sub.ctx, ast.Load)
+            for read_attr in [_self_attr(sub)]
+            if read_attr is not None
+        ]
+        incoming = carried + direct
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if incoming:
+                    taint[target.id] = min(incoming, key=lambda t: t[1])
+                else:
+                    taint.pop(target.id, None)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GP403 — write + swap without fsync
+# ---------------------------------------------------------------------------
+
+
+def _opens_for_write(stmt) -> bool:
+    for item in stmt.items:
+        call = item.context_expr
+        if not (isinstance(call, ast.Call) and _dotted(call.func) == "open"):
+            continue
+        for arg in call.args[1:2]:
+            if isinstance(arg, ast.Constant) and "w" in str(arg.value):
+                return True
+        for kw in call.keywords:
+            if (kw.arg == "mode" and isinstance(kw.value, ast.Constant)
+                    and "w" in str(kw.value.value)):
+                return True
+    return False
+
+
+def _calls_fsync(node) -> bool:
+    return any(
+        isinstance(sub, ast.Call) and _dotted(sub.func) == "os.fsync"
+        for sub in ast.walk(node)
+    )
+
+
+def _gp403(fdef, qualname: str, module: str, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(fdef):
+        for field in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, field, None)
+            if not isinstance(stmts, list):
+                continue
+            for i, stmt in enumerate(stmts):
+                if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    continue
+                if not _opens_for_write(stmt) or _calls_fsync(stmt):
+                    continue
+                # A swap in the next couple of statements publishes the
+                # un-synced bytes.
+                for follower in stmts[i + 1:i + 3]:
+                    swap = next(
+                        (sub for sub in ast.walk(follower)
+                         if isinstance(sub, ast.Call)
+                         and _dotted(sub.func) in ("os.replace", "os.rename")),
+                        None,
+                    )
+                    if swap is not None:
+                        findings.append(Finding(
+                            "GP403", path, swap.lineno, swap.col_offset,
+                            module, qualname,
+                            "file swapped into place without os.fsync — a "
+                            "crash can publish a torn or empty file",
+                            detail="replace-without-fsync",
+                        ))
+                        break
+    return findings

@@ -96,8 +96,14 @@ class PruneReport:
 
 
 def prune_function(function: Function, widen_after: int = 8,
-                   max_visits: int = 500) -> FunctionPruneReport:
-    """Elide provably-dead panic guards in ``function`` (in place)."""
+                   max_visits: int = 500,
+                   summaries=None) -> FunctionPruneReport:
+    """Elide provably-dead panic guards in ``function`` (in place).
+
+    ``summaries`` is an optional interprocedural summary table (see
+    :mod:`repro.analysis.interproc`); with it, facts survive call sites
+    instead of dying at havoc, so guards whose proofs span a call become
+    statically decidable."""
     report = FunctionPruneReport(function.name)
     cfg = CFG(function)
     candidates = []
@@ -114,7 +120,7 @@ def prune_function(function: Function, widen_after: int = 8,
     if not candidates:
         return report
 
-    domain = GuardDomain(cfg)
+    domain = GuardDomain(cfg, summaries=summaries)
     try:
         result = analyze(function, domain, cfg=cfg,
                          widen_after=widen_after, max_visits=max_visits)
@@ -188,15 +194,19 @@ def _sweep_orphan_panics(function: Function) -> int:
 
 
 def prune_module(module: Module, widen_after: int = 8,
-                 max_visits: int = 500) -> PruneReport:
+                 max_visits: int = 500, summaries=None) -> PruneReport:
     """Prune every function in ``module`` (in place); returns the report.
 
     Function order is the module's insertion order, and every fresh name
     the analysis mints is derived from stable program points, so repeated
     runs produce identical IR — a requirement for the content-addressed
-    summary cache.
+    summary cache. Pass ``summaries`` (an interprocedural summary table)
+    to let proofs cross call sites.
     """
     report = PruneReport()
     for function in module.functions.values():
-        report.absorb(prune_function(function, widen_after, max_visits))
+        report.absorb(
+            prune_function(function, widen_after, max_visits,
+                           summaries=summaries)
+        )
     return report

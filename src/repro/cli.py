@@ -147,6 +147,14 @@ def cmd_verify(args) -> int:
                          indent=2, sort_keys=True))
     else:
         print(result.describe())
+        analysis = getattr(result, "analysis", None) or {}
+        if args.analysis_check and analysis.get("enabled"):
+            pruned = analysis.get("pruned_hits_by_function") or {}
+            residual = analysis.get("guard_checks_by_function") or {}
+            print("analysis discharge by function:")
+            for fn in sorted(set(pruned) | set(residual)):
+                print(f"  {fn}: {pruned.get(fn, 0)} guard(s) discharged, "
+                      f"{residual.get(fn, 0)} left to the solver")
         if cache is not None:
             print(f"cache: {cache!r}")
     return _exit_code(result.verdict)
@@ -345,6 +353,58 @@ def cmd_chaosdrill(args) -> int:
     return 0 if report.clean else 1
 
 
+def _sarif_report(findings, rules):
+    """Findings as a SARIF 2.1.0 subset: one run, one result per finding.
+
+    Only the stable core of the schema — tool.driver.rules and
+    results[].ruleId/message/locations — so code-scanning UIs ingest it
+    without the repo committing to the full spec.
+    """
+    from repro import __version__ as tool_version
+
+    results = []
+    for finding in findings:
+        region = {}
+        if finding.line is not None:
+            region["startLine"] = finding.line
+        if finding.col is not None:
+            region["startColumn"] = finding.col + 1
+        results.append({
+            "ruleId": finding.rule,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": region,
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName":
+                        f"{finding.module}:{finding.function}",
+                }],
+            }],
+            "partialFingerprints": {"baselineKey": finding.baseline_key()},
+        })
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": tool_version,
+                    "rules": [
+                        {"id": rule,
+                         "shortDescription": {"text": text}}
+                        for rule, text in sorted(rules.items())
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: the GoPy anti-modularity linter.
 
@@ -356,13 +416,18 @@ def cmd_lint(args) -> int:
     import os
 
     from repro.analysis import lint as lint_mod
+    from repro.analysis import lint_async
 
+    fmt = args.format or ("json" if args.json else "text")
     versions = (
         sorted(control.ENGINE_VERSIONS)
         if args.version == "all"
         else [args.version]
     )
     findings = lint_mod.lint_versions(versions)
+    if not args.no_runtime:
+        findings = sorted(findings + lint_async.lint_runtime(),
+                          key=lint_mod._sort_key)
 
     if args.update_baseline:
         lint_mod.save_baseline(args.update_baseline, findings)
@@ -377,7 +442,7 @@ def cmd_lint(args) -> int:
             return 2
         fresh = lint_mod.new_findings(findings, lint_mod.load_baseline(args.baseline))
 
-    if args.json:
+    if fmt == "json":
         payload = {
             "versions": versions,
             "rules": lint_mod.RULES,
@@ -386,6 +451,9 @@ def cmd_lint(args) -> int:
         if fresh is not None:
             payload["new_findings"] = [f.to_dict() for f in fresh]
         print(json_mod.dumps(payload, indent=2))
+    elif fmt == "sarif":
+        print(json_mod.dumps(_sarif_report(findings, lint_mod.RULES),
+                             indent=2, sort_keys=True))
     else:
         shown = findings if fresh is None else fresh
         for finding in shown:
@@ -782,8 +850,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--version", default="all", choices=versions + ["all"],
                    help="engine version to lint (default: all)")
+    p.add_argument("--format", default=None, dest="format",
+                   choices=["text", "json", "sarif"],
+                   help="output format (default: text; 'sarif' is a stable "
+                   "SARIF 2.1.0 subset for code-scanning UIs)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable findings")
+                   help="machine-readable findings (alias for --format json)")
+    p.add_argument("--no-runtime", action="store_true",
+                   help="skip the GP4xx async-safety pack over the serving "
+                   "and campaign planes; lint only the GoPy engine versions")
     p.add_argument("--baseline", default=None, metavar="FILE",
                    help="grandfather the findings recorded in FILE; exit 1 "
                    "only on new ones")

@@ -30,7 +30,7 @@ from repro.dns.message import Query
 from repro.dns.zone import Zone
 from repro.engine import control
 from repro.engine.encoding import ZoneEncoder
-from repro.engine.gopy import nameops, nodestack
+from repro.engine.gopy import nameops, nodestack, respops
 from repro.frontend import compile_module
 from repro.ir import Module
 from repro.refine import RefinementReport, check_refinement_nested
@@ -79,8 +79,17 @@ def _compiled(py_module, externs: Sequence[Module] = (),
         cached = compile_module(py_module, extern_modules=list(externs))
         if analysis:
             from repro.analysis import prune_module
+            from repro.analysis.interproc import (
+                compute_summaries,
+                summaries_digest,
+            )
 
-            cached.prune_report = prune_module(cached)
+            # Summaries over the externs (already pruned — the domain
+            # reads ElidedGuardBr survive-conditions back) plus this
+            # module, bottom-up, so pruning sees facts across calls.
+            summaries = compute_summaries(list(externs) + [cached])
+            cached.prune_report = prune_module(cached, summaries=summaries)
+            cached.summary_digest = summaries_digest(summaries)
         _IR_CACHE[key] = cached
     return cached
 
@@ -92,6 +101,7 @@ def compile_engine_modules(version: str, analysis: bool = False) -> List[Module]
     base = [
         _compiled(nameops, analysis=analysis),
         _compiled(nodestack, analysis=analysis),
+        _compiled(respops, analysis=analysis),
     ]
     version_module = control.ENGINE_VERSIONS[version]
     return base + [
@@ -260,14 +270,24 @@ class VerificationSession:
         modules = compile_engine_modules(version, analysis=analysis)
         self.compile_seconds = time.perf_counter() - compile_started
         self.prune_report = None
+        self.summary_digest: Optional[str] = None
         if analysis:
+            import hashlib
+
             from repro.analysis import PruneReport
 
             self.prune_report = PruneReport()
+            digests = []
             for module in modules:
                 module_report = getattr(module, "prune_report", None)
                 if module_report is not None:
                     self.prune_report.merge(module_report)
+                digests.append(getattr(module, "summary_digest", ""))
+            # One digest over the whole module set's summary tables; rides
+            # the cache keys and the result telemetry.
+            self.summary_digest = hashlib.sha256(
+                "|".join(digests).encode()
+            ).hexdigest()
         self.executor = Executor(
             modules,
             solver=solver,
@@ -310,8 +330,13 @@ class VerificationSession:
             "pre": digest_text(*[repr(f) for f in self.pre]),
             # Pruned and unpruned runs produce identical verdicts but
             # different counters; keying keeps each config's entries
-            # internally consistent.
-            "analysis": self.analysis_enabled,
+            # internally consistent. The summary digest folds in the
+            # interprocedural tables (and their schema version), so a
+            # domain change invalidates entries built on old proofs.
+            "analysis": (
+                f"on:{self.summary_digest}" if self.analysis_enabled
+                else "off"
+            ),
         }
 
     # -- layered verification --------------------------------------------------
@@ -365,11 +390,16 @@ class VerificationSession:
         continues with the next unit.
         """
         started = time.perf_counter()
-        checks_before = self.executor.solver.num_checks
+        solver = self.executor.solver
+        checks_before = solver.num_checks
+        prepass_checks_before = getattr(solver, "guard_prepass_checks", 0)
+        prepass_unsat_before = getattr(solver, "guard_prepass_unsat", 0)
         stats = self.executor.stats
         guard_checks_before = stats.panic_guard_checks
         guard_hits_before = stats.pruned_guard_hits
         avoided_before = stats.pruned_checks_avoided
+        by_fn_before = dict(stats.guard_checks_by_function)
+        hits_by_fn_before = dict(stats.pruned_hits_by_function)
         result = VerificationResult(self.version, self.zone.origin.to_text(), True)
         try:
             self._verify_into(result, use_summaries)
@@ -384,7 +414,25 @@ class VerificationSession:
             "panic_guard_checks": stats.panic_guard_checks - guard_checks_before,
             "pruned_guard_hits": stats.pruned_guard_hits - guard_hits_before,
             "solver_checks_avoided": stats.pruned_checks_avoided - avoided_before,
+            "guard_prepass_checks": (
+                getattr(solver, "guard_prepass_checks", 0)
+                - prepass_checks_before
+            ),
+            "guard_prepass_unsat": (
+                getattr(solver, "guard_prepass_unsat", 0)
+                - prepass_unsat_before
+            ),
+            # Per-function residual guard checks and pruned crossings —
+            # what makes a discharge regression attributable.
+            "guard_checks_by_function": _dict_delta(
+                stats.guard_checks_by_function, by_fn_before
+            ),
+            "pruned_hits_by_function": _dict_delta(
+                stats.pruned_hits_by_function, hits_by_fn_before
+            ),
         }
+        if self.summary_digest is not None:
+            result.analysis["summary_digest"] = self.summary_digest
         if self.prune_report is not None:
             result.analysis.update(
                 guards_total=self.prune_report.guards_total,
@@ -606,6 +654,15 @@ class VerificationSession:
         if error is not None:
             return True, error
         return False, "no native crash reproduced"
+
+
+def _dict_delta(now: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-key counter deltas, dropping keys that did not move."""
+    return {
+        key: value - before.get(key, 0)
+        for key, value in sorted(now.items())
+        if value - before.get(key, 0)
+    }
 
 
 def _exhaustion_reason(exc: OutOfBudgetError) -> str:

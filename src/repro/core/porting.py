@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 
 from repro.core import layers as layers_module
 from repro.engine import control
-from repro.engine.gopy import nameops, nodestack, structs
+from repro.engine.gopy import nameops, nodestack, respops, structs
 from repro.spec import namespec, toplevel
 
 
@@ -51,7 +51,7 @@ def changed_loc(module_a, module_b) -> int:
 #: The five Table-3 artifact rows and the modules realising each.
 ARTIFACTS = {
     "implementation": None,  # per version
-    "dependency specification": [nameops, nodestack, structs, namespec],
+    "dependency specification": [nameops, nodestack, respops, structs, namespec],
     "interface configuration": [layers_module],
     "top-level specification": [toplevel],
     "safety property": None,  # a single reused predicate (panic unreachability)

@@ -1,0 +1,34 @@
+"""Write accessors for the layer result structs (GoPy module).
+
+Figure 3's root cause is resolution code writing ``Response`` and
+``SearchResult`` fields directly across the layer boundary. This module
+gives the cleaned-up engine versions (``verified``) and the top-level
+specification a named seam for those writes: the mutation lives with the
+struct, and a grep for ``resp_set_aa`` finds every place the AA bit can
+change. The legacy versions (``v1.0``–``v4.0``, ``dev``) keep the raw
+field writes on purpose — they are the linter's GP301 exhibit.
+
+These are *write* accessors only: result structs are produced on one side
+of a layer interface and read on the other, so consumers reading
+``sr.kind`` or ``resp.answer`` is the intended protocol, not a smell
+(contrast ``NodeStack``, whose owner exports read accessors the
+production code bypasses — that read path is GP303).
+"""
+
+from repro.engine.gopy.structs import Response, SearchResult, TreeNode
+
+
+def resp_set_rcode(resp: Response, rcode: int) -> None:
+    resp.rcode = rcode
+
+
+def resp_set_aa(resp: Response, aa: bool) -> None:
+    resp.aa = aa
+
+
+def sr_set_kind(sr: SearchResult, kind: int) -> None:
+    sr.kind = kind
+
+
+def sr_set_node(sr: SearchResult, node: TreeNode) -> None:
+    sr.node = node

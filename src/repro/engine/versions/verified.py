@@ -28,6 +28,12 @@ from repro.engine.gopy.consts import (
 )
 from repro.engine.gopy.nameops import is_prefix
 from repro.engine.gopy.nodestack import stack_new, stack_push
+from repro.engine.gopy.respops import (
+    resp_set_aa,
+    resp_set_rcode,
+    sr_set_kind,
+    sr_set_node,
+)
 from repro.engine.gopy.structs import (
     DomainTree,
     NodeStack,
@@ -64,12 +70,12 @@ def tree_search(tree: DomainTree, q: list[int], stack: NodeStack, sr: SearchResu
     stack_push(stack, node)
     while True:
         if len(q) == len(node.name):
-            sr.kind = SR_EXACT
-            sr.node = node
+            sr_set_kind(sr, SR_EXACT)
+            sr_set_node(sr, node)
             return
         if node.is_delegation:
-            sr.kind = SR_DELEGATION
-            sr.node = node
+            sr_set_kind(sr, SR_DELEGATION)
+            sr_set_node(sr, node)
             return
         qlabel = q[len(node.name)]
         child = node.down
@@ -84,11 +90,11 @@ def tree_search(tree: DomainTree, q: list[int], stack: NodeStack, sr: SearchResu
         if child is None:
             wc = find_wildcard_child(node)
             if wc is not None:
-                sr.kind = SR_WILDCARD
-                sr.node = wc
+                sr_set_kind(sr, SR_WILDCARD)
+                sr_set_node(sr, wc)
                 return
-            sr.kind = SR_MISS
-            sr.node = node
+            sr_set_kind(sr, SR_MISS)
+            sr_set_node(sr, node)
             return
         stack_push(stack, child)
         node = child
@@ -159,11 +165,10 @@ def add_glue_for_name(tree: DomainTree, target: list[int], resp: Response) -> No
             i = i + 1
 
 
-def make_referral(tree: DomainTree, node: TreeNode, resp: Response, at_top: bool) -> None:
+def make_referral(tree: DomainTree, node: TreeNode, resp: Response) -> None:
     """Delegation response: NS of the cut into authority, glue into
-    additional. Referrals are not authoritative."""
-    if at_top:
-        resp.aa = False
+    additional. Top-level callers clear the AA bit first — referrals are
+    not authoritative; the old ``at_top`` control flag is gone."""
     ns = get_rrset(node, TYPE_NS)
     if ns is None:
         return
@@ -220,7 +225,7 @@ def answer_node(tree: DomainTree, sname: list[int], qtype: int, node: TreeNode, 
     cname = get_rrset(node, TYPE_CNAME)
     if cname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
         rr = cname.rrs[0]
-        resp.aa = True
+        resp_set_aa(resp, True)
         if synth:
             resp.answer.append(copy_with_name(rr, sname))
         else:
@@ -230,7 +235,7 @@ def answer_node(tree: DomainTree, sname: list[int], qtype: int, node: TreeNode, 
         return
     base = len(resp.answer)
     count = append_matching(node, qtype, synth, sname, resp)
-    resp.aa = True
+    resp_set_aa(resp, True)
     if count == 0:
         append_soa(tree, resp)
     else:
@@ -243,12 +248,12 @@ def chase_search(tree: DomainTree, name: list[int], sr: SearchResult) -> None:
     node = tree.root
     while True:
         if len(name) == len(node.name):
-            sr.kind = SR_EXACT
-            sr.node = node
+            sr_set_kind(sr, SR_EXACT)
+            sr_set_node(sr, node)
             return
         if node.is_delegation:
-            sr.kind = SR_DELEGATION
-            sr.node = node
+            sr_set_kind(sr, SR_DELEGATION)
+            sr_set_node(sr, node)
             return
         nlabel = name[len(node.name)]
         child = node.down
@@ -263,11 +268,11 @@ def chase_search(tree: DomainTree, name: list[int], sr: SearchResult) -> None:
         if child is None:
             wc = find_wildcard_child(node)
             if wc is not None:
-                sr.kind = SR_WILDCARD
-                sr.node = wc
+                sr_set_kind(sr, SR_WILDCARD)
+                sr_set_node(sr, wc)
                 return
-            sr.kind = SR_MISS
-            sr.node = node
+            sr_set_kind(sr, SR_MISS)
+            sr_set_node(sr, node)
             return
         node = child
 
@@ -277,19 +282,19 @@ def chase_lookup(tree: DomainTree, name: list[int], qtype: int, resp: Response, 
     sr = SearchResult()
     chase_search(tree, name, sr)
     if sr.kind == SR_DELEGATION:
-        make_referral(tree, sr.node, resp, False)
+        make_referral(tree, sr.node, resp)
         return
     if sr.kind == SR_EXACT:
         if sr.node.is_delegation:
-            make_referral(tree, sr.node, resp, False)
+            make_referral(tree, sr.node, resp)
             return
         answer_node(tree, name, qtype, sr.node, False, resp, depth)
         return
     if sr.kind == SR_WILDCARD:
         answer_node(tree, name, qtype, sr.node, True, resp, depth)
         return
-    resp.rcode = RCODE_NXDOMAIN
-    resp.aa = True
+    resp_set_rcode(resp, RCODE_NXDOMAIN)
+    resp_set_aa(resp, True)
     append_soa(tree, resp)
 
 
@@ -299,27 +304,29 @@ def find(tree: DomainTree, q: list[int], qtype: int, resp: Response) -> None:
     sr = SearchResult()
     tree_search(tree, q, stack, sr)
     if sr.kind == SR_DELEGATION:
-        make_referral(tree, sr.node, resp, True)
+        resp_set_aa(resp, False)
+        make_referral(tree, sr.node, resp)
         return
     if sr.kind == SR_EXACT:
         if sr.node.is_delegation:
-            make_referral(tree, sr.node, resp, True)
+            resp_set_aa(resp, False)
+            make_referral(tree, sr.node, resp)
             return
         answer_node(tree, q, qtype, sr.node, False, resp, 0)
         return
     if sr.kind == SR_WILDCARD:
         answer_node(tree, q, qtype, sr.node, True, resp, 0)
         return
-    resp.rcode = RCODE_NXDOMAIN
-    resp.aa = True
+    resp_set_rcode(resp, RCODE_NXDOMAIN)
+    resp_set_aa(resp, True)
     append_soa(tree, resp)
 
 
 def resolve(tree: DomainTree, q: list[int], qtype: int, resp: Response) -> None:
     """Top-level entry point of the DNS authoritative engine."""
-    resp.rcode = RCODE_NOERROR
-    resp.aa = False
+    resp_set_rcode(resp, RCODE_NOERROR)
+    resp_set_aa(resp, False)
     if not is_prefix(tree.root.name, q):
-        resp.rcode = RCODE_REFUSED
+        resp_set_rcode(resp, RCODE_REFUSED)
         return
     find(tree, q, qtype, resp)

@@ -78,7 +78,7 @@ def engine_digest(version: str) -> str:
     """Digest of everything that determines one engine version's IR: the
     version module, the shared library layers, and the top-level spec."""
     from repro.engine import control
-    from repro.engine.gopy import nameops, nodestack
+    from repro.engine.gopy import nameops, nodestack, respops
     from repro.spec import toplevel
 
     version_module = control.ENGINE_VERSIONS[version]
@@ -86,6 +86,7 @@ def engine_digest(version: str) -> str:
         version,
         source_digest(nameops),
         source_digest(nodestack),
+        source_digest(respops),
         source_digest(version_module),
         source_digest(toplevel),
     )

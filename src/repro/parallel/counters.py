@@ -28,6 +28,8 @@ def unit_perf(result, cache=None) -> Dict[str, float]:
         "solver_checks_avoided": 0,
         "pruned_guard_hits": 0,
         "guards_pruned": 0,
+        "guard_prepass_checks": 0,
+        "guard_prepass_unsat": 0,
     }
     if result is not None:
         phases = result.phase_seconds or {}
@@ -42,6 +44,8 @@ def unit_perf(result, cache=None) -> Dict[str, float]:
         perf["solver_checks_avoided"] = analysis.get("solver_checks_avoided", 0)
         perf["pruned_guard_hits"] = analysis.get("pruned_guard_hits", 0)
         perf["guards_pruned"] = analysis.get("guards_pruned", 0)
+        perf["guard_prepass_checks"] = analysis.get("guard_prepass_checks", 0)
+        perf["guard_prepass_unsat"] = analysis.get("guard_prepass_unsat", 0)
     if cache is not None:
         stats = cache.stats()
         perf["cache_hits"] = stats.get("hits", 0)
@@ -83,6 +87,10 @@ class PerfCounters:
     solver_checks_avoided: int = 0
     pruned_guard_hits: int = 0
     guards_pruned: int = 0
+    # The solver-side prepass: residual guard checks answered by the
+    # relational domain alone, without building a formula.
+    guard_prepass_checks: int = 0
+    guard_prepass_unsat: int = 0
     _started: float = field(default_factory=time.perf_counter, repr=False)
 
     def absorb(self, perf: Optional[Dict]) -> None:
@@ -98,6 +106,8 @@ class PerfCounters:
         self.cache_misses += int(perf.get("cache_misses", 0))
         self.solver_checks_avoided += int(perf.get("solver_checks_avoided", 0))
         self.pruned_guard_hits += int(perf.get("pruned_guard_hits", 0))
+        self.guard_prepass_checks += int(perf.get("guard_prepass_checks", 0))
+        self.guard_prepass_unsat += int(perf.get("guard_prepass_unsat", 0))
         # Every unit compiles the same modules, so the prune-pass static
         # is a per-run property, not a per-unit one: max, not sum.
         self.guards_pruned = max(
@@ -151,6 +161,8 @@ class PerfCounters:
             "solver_checks_avoided": self.solver_checks_avoided,
             "pruned_guard_hits": self.pruned_guard_hits,
             "guards_pruned": self.guards_pruned,
+            "guard_prepass_checks": self.guard_prepass_checks,
+            "guard_prepass_unsat": self.guard_prepass_unsat,
             "cache_hit_rate": None if hit_rate is None else round(hit_rate, 4),
             "parallel_efficiency": (
                 None if efficiency is None else round(efficiency, 4)

@@ -13,7 +13,19 @@ import enum
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.solver import sat
-from repro.solver.terms import BoolExpr, and_, bool_const, eval_expr, free_vars, not_
+from repro.solver.terms import (
+    EQ,
+    NE,
+    And,
+    Atom,
+    BoolConst,
+    BoolExpr,
+    and_,
+    bool_const,
+    eval_expr,
+    free_vars,
+    not_,
+)
 
 
 class SolveResult(enum.Enum):
@@ -92,6 +104,12 @@ class Solver:
         self.budget = budget
         self.budget_unknowns = 0
         self.injected_unknowns = 0
+        #: Guard-flagged queries the difference-bound prepass decided
+        #: UNSAT without dispatching the sat core (and how many it
+        #: looked at). Telemetry only — the prepass never changes a
+        #: verdict, it only reaches UNSAT cheaper.
+        self.guard_prepass_unsat = 0
+        self.guard_prepass_checks = 0
 
     # -- assertion stack ---------------------------------------------------
 
@@ -118,7 +136,19 @@ class Solver:
 
     # -- checking ------------------------------------------------------------
 
-    def check(self, *extra: Union[BoolExpr, bool]) -> SolveResult:
+    def check(self, *extra: Union[BoolExpr, bool],
+              guard: bool = False) -> SolveResult:
+        """Satisfiability of the assertions plus ``extra``.
+
+        ``guard=True`` marks a panic-guard feasibility query (the
+        executor's hot path): a difference-bound prepass scans the
+        conjunction for unit-coefficient atoms and runs a Bellman-Ford
+        negative-cycle check first. The prepass only ever answers UNSAT
+        (a subset of the constraints being infeasible makes the whole
+        query infeasible), so results are exactly what the sat core
+        would return — just cheaper when the analysis-discharged facts
+        already close the cycle.
+        """
         from repro.resilience import faults
 
         formulas = list(self._assertions)
@@ -144,6 +174,17 @@ class Solver:
             result, model = cached
             self._model = model
             return result
+
+        if guard:
+            self.guard_prepass_checks += 1
+            if _difference_infeasible(formulas):
+                # Count the dispatch exactly as the sat core would, so
+                # every counter downstream is prepass-agnostic.
+                self.num_checks += 1
+                self.guard_prepass_unsat += 1
+                self._model = None
+                self._result_cache[key] = (SolveResult.UNSAT, None)
+                return SolveResult.UNSAT
 
         self.num_checks += 1
         sat_result, model_dict = sat.check_formulas(
@@ -176,6 +217,66 @@ class Solver:
         """True iff a and b agree under the current assertions (proven)."""
         differ = or_differ(a, b)
         return self.check(differ) is SolveResult.UNSAT
+
+
+#: Edge-count ceiling for the guard prepass; past it, Bellman-Ford costs
+#: more than it saves and the sat core (with its theory cache) wins.
+_PREPASS_MAX_EDGES = 2000
+
+
+def _difference_infeasible(formulas: List[BoolExpr]) -> bool:
+    """True iff the unit-difference fragment of ``formulas`` is already
+    infeasible (a negative cycle in the induced constraint graph).
+
+    Only atoms of the form ``±x + c <= 0``, ``x - y + c <= 0`` or their
+    equality variants contribute; everything else is ignored, which is
+    what makes an UNSAT answer sound and a SAT answer impossible.
+    """
+    edges: List[tuple] = []  # (u, v, c) meaning u - v <= c; "" is zero
+    stack = list(formulas)
+    while stack:
+        formula = stack.pop()
+        if isinstance(formula, And):
+            stack.extend(formula.args)
+            continue
+        if isinstance(formula, BoolConst):
+            if not formula.value:
+                return True
+            continue
+        if not isinstance(formula, Atom) or formula.kind == NE:
+            continue
+        coeffs = formula.expr.coeffs
+        if len(coeffs) > 2 or any(abs(c) != 1 for _, c in coeffs):
+            continue
+        pos = [n for n, c in coeffs if c == 1]
+        neg = [n for n, c in coeffs if c == -1]
+        if len(pos) > 1 or len(neg) > 1:
+            continue
+        u = pos[0] if pos else ""
+        v = neg[0] if neg else ""
+        # expr <= 0 is u - v + const <= 0, i.e. u - v <= -const.
+        edges.append((u, v, -formula.expr.const))
+        if formula.kind == EQ:
+            edges.append((v, u, formula.expr.const))
+    if not edges or len(edges) > _PREPASS_MAX_EDGES:
+        return False
+    nodes = {""}
+    for u, v, _ in edges:
+        nodes.add(u)
+        nodes.add(v)
+    # Bellman-Ford from a virtual all-zeros source: a relaxation still
+    # firing after |V| full passes witnesses a negative cycle.
+    dist = {n: 0 for n in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for u, v, c in edges:
+            through = dist[v] + c
+            if through < dist[u]:
+                dist[u] = through
+                changed = True
+        if not changed:
+            return False
+    return True
 
 
 def or_differ(a: BoolExpr, b: BoolExpr) -> BoolExpr:

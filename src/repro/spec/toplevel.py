@@ -37,6 +37,7 @@ from repro.engine.gopy.consts import (
     WILDCARD_LABEL,
 )
 from repro.engine.gopy.nameops import is_prefix, name_equal, shared_prefix_len
+from repro.engine.gopy.respops import resp_set_aa, resp_set_rcode
 from repro.engine.gopy.structs import FlatZone, Response, RR
 
 
@@ -91,10 +92,9 @@ def spec_add_glue(z: FlatZone, target: list[int], resp: Response) -> None:
             resp.additional.append(rr)
 
 
-def spec_referral(z: FlatZone, sname: list[int], cut_len: int, resp: Response, at_top: bool) -> None:
-    """Non-authoritative referral at the cut of length ``cut_len``."""
-    if at_top:
-        resp.aa = False
+def spec_referral(z: FlatZone, sname: list[int], cut_len: int, resp: Response) -> None:
+    """Non-authoritative referral at the cut of length ``cut_len``; the
+    top-level caller clears the AA bit first (no control flag)."""
     for rr in z.rrs:
         if rr.rtype == TYPE_NS and len(rr.rname) == cut_len:
             if is_prefix(rr.rname, sname):
@@ -123,7 +123,7 @@ def spec_get_alias(z: FlatZone, sname: list[int]) -> RR:
 def spec_flatten_alias(z: FlatZone, alias: RR, sname: list[int], qtype: int, resp: Response) -> None:
     """Answer an A/AAAA query at an aliased name with the target's
     in-zone records, owners rewritten to the query name (flattening)."""
-    resp.aa = True
+    resp_set_aa(resp, True)
     count = 0
     if is_prefix(z.origin, alias.rdata_name):
         for rr in z.rrs:
@@ -180,8 +180,9 @@ def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth
     targets deeper), accumulating into ``resp``."""
     cut_len = spec_find_cut_depth(z, sname)
     if cut_len != 0:
-        at_top = depth == 0
-        spec_referral(z, sname, cut_len, resp, at_top)
+        if depth == 0:
+            resp_set_aa(resp, False)
+        spec_referral(z, sname, cut_len, resp)
         return
 
     if spec_exists_at(z, sname):
@@ -191,14 +192,14 @@ def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth
             return
         cname = spec_get_cname(z, sname)
         if cname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
-            resp.aa = True
+            resp_set_aa(resp, True)
             resp.answer.append(cname)
             if depth < MAX_CHASE and is_prefix(z.origin, cname.rdata_name):
                 spec_lookup(z, cname.rdata_name, qtype, resp, depth + 1)
             return
         base = len(resp.answer)
         count = spec_append_matching(z, sname, qtype, resp)
-        resp.aa = True
+        resp_set_aa(resp, True)
         if count == 0:
             spec_append_soa(z, resp)
         else:
@@ -207,7 +208,7 @@ def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth
 
     if spec_exists_strictly_below(z, sname):
         # Empty non-terminal: NODATA, and it blocks wildcards (RFC 4592).
-        resp.aa = True
+        resp_set_aa(resp, True)
         spec_append_soa(z, resp)
         return
 
@@ -221,7 +222,7 @@ def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth
                 wcname = rr
     if wexists:
         if wcname is not None and qtype != TYPE_CNAME and qtype != TYPE_ANY:
-            resp.aa = True
+            resp_set_aa(resp, True)
             resp.answer.append(spec_synth(wcname, sname))
             if depth < MAX_CHASE and is_prefix(z.origin, wcname.rdata_name):
                 spec_lookup(z, wcname.rdata_name, qtype, resp, depth + 1)
@@ -233,23 +234,23 @@ def spec_lookup(z: FlatZone, sname: list[int], qtype: int, resp: Response, depth
                 if rr.rtype == qtype or qtype == TYPE_ANY:
                     resp.answer.append(spec_synth(rr, sname))
                     wcount = wcount + 1
-        resp.aa = True
+        resp_set_aa(resp, True)
         if wcount == 0:
             spec_append_soa(z, resp)
         else:
             spec_glue_for_answers(z, resp, base)
         return
 
-    resp.rcode = RCODE_NXDOMAIN
-    resp.aa = True
+    resp_set_rcode(resp, RCODE_NXDOMAIN)
+    resp_set_aa(resp, True)
     spec_append_soa(z, resp)
 
 
 def rrlookup(z: FlatZone, q: list[int], qtype: int, resp: Response) -> None:
     """The whole-program specification: ``response = rrlookup(zone, query)``."""
-    resp.rcode = RCODE_NOERROR
-    resp.aa = False
+    resp_set_rcode(resp, RCODE_NOERROR)
+    resp_set_aa(resp, False)
     if not is_prefix(z.origin, q):
-        resp.rcode = RCODE_REFUSED
+        resp_set_rcode(resp, RCODE_REFUSED)
         return
     spec_lookup(z, q, qtype, resp, 0)

@@ -113,6 +113,11 @@ class ExecutionStats:
     #: Solver checks those crossings would have cost (1 when a path
     #: witness would have decided one side for free, else 2).
     pruned_checks_avoided: int = 0
+    #: Per-function breakdowns of the two counters above, keyed by the
+    #: function the guard sits in — what makes a discharge regression
+    #: attributable instead of a bare module total.
+    guard_checks_by_function: Dict[str, int] = field(default_factory=dict)
+    pruned_hits_by_function: Dict[str, int] = field(default_factory=dict)
 
 
 class Executor:
@@ -283,10 +288,12 @@ class Executor:
                     else_block.terminator if else_block else None, Panic
                 ):
                     before = self.stats.solver_checks
-                    self._branch(state, regs, cond, term, work)
-                    self.stats.panic_guard_checks += (
-                        self.stats.solver_checks - before
-                    )
+                    self._branch(state, regs, cond, term, work, guard=True)
+                    spent = self.stats.solver_checks - before
+                    self.stats.panic_guard_checks += spent
+                    if spent:
+                        by_fn = self.stats.guard_checks_by_function
+                        by_fn[fn.name] = by_fn.get(fn.name, 0) + spent
                 else:
                     self._branch(state, regs, cond, term, work)
             elif isinstance(term, ElidedGuardBr):
@@ -305,7 +312,8 @@ class Executor:
                 )
         return results
 
-    def _branch(self, state, regs, cond, term: CondBr, work) -> None:
+    def _branch(self, state, regs, cond, term: CondBr, work,
+                guard: bool = False) -> None:
         if not isinstance(cond, BoolExpr):
             raise SymexError(f"condition is not boolean: {cond!r}")
         folded = _as_concrete_bool(cond)
@@ -325,19 +333,19 @@ class Executor:
         if witness_says is True:
             feasible_true = True
             feasible_false, false_witness = self._feasible_with_model(
-                state.pc + [negated]
+                state.pc + [negated], guard=guard
             )
         elif witness_says is False:
             feasible_false = True
             feasible_true, true_witness = self._feasible_with_model(
-                state.pc + [cond]
+                state.pc + [cond], guard=guard
             )
         else:
             feasible_true, true_witness = self._feasible_with_model(
-                state.pc + [cond]
+                state.pc + [cond], guard=guard
             )
             feasible_false, false_witness = self._feasible_with_model(
-                state.pc + [negated]
+                state.pc + [negated], guard=guard
             )
         if feasible_true and feasible_false:
             other = state.fork()
@@ -394,6 +402,8 @@ class Executor:
         survive = not_(cond) if term.panic_on_true else cond
         self.stats.pruned_guard_hits += 1
         self.stats.pruned_checks_avoided += 1 if state.witness is not None else 2
+        by_fn = self.stats.pruned_hits_by_function
+        by_fn[fn.name] = by_fn.get(fn.name, 0) + 1
         if self.analysis_check and term.site not in self._checked_sites:
             self._checked_sites.add(term.site)
             panic_cond = cond if term.panic_on_true else not_(cond)
@@ -406,9 +416,9 @@ class Executor:
         state.assume(survive)
         work.append((state, regs, term.target, 0))
 
-    def _feasible_with_model(self, conditions):
+    def _feasible_with_model(self, conditions, guard: bool = False):
         self.stats.solver_checks += 1
-        verdict = self.solver.check(*conditions)
+        verdict = self.solver.check(*conditions, guard=guard)
         if verdict is SolveResult.SAT:
             return True, self.solver.model().as_dict()
         if verdict is SolveResult.UNKNOWN:

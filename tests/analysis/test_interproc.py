@@ -1,0 +1,187 @@
+"""Golden tests for the interprocedural layer: the relational domain's
+transfer machinery (difference bounds, closure, join/widen), call-graph
+ordering, and the function summaries extracted from the real GoPy
+library modules.
+
+These pin exact facts, not just "something was proved": the pruning
+pass's discharge ratio rests on ``is_prefix`` and ``shared_prefix_len``
+summarizing to precisely these constraints, so a silent extraction
+regression should fail here first, with a readable diff.
+"""
+
+import pytest
+
+from repro.analysis.domains import DiffBounds, Interval, ZERO
+from repro.analysis.interproc import (
+    CallGraph,
+    compute_summaries,
+    summaries_digest,
+)
+from repro.engine.gopy import nameops, respops
+from repro.frontend import compile_module, compile_source
+
+
+# ---------------------------------------------------------------------------
+# Difference-bound transfer functions
+# ---------------------------------------------------------------------------
+
+
+class TestDiffBounds:
+    def test_add_closes_transitively(self):
+        d = DiffBounds()
+        assert d.add("a", "b", 2)
+        assert d.add("b", "c", 3)
+        # Closure: a - c <= 5 must be derived, not just stored edges.
+        assert d.entails("a", "c", 5)
+        assert not d.entails("a", "c", 4)
+
+    def test_add_detects_infeasibility(self):
+        d = DiffBounds()
+        assert d.add("a", "b", -1)   # a < b
+        assert not d.add("b", "a", -1)  # and b < a: empty
+
+    def test_join_is_pointwise_max_over_common_keys(self):
+        left = DiffBounds({("a", "b"): 1, ("a", "c"): 7})
+        right = DiffBounds({("a", "b"): 4})
+        joined = left.join(right)
+        assert joined.bound("a", "b") == 4      # looser of the two
+        assert joined.bound("a", "c") is None   # only on one side: dropped
+
+    def test_kill_forgets_every_edge_through_a_var(self):
+        d = DiffBounds({("a", "b"): 1, ("b", "c"): 2, ("a", "c"): 3})
+        d.kill("b")
+        assert d.bound("a", "b") is None
+        assert d.bound("b", "c") is None
+        assert d.bound("a", "c") == 3  # closure survives the kill
+
+    def test_interval_projects_through_zero(self):
+        d = DiffBounds()
+        d.add("x", ZERO, 9)   # x <= 9
+        d.add(ZERO, "x", 0)   # x >= 0
+        assert d.interval_of("x") == Interval(0, 9)
+
+
+class TestIntervalLattice:
+    def test_join_takes_the_hull(self):
+        assert Interval(0, 3).join(Interval(2, 9)) == Interval(0, 9)
+
+    def test_widen_drops_only_the_moving_bound(self):
+        old, new = Interval(0, 3), Interval(0, 9)
+        assert old.widen(new) == Interval(0, None)
+        assert old.widen(Interval(-1, 3)) == Interval(None, 3)
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+
+TOY = """
+def leaf(n: int) -> int:
+    return n + 1
+
+def middle(n: int) -> int:
+    return leaf(n)
+
+def top(n: int) -> int:
+    return middle(n)
+
+def spin(n: int) -> int:
+    if n <= 0:
+        return 0
+    return spin(n - 1)
+"""
+
+
+class TestCallGraph:
+    def test_sccs_come_out_callee_first(self):
+        graph = CallGraph([compile_source(TOY, name="toy")])
+        order = [name for scc in graph.sccs_bottom_up() for name in scc]
+        assert order.index("leaf") < order.index("middle") < order.index("top")
+
+    def test_self_recursion_is_a_recursive_component(self):
+        graph = CallGraph([compile_source(TOY, name="toy")])
+        by_member = {name: scc for scc in graph.sccs_bottom_up()
+                     for name in scc}
+        assert graph.is_recursive(by_member["spin"])
+        assert not graph.is_recursive(by_member["leaf"])
+
+
+# ---------------------------------------------------------------------------
+# Summaries: golden facts on the real library modules
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def nameops_summaries():
+    return compute_summaries([compile_module(nameops)])
+
+
+class TestGoldenSummaries:
+    def test_is_prefix_true_branch_relates_the_label_lengths(
+            self, nameops_summaries):
+        s = nameops_summaries["is_prefix"]
+        assert s.pure and s.ret_kind == "bool" and not s.havocked
+        # True means len(a) <= len(b) (the discharge workhorse), plus
+        # both lengths are non-negative ('' is the zero token).
+        assert s.true_facts == (
+            ("", "len0", 0), ("", "len1", 0), ("len0", "len1", 0),
+        )
+        # False still bounds the lengths: a non-empty a, a valid b.
+        assert s.false_facts == (("", "len0", -1), ("", "len1", 0))
+        assert s.may_true and s.may_false
+
+    def test_shared_prefix_len_returns_a_non_negative_int(
+            self, nameops_summaries):
+        s = nameops_summaries["shared_prefix_len"]
+        assert s.pure and s.ret_kind == "int" and not s.havocked
+        assert ("", "ret", 0) in s.ret_facts  # ret >= 0
+
+    def test_respops_accessors_are_append_pure(self):
+        summaries = compute_summaries([compile_module(respops)])
+        assert set(summaries) == {
+            "resp_set_rcode", "resp_set_aa", "sr_set_kind", "sr_set_node",
+        }
+        for s in summaries.values():
+            # Purity is what keeps the caller's list epoch alive across
+            # the accessor calls the verified engine now makes.
+            assert s.pure and not s.havocked
+
+    def test_ret_facts_flow_through_a_call_site(self):
+        mod = compile_source(
+            """
+def clamp(n: int) -> int:
+    if n < 0:
+        return 0
+    return n
+
+def through(n: int) -> int:
+    m = clamp(n)
+    return m
+""",
+            name="toy",
+        )
+        summaries = compute_summaries([mod])
+        golden = (("", "ret", 0), ("arg0", "ret", 0))  # 0 <= ret <= n
+        assert summaries["clamp"].ret_facts == golden
+        # The caller inherits the callee's bounds via summary application
+        # — with havoc-at-calls its ret_facts would be empty.
+        assert summaries["through"].ret_facts == golden
+
+    def test_recursive_functions_are_havocked_not_mis_summarized(self):
+        summaries = compute_summaries([compile_source(TOY, name="toy")])
+        assert summaries["spin"].havocked
+        assert summaries["spin"].ret_facts == ()
+        assert not summaries["leaf"].havocked
+
+
+class TestSummaryDigest:
+    def test_digest_is_deterministic(self):
+        a = compute_summaries([compile_module(nameops)])
+        b = compute_summaries([compile_module(nameops)])
+        assert summaries_digest(a) == summaries_digest(b)
+
+    def test_digest_distinguishes_summary_tables(self):
+        a = compute_summaries([compile_module(nameops)])
+        b = compute_summaries([compile_module(respops)])
+        assert summaries_digest(a) != summaries_digest(b)

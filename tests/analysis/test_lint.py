@@ -33,6 +33,7 @@ class TestRuleCatalog:
     def test_every_rule_has_a_stable_id_and_description(self):
         assert set(RULES) == {
             "GP101", "GP201", "GP202", "GP203", "GP301", "GP302", "GP303",
+            "GP401", "GP402", "GP403",
         }
         for rule, description in RULES.items():
             assert rule.startswith("GP") and description

@@ -1,0 +1,153 @@
+"""The GP4xx async-safety pack, exercised on synthetic sources.
+
+Each test feeds a small module through :func:`lint_runtime_source` and
+checks both directions: the smell fires where it should, and the
+idiomatic fixes (lock regions, atomic increments, fsync-before-replace)
+stay clean. The final test pins the real serving/campaign planes at zero
+findings — the pack gates CI, so a regression here is a regression in
+the product code, not the linter.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.lint_async import lint_runtime, lint_runtime_source
+
+
+def findings_for(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return lint_runtime_source(tree, "synthetic", "<synthetic>")
+
+
+def keys(findings):
+    return {f.baseline_key() for f in findings}
+
+
+class TestGP401BlockingCalls:
+    def test_blocking_call_in_async_def_fires(self):
+        found = findings_for("""
+            import time
+
+            async def bad_block():
+                time.sleep(1)
+        """)
+        assert keys(found) == {"synthetic:bad_block:GP401:time.sleep"}
+
+    def test_one_finding_per_blocking_name_not_per_call(self):
+        found = findings_for("""
+            import time
+
+            async def drains():
+                time.sleep(1)
+                time.sleep(2)
+        """)
+        assert len(found) == 1
+
+    def test_sync_def_and_to_thread_are_clean(self):
+        found = findings_for("""
+            import asyncio
+            import time
+
+            def sync_ok():
+                time.sleep(1)
+
+            async def offloaded():
+                await asyncio.to_thread(time.sleep, 1)
+        """)
+        assert not found
+
+
+class TestGP402LostUpdates:
+    def test_read_await_write_back_fires(self):
+        found = findings_for("""
+            class Counter:
+                async def lost_update(self):
+                    n = self.count
+                    await self.flush()
+                    self.count = n + 1
+        """)
+        assert keys(found) == {
+            "synthetic:Counter.lost_update:GP402:count",
+        }
+
+    def test_lock_region_is_clean(self):
+        found = findings_for("""
+            class Counter:
+                async def locked_update(self):
+                    async with self._lock:
+                        n = self.count
+                        await self.flush()
+                        self.count = n + 1
+        """)
+        assert not found
+
+    def test_atomic_augassign_is_clean(self):
+        # `self.count += 1` never parks between read and write under
+        # cooperative scheduling, so there is no interleaving to lose.
+        found = findings_for("""
+            class Counter:
+                async def atomic_incr(self):
+                    await self.flush()
+                    self.count += 1
+        """)
+        assert not found
+
+    def test_write_of_fresh_value_after_await_is_clean(self):
+        found = findings_for("""
+            class Server:
+                async def reset_after_await(self):
+                    await self._server.wait_closed()
+                    self._server = None
+        """)
+        assert not found
+
+
+class TestGP403TornWrites:
+    def test_replace_without_fsync_fires(self):
+        found = findings_for("""
+            import json
+            import os
+
+            def torn_write(path, payload):
+                tmp = path + ".tmp"
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+        """)
+        assert keys(found) == {
+            "synthetic:torn_write:GP403:replace-without-fsync",
+        }
+
+    def test_fsync_before_replace_is_clean(self):
+        found = findings_for("""
+            import json
+            import os
+
+            def synced_write(path, payload):
+                tmp = path + ".tmp"
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+        """)
+        assert not found
+
+    def test_read_mode_open_is_clean(self):
+        found = findings_for("""
+            import os
+
+            def reader(path):
+                with open(path) as handle:
+                    data = handle.read()
+                os.replace(path, path + ".bak")
+                return data
+        """)
+        assert not found
+
+
+def test_runtime_planes_are_clean():
+    """The serving and campaign planes carry zero GP4xx findings — the
+    pack runs baseline-free in CI, so any finding here is a gate
+    failure."""
+    assert lint_runtime() == []

@@ -46,8 +46,10 @@ def test_pruning_never_changes_the_verdict(version):
 
 
 def test_discharge_ratio_meets_the_bar_on_verified():
-    """Acceptance: >= 20% of panic-guard solver queries on the verified
-    engine are discharged statically."""
+    """Acceptance: >= 80% of panic-guard solver queries on the verified
+    engine are discharged statically (interprocedural summaries plus the
+    label-length relational domain; was 20% with the intraprocedural
+    interval pass alone)."""
     zone = minimal_zone()
     off = VerificationSession(zone, "verified", analysis=False).verify()
     on = VerificationSession(zone, "verified", analysis=True).verify()
@@ -55,7 +57,7 @@ def test_discharge_ratio_meets_the_bar_on_verified():
     remaining = on.analysis["panic_guard_checks"]
     assert baseline > 0
     discharge = (baseline - remaining) / baseline
-    assert discharge >= 0.20, f"discharge ratio {discharge:.1%} below bar"
+    assert discharge >= 0.80, f"discharge ratio {discharge:.1%} below bar"
     assert on.verdict == off.verdict == "VERIFIED"
 
 
@@ -68,3 +70,20 @@ def test_debug_cross_check_agrees_with_the_proofs():
     ).verify()
     assert result.verdict == "VERIFIED"
     assert result.analysis["pruned_guard_hits"] > 0
+
+
+@pytest.mark.parametrize("planner", ["by-label", "equivalence-class"])
+@pytest.mark.parametrize("version", ["verified", "v3.0"])
+def test_pruning_is_bit_identical_under_both_planners(planner, version):
+    """The analysis on/off equivalence must hold on every query-planning
+    route — the planner changes how work is unitized, never what is
+    proved. (v3.0 rides along as a buggy version: BUG reports must be
+    bit-identical too.)"""
+    from repro.core import VerifyOptions, verify_engine
+
+    zone = minimal_zone()
+    off = verify_engine(zone, version, options=VerifyOptions(
+        planner=planner, analysis=False))
+    on = verify_engine(zone, version, options=VerifyOptions(
+        planner=planner, analysis=True))
+    assert canonical(on) == canonical(off)

@@ -4,7 +4,7 @@ modules (the production code path of the frontend)."""
 import pytest
 
 from repro.core.pipeline import _compiled, compile_engine_modules
-from repro.engine.gopy import nameops, nodestack, rawname, structs
+from repro.engine.gopy import nameops, nodestack, rawname, respops, structs
 from repro.engine.gopy.structs import NodeStack, Response, RR, TreeNode
 from repro.frontend import GoPyError, compile_module, compile_source
 from repro.frontend.runtime import GoStruct, is_gopy_struct, struct_fields
@@ -54,12 +54,12 @@ class TestEngineModuleCompilation:
         assert {"resolve", "find", "tree_search", "rrlookup"} <= names
 
     def test_shared_library_modules_compile(self):
-        for module in (nameops, nodestack, rawname):
+        for module in (nameops, nodestack, rawname, respops):
             ir_module = _compiled(module)
             validate_module(ir_module)
 
     def test_toplevel_spec_compiles(self):
-        base = [_compiled(nameops), _compiled(nodestack)]
+        base = [_compiled(nameops), _compiled(nodestack), _compiled(respops)]
         spec_ir = _compiled(toplevel, externs=base)
         assert spec_ir.has_function("rrlookup")
         assert spec_ir.has_function("spec_flatten_alias")

@@ -14,7 +14,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.pipeline import _compiled
 from repro.engine import control
 from repro.engine.encoding import ZoneEncoder
-from repro.engine.gopy import nameops, nodestack, rawname
+from repro.engine.gopy import nameops, nodestack, rawname, respops
 from repro.engine.versions import verified
 from repro.solver import iconst
 from repro.spec import toplevel
@@ -79,11 +79,8 @@ class TestWholeEngine:
         encoder = ZoneEncoder(zone, extra_labels=["zz", "deep"])
         tree = control.build_domain_tree(encoder)
         flat = control.build_flat_zone(encoder)
-        modules = [
-            _compiled(nameops),
-            _compiled(nodestack),
-            _compiled(verified, externs=[_compiled(nameops), _compiled(nodestack)]),
-        ]
+        base = [_compiled(nameops), _compiled(nodestack), _compiled(respops)]
+        modules = base + [_compiled(verified, externs=base)]
         return zone, encoder, tree, flat, modules
 
     @pytest.mark.parametrize(
